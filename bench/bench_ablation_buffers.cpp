@@ -1,0 +1,77 @@
+// Ablation: FIFO buffer sizing policies (Section 6). Compares
+//  - EQ5:    the paper's Equation 5 sizes on undirected-cycle edges;
+//  - NAIVE:  every streaming channel sized to its full edge volume;
+//  - MIN1:   every channel one slot deep (under-provisioned).
+// Reports total buffer space, deadlock rate, and simulated makespan blowup,
+// demonstrating that Eq. 5 is both deadlock-free and near-minimal.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/streaming_scheduler.hpp"
+#include "sim/dataflow_sim.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+sts::BufferPlan with_capacity(const sts::BufferPlan& base, const sts::TaskGraph& g,
+                              bool full_volume) {
+  sts::BufferPlan plan = base;
+  for (sts::ChannelPlan& c : plan.channels) {
+    c.capacity = full_volume ? g.edge(c.edge).volume : 1;
+  }
+  plan.total_capacity = 0;
+  for (const sts::ChannelPlan& c : plan.channels) plan.total_capacity += c.capacity;
+  return plan;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sts;
+  using namespace sts::bench;
+  const int graphs = graphs_per_config();
+
+  std::cout << "Ablation: FIFO sizing policy vs deadlocks and buffer space\n"
+            << graphs << " random graphs per topology (P = half the tasks, SB-RLX)\n\n";
+
+  Table table({"Topology", "space EQ5", "space NAIVE", "EQ5/NAIVE", "deadlock EQ5",
+               "deadlock MIN1", "makespan MIN1/EQ5"});
+  for (const Topology& topo : small_topologies()) {
+    std::vector<double> space_eq5, space_naive, blowup;
+    int dead_eq5 = 0, dead_min1 = 0, runs = 0;
+    for (int seed = 0; seed < graphs; ++seed) {
+      const TaskGraph g = topo.make(static_cast<std::uint64_t>(seed) + 1);
+      const auto pes = std::max<std::int64_t>(2, static_cast<std::int64_t>(g.node_count()) / 2);
+      const auto r = schedule_streaming_graph(g, pes, PartitionVariant::kRLX);
+      ++runs;
+
+      space_eq5.push_back(static_cast<double>(r.buffers.total_capacity));
+      const BufferPlan naive = with_capacity(r.buffers, g, /*full_volume=*/true);
+      space_naive.push_back(static_cast<double>(naive.total_capacity));
+
+      const SimResult eq5 = simulate_streaming(g, r.schedule, r.buffers);
+      if (eq5.deadlocked) ++dead_eq5;
+
+      const BufferPlan min1 = with_capacity(r.buffers, g, /*full_volume=*/false);
+      const SimResult starved = simulate_streaming(g, r.schedule, min1);
+      if (starved.deadlocked) {
+        ++dead_min1;
+      } else if (!eq5.deadlocked && eq5.makespan > 0) {
+        blowup.push_back(static_cast<double>(starved.makespan) /
+                         static_cast<double>(eq5.makespan));
+      }
+    }
+    table.add_row({topo.name, fmt(median_of(space_eq5), 0), fmt(median_of(space_naive), 0),
+                   fmt(median_of(space_eq5) / std::max(1.0, median_of(space_naive)), 3),
+                   std::to_string(dead_eq5) + "/" + std::to_string(runs),
+                   std::to_string(dead_min1) + "/" + std::to_string(runs),
+                   blowup.empty() ? "-" : fmt(median_of(blowup), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: EQ5 never deadlocks with a fraction of the naive space;\n"
+               "single-slot FIFOs deadlock whenever reconvergent streaming paths\n"
+               "carry unbalanced delays.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace sts::bench {
+
+/// One synthetic workload family at the paper's evaluation sizes
+/// (Section 7.1): Chain #tasks=8, FFT #tasks=223, Gaussian Elimination
+/// #tasks=135, Cholesky #tasks=120.
+struct Topology {
+  std::string name;
+  std::function<TaskGraph(std::uint64_t seed)> make;
+  std::vector<std::int64_t> pe_sweep;
+  std::int64_t tasks = 0;
+};
+
+inline std::vector<Topology> paper_topologies() {
+  return {
+      {"Chain", [](std::uint64_t s) { return make_chain(8, s); }, {2, 4, 6, 8}, 8},
+      {"FFT", [](std::uint64_t s) { return make_fft(32, s); }, {32, 64, 96, 128}, 223},
+      {"Gaussian", [](std::uint64_t s) { return make_gaussian_elimination(16, s); },
+       {32, 64, 96, 128}, 135},
+      {"Cholesky", [](std::uint64_t s) { return make_cholesky(8, s); }, {32, 64, 96, 128}, 120},
+  };
+}
+
+/// Smaller variants for the costlier experiments (simulation, CSDF).
+inline std::vector<Topology> small_topologies() {
+  return {
+      {"Chain", [](std::uint64_t s) { return make_chain(8, s); }, {2, 4, 6, 8}, 8},
+      {"FFT", [](std::uint64_t s) { return make_fft(16, s); }, {16, 32, 48, 64}, 95},
+      {"Gaussian", [](std::uint64_t s) { return make_gaussian_elimination(10, s); },
+       {16, 32, 48, 64}, 54},
+      {"Cholesky", [](std::uint64_t s) { return make_cholesky(6, s); }, {16, 32, 48, 64}, 56},
+  };
+}
+
+/// Wall-clock stopwatch in seconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Number of random graphs per configuration, as in the paper ("100 randomly
+/// generated task graphs"). Override with STS_BENCH_GRAPHS for quick runs.
+inline int graphs_per_config() {
+  if (const char* env = std::getenv("STS_BENCH_GRAPHS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 100;
+}
+
+}  // namespace sts::bench

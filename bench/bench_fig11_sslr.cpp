@@ -1,0 +1,43 @@
+// Reproduces Figure 11: Streaming Scheduling Length Ratio (SSLR)
+// distributions for the two streaming heuristic variants. SSLR = makespan /
+// streaming depth T_s_inf; it approaches 1 when the schedule attains the
+// infinite-PE streaming execution.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/streaming_scheduler.hpp"
+#include "core/work_depth.hpp"
+#include "metrics/metrics.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace sts;
+  using namespace sts::bench;
+  const int graphs = graphs_per_config();
+
+  std::cout << "Figure 11: Streaming SLR distributions (median [Q1, Q3])\n"
+            << graphs << " random graphs per configuration\n\n";
+
+  for (const Topology& topo : paper_topologies()) {
+    Table table({"PEs", "STR-SCH-1 (SB-LTS)", "STR-SCH-2 (SB-RLX)"});
+    for (const std::int64_t pes : topo.pe_sweep) {
+      std::vector<double> lts_sslr, rlx_sslr;
+      for (int seed = 0; seed < graphs; ++seed) {
+        const TaskGraph g = topo.make(static_cast<std::uint64_t>(seed) + 1);
+        const Rational depth = streaming_depth(g);
+        const auto lts = schedule_streaming_graph(g, pes, PartitionVariant::kLTS);
+        lts_sslr.push_back(streaming_slr(lts.schedule.makespan, depth));
+        const auto rlx = schedule_streaming_graph(g, pes, PartitionVariant::kRLX);
+        rlx_sslr.push_back(streaming_slr(rlx.schedule.makespan, depth));
+      }
+      table.add_row({std::to_string(pes), box_stats(lts_sslr).summary(),
+                     box_stats(rlx_sslr).summary()});
+    }
+    std::cout << topo.name << " (#Tasks = " << topo.tasks << ")\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

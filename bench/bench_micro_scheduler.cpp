@@ -1,0 +1,88 @@
+// Micro-benchmarks (google-benchmark) of the analysis and scheduling passes:
+// streaming-interval computation is linear in the graph (Theorem 4.1 gives a
+// closed form per WCC), partitioning and within-block scheduling are the
+// O(N^2)-bounded passes of Section 5. These underpin the Figure 12 claim
+// that canonical analysis is orders of magnitude cheaper than token-level
+// CSDF execution.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/list_scheduler.hpp"
+#include "core/buffer_sizing.hpp"
+#include "core/streaming_intervals.hpp"
+#include "core/streaming_scheduler.hpp"
+#include "core/work_depth.hpp"
+#include "csdf/csdf.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+sts::TaskGraph graph_for(std::int64_t size) {
+  // Cholesky tiles scale the node count cubically: size 4 -> 36 tasks,
+  // 8 -> 120, 12 -> 364, 16 -> 816, 24 -> 2600.
+  return sts::make_cholesky(static_cast<int>(size), /*seed=*/7);
+}
+
+void BM_StreamingIntervals(benchmark::State& state) {
+  const sts::TaskGraph g = graph_for(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sts::streaming_intervals(g));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_StreamingIntervals)->Arg(4)->Arg(8)->Arg(16)->Arg(24)->Complexity();
+
+void BM_WorkDepth(benchmark::State& state) {
+  const sts::TaskGraph g = graph_for(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sts::analyze_work_depth(g));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_WorkDepth)->Arg(4)->Arg(8)->Arg(16)->Arg(24)->Complexity();
+
+void BM_PartitionRlx(benchmark::State& state) {
+  const sts::TaskGraph g = graph_for(state.range(0));
+  const auto pes = static_cast<std::int64_t>(g.node_count()) / 4 + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sts::partition_spatial_blocks(g, pes, sts::PartitionVariant::kRLX));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_PartitionRlx)->Arg(4)->Arg(8)->Arg(16)->Arg(24)->Complexity();
+
+void BM_FullStreamingPipeline(benchmark::State& state) {
+  const sts::TaskGraph g = graph_for(state.range(0));
+  const auto pes = static_cast<std::int64_t>(g.node_count()) / 4 + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sts::schedule_streaming_graph(g, pes, sts::PartitionVariant::kRLX));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_FullStreamingPipeline)->Arg(4)->Arg(8)->Arg(16)->Arg(24)->Complexity();
+
+void BM_NonStreamingBaseline(benchmark::State& state) {
+  const sts::TaskGraph g = graph_for(state.range(0));
+  const auto pes = static_cast<std::int64_t>(g.node_count()) / 4 + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sts::schedule_non_streaming(g, pes));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_NonStreamingBaseline)->Arg(4)->Arg(8)->Arg(16)->Arg(24)->Complexity();
+
+void BM_CsdfSelfTimed(benchmark::State& state) {
+  const sts::TaskGraph g = graph_for(state.range(0));
+  const sts::CsdfGraph csdf = sts::csdf_from_canonical(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sts::analyze_self_timed(csdf));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_CsdfSelfTimed)->Arg(4)->Arg(8)->Arg(16)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Deadlock analysis walkthrough (paper Section 6, Figure 9): reconvergent
+// streaming paths with unbalanced delays deadlock when FIFOs are too small.
+// This example computes the Eq. 5 buffer space for both Figure 9 graphs,
+// then demonstrates by simulation that (a) the computed sizes run to
+// completion and (b) single-slot FIFOs wedge the pipeline, reporting which
+// tasks are stuck.
+
+#include <iostream>
+
+#include "core/streaming_scheduler.hpp"
+#include "graph/task_graph.hpp"
+#include "sim/dataflow_sim.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace sts;
+
+TaskGraph figure9_graph1() {
+  TaskGraph g;
+  const NodeId n0 = g.add_source(32, "t0");
+  const NodeId n1 = g.add_compute("t1");
+  const NodeId n2 = g.add_compute("t2");
+  const NodeId n3 = g.add_compute("t3");
+  const NodeId n4 = g.add_compute("t4");
+  g.add_edge(n0, n1, 32);
+  g.add_edge(n1, n2, 4);
+  g.add_edge(n2, n3, 2);
+  g.add_edge(n3, n4, 32);
+  g.add_edge(n0, n4, 32);
+  g.declare_output(n4, 32);
+  return g;
+}
+
+TaskGraph figure9_graph2() {
+  TaskGraph g;
+  const NodeId n0 = g.add_source(32, "t0");
+  const NodeId n1 = g.add_compute("t1");
+  const NodeId n2 = g.add_compute("t2");
+  const NodeId n3 = g.add_source(32, "t3");
+  const NodeId n4 = g.add_compute("t4");
+  const NodeId n5 = g.add_compute("t5");
+  g.add_edge(n0, n1, 32);
+  g.add_edge(n1, n2, 1);
+  g.add_edge(n2, n5, 32);
+  g.add_edge(n3, n4, 32);
+  g.add_edge(n0, n4, 32);
+  g.add_edge(n4, n5, 32);
+  g.declare_output(n5, 32);
+  return g;
+}
+
+void diagnose(const char* title, const TaskGraph& g) {
+  std::cout << title << "\n";
+  const auto r = schedule_streaming_graph(
+      g, static_cast<std::int64_t>(g.node_count()), PartitionVariant::kRLX);
+
+  Table plan({"channel", "volume", "Eq.5", "FIFO slots", "on cycle"});
+  for (const ChannelPlan& c : r.buffers.channels) {
+    const Edge& e = g.edge(c.edge);
+    plan.add_row({g.name(e.src) + " -> " + g.name(e.dst), std::to_string(e.volume),
+                  std::to_string(c.eq5_requirement), std::to_string(c.capacity),
+                  c.on_undirected_cycle ? "yes" : "no"});
+  }
+  plan.print(std::cout);
+
+  const SimResult healthy = simulate_streaming(g, r.schedule, r.buffers);
+  std::cout << "with Eq. 5 sizes : makespan " << healthy.makespan
+            << (healthy.deadlocked ? "  DEADLOCK" : "  (completes)") << "\n";
+
+  BufferPlan starved = r.buffers;
+  for (ChannelPlan& c : starved.channels) c.capacity = 1;
+  const SimResult wedged = simulate_streaming(g, r.schedule, starved);
+  std::cout << "with 1-slot FIFOs: ";
+  if (wedged.deadlocked) {
+    std::cout << "DEADLOCK after tick " << wedged.ticks_executed << "; stuck tasks:";
+    for (const NodeId v : wedged.stuck) std::cout << " " << g.name(v);
+    std::cout << "\n";
+  } else {
+    std::cout << "makespan " << wedged.makespan << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Deadlock-free buffer sizing (paper Section 6)\n\n";
+  diagnose("Figure 9, graph 1: reconvergent paths through reducers", figure9_graph1());
+  diagnose("Figure 9, graph 2: undirected cycle across two source chains",
+           figure9_graph2());
+  std::cout << "Expected FIFO sizes from the paper: 18 slots on t0->t4 (graph 1)\n"
+               "and 32 slots on t4->t5 (graph 2).\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Placing a scheduled application onto a 2D-mesh dataflow fabric: the
+// spatio-temporal schedule decides *when* tasks run; placement decides
+// *where*. This example schedules an FFT task graph, places each spatial
+// block on a mesh NoC with both the naive and the communication-aware
+// greedy placement, and renders the mesh occupancy of the first block.
+
+#include <iostream>
+#include <vector>
+
+#include "core/streaming_scheduler.hpp"
+#include "noc/placement.hpp"
+#include "support/table.hpp"
+#include "workloads/synthetic.hpp"
+
+int main() {
+  using namespace sts;
+
+  const TaskGraph g = make_fft(16, /*seed=*/7);
+  const Mesh mesh(4, 4);
+  const auto r = schedule_streaming_graph(g, mesh.size(), PartitionVariant::kRLX);
+  std::cout << "FFT(16) task graph: " << g.node_count() << " tasks in "
+            << r.schedule.partition.block_count() << " spatial blocks on a "
+            << mesh.rows() << "x" << mesh.cols() << " mesh\n\n";
+
+  const Placement naive = place_identity(g, r.schedule, mesh);
+  const Placement greedy = place_greedy(g, r.schedule, mesh);
+
+  Table table({"placement", "weighted hops", "mean hops", "hottest link (elements)"});
+  table.add_row({"naive (PE order)", std::to_string(naive.metrics.weighted_hops),
+                 fmt(naive.metrics.mean_hops, 2),
+                 std::to_string(naive.metrics.max_link_load)});
+  table.add_row({"greedy (traffic-aware)", std::to_string(greedy.metrics.weighted_hops),
+                 fmt(greedy.metrics.mean_hops, 2),
+                 std::to_string(greedy.metrics.max_link_load)});
+  table.print(std::cout);
+
+  std::cout << "\nBlock 0 under greedy placement (task per mesh tile):\n";
+  const auto& block0 = r.schedule.partition.blocks.front();
+  std::vector<std::string> tile(static_cast<std::size_t>(mesh.size()), ".");
+  for (const NodeId v : block0) {
+    const std::int64_t pe = greedy.mesh_pe[static_cast<std::size_t>(v)];
+    tile[static_cast<std::size_t>(pe)] = g.name(v);
+  }
+  for (std::int32_t y = 0; y < mesh.rows(); ++y) {
+    for (std::int32_t x = 0; x < mesh.cols(); ++x) {
+      const auto pe = mesh.pe_of(MeshCoord{x, y});
+      std::cout << "  " << tile[static_cast<std::size_t>(pe)];
+      std::cout << std::string(tile[static_cast<std::size_t>(pe)].size() < 4
+                                   ? 4 - tile[static_cast<std::size_t>(pe)].size()
+                                   : 1,
+                               ' ');
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nStreaming neighbors sit adjacently, so the on-chip FIFO traffic\n"
+               "matches the contention-free assumption of the scheduling model.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Scheduling a real workload end to end: one transformer encoder layer
+// (Vaswani et al., base configuration scaled down for a quick run) is
+// expanded into a canonical task graph — column-parallel matmuls, Figure 5
+// softmax per attention head, buffered residuals — and scheduled with both
+// the streaming heuristic and the non-streaming baseline across a PE sweep
+// (a miniature of the paper's Table 2).
+
+#include <iostream>
+
+#include "baseline/list_scheduler.hpp"
+#include "core/streaming_scheduler.hpp"
+#include "metrics/metrics.hpp"
+#include "ml/models.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace sts;
+
+  TransformerConfig cfg;
+  cfg.seq_len = 32;
+  cfg.d_model = 128;
+  cfg.heads = 4;
+  cfg.d_ff = 512;
+  const TaskGraph g = build_transformer_encoder(cfg);
+  g.validate_or_throw();
+
+  const ModelStats stats = stats_of(g);
+  std::cout << "Transformer encoder layer: seq=" << cfg.seq_len << " d_model=" << cfg.d_model
+            << " heads=" << cfg.heads << " d_ff=" << cfg.d_ff << "\n"
+            << "Canonical task graph: " << stats.nodes << " nodes (" << stats.buffer_nodes
+            << " buffer nodes), " << stats.edges << " edges, T1 = " << stats.total_work
+            << "\n\n";
+
+  Table table({"#PEs", "STR-SCH speedup", "NSTR-SCH speedup", "G", "blocks", "SSLR"});
+  const std::int64_t t1 = g.total_work();
+  const Rational depth = streaming_depth(g);
+  for (const std::int64_t pes : {64, 128, 256, 512}) {
+    const auto str = schedule_streaming_graph(g, pes, PartitionVariant::kLTS);
+    const ListSchedule nstr = schedule_non_streaming(g, pes);
+    const double s_str = speedup(t1, str.schedule.makespan);
+    const double s_nstr = speedup(t1, nstr.makespan);
+    table.add_row({std::to_string(pes), fmt(s_str, 1), fmt(s_nstr, 1), fmt(s_str / s_nstr, 2),
+                   std::to_string(str.schedule.partition.block_count()),
+                   fmt(streaming_slr(str.schedule.makespan, depth), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPipelined communication overlaps the projection, attention, and\n"
+               "FFN stages; the gain G grows with the PE count as in Table 2.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/streaming_schedule.hpp"
+#include "graph/task_graph.hpp"
+
+namespace sts {
+
+/// FIFO capacity assigned to one in-block streaming edge.
+struct ChannelPlan {
+  EdgeId edge = -1;
+  std::int64_t capacity = 1;         ///< allocated FIFO depth (elements)
+  std::int64_t eq5_requirement = 0;  ///< the paper's Equation 5 value (cycle edges)
+  bool on_undirected_cycle = false;  ///< whether Eq. 5 applied (deadlock risk)
+};
+
+/// Deadlock-free FIFO sizing for all streaming channels of a schedule
+/// (paper Section 6).
+struct BufferPlan {
+  std::vector<ChannelPlan> channels;
+  std::int64_t total_capacity = 0;
+
+  /// Capacity for an edge; `fallback` if the edge is not a streaming channel.
+  [[nodiscard]] std::int64_t capacity_of(EdgeId e, std::int64_t fallback = 0) const {
+    for (const ChannelPlan& c : channels) {
+      if (c.edge == e) return c.capacity;
+    }
+    return fallback;
+  }
+};
+
+/// Computes the smallest FIFO buffer space that avoids deadlocks and bubbles
+/// (Equation 5): only edges on undirected cycles of a spatial block's
+/// streaming subgraph can deadlock; for a node v on such a cycle with more
+/// than one in-block predecessor, the channel (u,v) must absorb the delay
+/// difference  B(u,v) = ceil((max_t FO(t) - FO(u)) / S_o(u)),
+/// capped at the edge data volume.
+///
+/// On top of the Eq. 5 requirement every channel receives
+/// `default_capacity - 1` slack slots (default: one): a write lands while
+/// the previous element's credit is still in flight, so depth-2 FIFOs are
+/// needed to sustain one element per unit through broadcast/join meshes —
+/// the standard double-buffering rule of dataflow fabrics. Capacities never
+/// exceed the edge volume (a FIFO holding the whole stream cannot block).
+[[nodiscard]] BufferPlan compute_buffer_plan(const TaskGraph& graph,
+                                             const StreamingSchedule& schedule,
+                                             std::int64_t default_capacity = 2);
+
+}  // namespace sts

@@ -1,0 +1,250 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "support/rational.hpp"
+
+namespace sts {
+
+namespace {
+
+constexpr std::int64_t kNoConstraint = std::numeric_limits<std::int64_t>::max();
+
+/// Shared machinery of the greedy partitioners: incremental ready set,
+/// automatic (block-less) assignment of buffer nodes, block bookkeeping.
+class PartitionBuilder {
+ public:
+  PartitionBuilder(const TaskGraph& graph, std::int64_t num_pes)
+      : graph_(graph), num_pes_(num_pes), pending_in_(graph.node_count()) {
+    if (num_pes <= 0) throw std::invalid_argument("partition: num_pes must be > 0");
+    partition_.block_of.assign(graph.node_count(), -1);
+    for (NodeId v = 0; static_cast<std::size_t>(v) < graph.node_count(); ++v) {
+      pending_in_[static_cast<std::size_t>(v)] = graph.in_degree(v);
+      if (graph.occupies_pe(v)) ++remaining_;
+    }
+    for (NodeId v = 0; static_cast<std::size_t>(v) < graph.node_count(); ++v) {
+      if (pending_in_[static_cast<std::size_t>(v)] == 0) on_ready(v);
+    }
+  }
+
+  [[nodiscard]] bool done() const noexcept { return remaining_ == 0; }
+  [[nodiscard]] const std::vector<NodeId>& ready() const noexcept { return ready_; }
+  [[nodiscard]] std::int32_t open_block() const noexcept { return open_block_; }
+  [[nodiscard]] bool block_open_and_nonempty() const noexcept {
+    return open_block_ >= 0 &&
+           !partition_.blocks[static_cast<std::size_t>(open_block_)].empty();
+  }
+
+  /// Min output volume over the open-block sources `v` transitively depends
+  /// on via direct (non-buffer) edges; kNoConstraint if v has no predecessor
+  /// in the open block (it would start a fresh stream component).
+  [[nodiscard]] std::int64_t source_volume_bound(NodeId v) const {
+    std::int64_t bound = kNoConstraint;
+    for (const EdgeId e : graph_.in_edges(v)) {
+      const NodeId u = graph_.edge(e).src;
+      if (graph_.kind(u) == NodeKind::kBuffer) continue;  // memory boundary
+      if (open_block_ >= 0 && partition_.block_of[static_cast<std::size_t>(u)] == open_block_) {
+        bound = std::min(bound, chain_min_[static_cast<std::size_t>(u)]);
+      }
+    }
+    return bound;
+  }
+
+  void assign(NodeId v) {
+    if (open_block_ < 0) {
+      open_block_ = static_cast<std::int32_t>(partition_.blocks.size());
+      partition_.blocks.emplace_back();
+    }
+    // Chain value: the smallest block-source volume v depends on; block
+    // sources anchor the chain with their own produced volume.
+    const std::int64_t bound = source_volume_bound(v);
+    chain_min_[static_cast<std::size_t>(v)] =
+        bound == kNoConstraint ? graph_.output_volume(v) : bound;
+    partition_.block_of[static_cast<std::size_t>(v)] = open_block_;
+    partition_.blocks[static_cast<std::size_t>(open_block_)].push_back(v);
+    remove_ready(v);
+    --remaining_;
+    release_successors(v);
+    if (static_cast<std::int64_t>(
+            partition_.blocks[static_cast<std::size_t>(open_block_)].size()) >= num_pes_) {
+      close_block();
+    }
+  }
+
+  void close_block() { open_block_ = -1; }
+
+  [[nodiscard]] SpatialPartition take() {
+    // Drop a trailing empty block if one was opened but never filled.
+    while (!partition_.blocks.empty() && partition_.blocks.back().empty()) {
+      partition_.blocks.pop_back();
+    }
+    return std::move(partition_);
+  }
+
+ private:
+  void on_ready(NodeId v) {
+    if (graph_.kind(v) == NodeKind::kBuffer) {
+      // Buffer nodes are backing memory, not tasks: absorb them as soon as
+      // all producers are placed; they never consume a PE slot.
+      release_successors(v);
+    } else {
+      ready_.push_back(v);
+    }
+  }
+
+  void release_successors(NodeId v) {
+    for (const EdgeId e : graph_.out_edges(v)) {
+      const NodeId w = graph_.edge(e).dst;
+      if (--pending_in_[static_cast<std::size_t>(w)] == 0) on_ready(w);
+    }
+  }
+
+  void remove_ready(NodeId v) {
+    const auto it = std::find(ready_.begin(), ready_.end(), v);
+    if (it != ready_.end()) {
+      *it = ready_.back();
+      ready_.pop_back();
+    }
+  }
+
+  const TaskGraph& graph_;
+  std::int64_t num_pes_;
+  SpatialPartition partition_;
+  std::vector<std::size_t> pending_in_;
+  std::vector<NodeId> ready_;
+  std::vector<std::int64_t> chain_min_ =
+      std::vector<std::int64_t>(graph_.node_count(), kNoConstraint);
+  std::int32_t open_block_ = -1;
+  std::size_t remaining_ = 0;
+};
+
+}  // namespace
+
+const char* to_string(PartitionVariant variant) noexcept {
+  return variant == PartitionVariant::kLTS ? "SB-LTS" : "SB-RLX";
+}
+
+SpatialPartition partition_spatial_blocks(const TaskGraph& graph, std::int64_t num_pes,
+                                          PartitionVariant variant) {
+  PartitionBuilder builder(graph, num_pes);
+  const std::vector<Rational> level = node_levels(graph);
+
+  while (!builder.done()) {
+    if (builder.ready().empty()) {
+      throw std::logic_error("partition: no ready node (cyclic graph?)");
+    }
+    NodeId best_eligible = kInvalidNode;
+    NodeId best_relaxed = kInvalidNode;
+    for (const NodeId v : builder.ready()) {
+      const std::int64_t bound = builder.source_volume_bound(v);
+      const bool eligible = bound == kNoConstraint || graph.output_volume(v) <= bound;
+      if (eligible) {
+        // Primary criterion per Algorithm 1; ties broken by node level, then
+        // produced volume, then id (deterministic).
+        if (best_eligible == kInvalidNode) {
+          best_eligible = v;
+        } else {
+          const auto lv = level[static_cast<std::size_t>(v)];
+          const auto lb = level[static_cast<std::size_t>(best_eligible)];
+          if (lv < lb ||
+              (lv == lb && (graph.output_volume(v) < graph.output_volume(best_eligible) ||
+                            (graph.output_volume(v) == graph.output_volume(best_eligible) &&
+                             v < best_eligible)))) {
+            best_eligible = v;
+          }
+        }
+      } else if (variant == PartitionVariant::kRLX) {
+        // SB-RLX fallback: least produced volume, then level, then id.
+        if (best_relaxed == kInvalidNode) {
+          best_relaxed = v;
+        } else {
+          const auto ov = graph.output_volume(v);
+          const auto ob = graph.output_volume(best_relaxed);
+          const auto lv = level[static_cast<std::size_t>(v)];
+          const auto lb = level[static_cast<std::size_t>(best_relaxed)];
+          if (ov < ob || (ov == ob && (lv < lb || (lv == lb && v < best_relaxed)))) {
+            best_relaxed = v;
+          }
+        }
+      }
+    }
+    if (best_eligible != kInvalidNode) {
+      builder.assign(best_eligible);
+    } else if (variant == PartitionVariant::kRLX && best_relaxed != kInvalidNode) {
+      builder.assign(best_relaxed);
+    } else {
+      // SB-LTS: nothing safe to add; seal the block and start a fresh one
+      // (every candidate is then a block source and becomes eligible).
+      builder.close_block();
+    }
+  }
+  return builder.take();
+}
+
+SpatialPartition partition_by_work(const TaskGraph& graph, std::int64_t num_pes) {
+  PartitionBuilder builder(graph, num_pes);
+  const std::vector<Rational> level = node_levels(graph);
+
+  while (!builder.done()) {
+    if (builder.ready().empty()) {
+      throw std::logic_error("partition_by_work: no ready node (cyclic graph?)");
+    }
+    NodeId best = kInvalidNode;
+    for (const NodeId v : builder.ready()) {
+      if (best == kInvalidNode) {
+        best = v;
+        continue;
+      }
+      const std::int64_t wv = graph.work(v);
+      const std::int64_t wb = graph.work(best);
+      const auto lv = level[static_cast<std::size_t>(v)];
+      const auto lb = level[static_cast<std::size_t>(best)];
+      if (wv > wb || (wv == wb && (lv < lb || (lv == lb && v < best)))) best = v;
+    }
+    builder.assign(best);  // blocks cut automatically every num_pes nodes
+  }
+  return builder.take();
+}
+
+bool partition_is_valid(const TaskGraph& graph, const SpatialPartition& partition,
+                        std::int64_t num_pes) {
+  if (partition.block_of.size() != graph.node_count()) return false;
+  std::vector<std::size_t> seen(partition.blocks.size(), 0);
+  for (NodeId v = 0; static_cast<std::size_t>(v) < graph.node_count(); ++v) {
+    const auto block = partition.block_of[static_cast<std::size_t>(v)];
+    if (graph.occupies_pe(v)) {
+      if (block < 0 || static_cast<std::size_t>(block) >= partition.blocks.size()) return false;
+      ++seen[static_cast<std::size_t>(block)];
+    } else if (block != -1) {
+      return false;  // buffer nodes carry no block
+    }
+  }
+  for (std::size_t b = 0; b < partition.blocks.size(); ++b) {
+    if (partition.blocks[b].empty()) return false;
+    if (static_cast<std::int64_t>(partition.blocks[b].size()) > num_pes) return false;
+    if (seen[b] != partition.blocks[b].size()) return false;
+  }
+  // Dependencies must not point backwards across blocks; buffer nodes relay
+  // the max block of their producers.
+  std::vector<std::int32_t> effective(partition.block_of.begin(), partition.block_of.end());
+  for (const NodeId v : topological_order(graph)) {
+    const auto idx = static_cast<std::size_t>(v);
+    if (graph.kind(v) == NodeKind::kBuffer) {
+      std::int32_t max_pred = 0;
+      for (const EdgeId e : graph.in_edges(v)) {
+        max_pred = std::max(max_pred, effective[static_cast<std::size_t>(graph.edge(e).src)]);
+      }
+      effective[idx] = max_pred;
+      continue;
+    }
+    for (const EdgeId e : graph.in_edges(v)) {
+      if (effective[static_cast<std::size_t>(graph.edge(e).src)] > effective[idx]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sts

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace sts {
+
+/// Variants of the greedy spatial-block partitioning heuristic (Algorithm 1).
+enum class PartitionVariant : std::uint8_t {
+  /// SB-LTS: a node joins the open block only if streaming through it cannot
+  /// slow the block's sources (its output volume does not exceed the volume
+  /// produced by the block sources it depends on). Blocks may stay under P.
+  kLTS,
+  /// SB-RLX: when no volume-safe candidate exists, admit the ready node with
+  /// the smallest produced volume anyway; every block (except the last) holds
+  /// exactly P tasks.
+  kRLX,
+};
+
+[[nodiscard]] const char* to_string(PartitionVariant variant) noexcept;
+
+/// Partition of a canonical task graph into temporally multiplexed spatial
+/// blocks of at most P PE-occupying tasks (paper Section 5).
+struct SpatialPartition {
+  /// PE-occupying nodes of each block in assignment order (order == PE index).
+  std::vector<std::vector<NodeId>> blocks;
+  /// Per node: owning block, or -1 for buffer nodes (backing memory, no PE).
+  std::vector<std::int32_t> block_of;
+
+  [[nodiscard]] std::size_t block_count() const noexcept { return blocks.size(); }
+};
+
+/// Greedy spatial-block partitioning (Algorithm 1). Guarantees by
+/// construction that inter-block dependencies are acyclic: a node becomes a
+/// candidate only after all its predecessors were assigned.
+///
+/// Eligibility (see DESIGN.md §2.7): a candidate with no direct (non-buffer)
+/// predecessor in the open block always qualifies; otherwise its output
+/// volume must not exceed the smallest output volume among the open block's
+/// sources it depends on. Ties break by (level, volume, id).
+[[nodiscard]] SpatialPartition partition_spatial_blocks(const TaskGraph& graph,
+                                                        std::int64_t num_pes,
+                                                        PartitionVariant variant);
+
+/// Work-ordered partitioning for graphs of element-wise and downsampler
+/// nodes (Algorithm 2, Appendix A.2): repeatedly pick the ready node with the
+/// highest work (ties by lowest level), cutting blocks every P nodes. Carries
+/// the T_P <= T1/P + T_s_inf + min(n-1, (x-1)(L-1)) guarantee.
+[[nodiscard]] SpatialPartition partition_by_work(const TaskGraph& graph, std::int64_t num_pes);
+
+/// Checks structural sanity of a partition (used by tests and assertions):
+/// every PE node in exactly one block, capacity respected, dependencies flow
+/// forward (block_of[u] <= block_of[v] for every edge ignoring buffers).
+[[nodiscard]] bool partition_is_valid(const TaskGraph& graph, const SpatialPartition& partition,
+                                      std::int64_t num_pes);
+
+}  // namespace sts

@@ -1,0 +1,105 @@
+#include "core/schedule_export.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace sts {
+
+void write_gantt(std::ostream& os, const TaskGraph& graph, const StreamingSchedule& schedule,
+                 int width) {
+  if (schedule.makespan <= 0 || width < 10) {
+    os << "(empty schedule)\n";
+    return;
+  }
+  const double scale = static_cast<double>(width) / static_cast<double>(schedule.makespan);
+  const auto column = [&](std::int64_t t) {
+    return std::min<int>(width - 1, static_cast<int>(static_cast<double>(t) * scale));
+  };
+
+  os << "time 0 .. " << schedule.makespan << " (one column ~ "
+     << static_cast<double>(schedule.makespan) / width << " units)\n";
+  for (std::size_t b = 0; b < schedule.partition.blocks.size(); ++b) {
+    os << "block " << b << " [" << schedule.block_start[b] << ", " << schedule.block_end[b]
+       << ")\n";
+    for (const NodeId v : schedule.partition.blocks[b]) {
+      const TaskTiming& t = schedule.at(v);
+      std::string row(static_cast<std::size_t>(width), '.');
+      const int from = column(t.start);
+      const int to = std::max(from, column(t.last_out));
+      for (int c = from; c <= to; ++c) row[static_cast<std::size_t>(c)] = '#';
+      const int fo = column(t.first_out);
+      row[static_cast<std::size_t>(fo)] = 'F';
+      std::ostringstream name;
+      name << "pe" << std::setw(3) << t.pe << " "
+           << (graph.name(v).empty() ? "n" + std::to_string(v) : graph.name(v));
+      os << std::left << std::setw(16) << name.str() << "|" << row << "|\n";
+    }
+  }
+}
+
+std::string to_gantt(const TaskGraph& graph, const StreamingSchedule& schedule, int width) {
+  std::ostringstream os;
+  write_gantt(os, graph, schedule, width);
+  return os.str();
+}
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_schedule_json(std::ostream& os, const TaskGraph& graph,
+                         const StreamingSchedule& schedule, const BufferPlan* buffers) {
+  os << "{\n  \"makespan\": " << schedule.makespan << ",\n  \"blocks\": [";
+  for (std::size_t b = 0; b < schedule.partition.blocks.size(); ++b) {
+    os << (b == 0 ? "" : ", ") << "{\"start\": " << schedule.block_start[b]
+       << ", \"end\": " << schedule.block_end[b] << "}";
+  }
+  os << "],\n  \"tasks\": [\n";
+  bool first = true;
+  for (NodeId v = 0; static_cast<std::size_t>(v) < graph.node_count(); ++v) {
+    const TaskTiming& t = schedule.at(v);
+    if (!first) os << ",\n";
+    first = false;
+    os << "    {\"id\": " << v << ", \"name\": \"" << json_escape(graph.name(v))
+       << "\", \"kind\": \"" << to_string(graph.kind(v)) << "\", \"block\": " << t.block
+       << ", \"pe\": " << t.pe << ", \"st\": " << t.start << ", \"fo\": " << t.first_out
+       << ", \"lo\": " << t.last_out << ", \"s_in\": \"" << t.s_in.to_string()
+       << "\", \"s_out\": \"" << t.s_out.to_string() << "\"}";
+  }
+  os << "\n  ]";
+  if (buffers != nullptr) {
+    os << ",\n  \"channels\": [\n";
+    first = true;
+    for (const ChannelPlan& c : buffers->channels) {
+      const Edge& e = graph.edge(c.edge);
+      if (!first) os << ",\n";
+      first = false;
+      os << "    {\"src\": " << e.src << ", \"dst\": " << e.dst << ", \"volume\": " << e.volume
+         << ", \"capacity\": " << c.capacity
+         << ", \"on_cycle\": " << (c.on_undirected_cycle ? "true" : "false") << "}";
+    }
+    os << "\n  ],\n  \"total_buffer_space\": " << buffers->total_capacity;
+  }
+  os << "\n}\n";
+}
+
+std::string to_schedule_json(const TaskGraph& graph, const StreamingSchedule& schedule,
+                             const BufferPlan* buffers) {
+  std::ostringstream os;
+  write_schedule_json(os, graph, schedule, buffers);
+  return os.str();
+}
+
+}  // namespace sts

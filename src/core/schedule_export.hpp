@@ -1,0 +1,32 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "core/buffer_sizing.hpp"
+#include "core/streaming_schedule.hpp"
+#include "graph/task_graph.hpp"
+
+namespace sts {
+
+/// Renders a streaming schedule as an ASCII Gantt chart: one row per
+/// (block, PE) pair, time flowing right; each task paints its [ST, LO]
+/// occupancy. `width` is the number of character columns for the time axis.
+void write_gantt(std::ostream& os, const TaskGraph& graph, const StreamingSchedule& schedule,
+                 int width = 80);
+
+[[nodiscard]] std::string to_gantt(const TaskGraph& graph, const StreamingSchedule& schedule,
+                                   int width = 80);
+
+/// Serializes a schedule (+ optional buffer plan) as JSON for downstream
+/// tooling: per-task block/PE/ST/FO/LO/intervals, block boundaries, FIFO
+/// capacities, and the makespan.
+void write_schedule_json(std::ostream& os, const TaskGraph& graph,
+                         const StreamingSchedule& schedule,
+                         const BufferPlan* buffers = nullptr);
+
+[[nodiscard]] std::string to_schedule_json(const TaskGraph& graph,
+                                           const StreamingSchedule& schedule,
+                                           const BufferPlan* buffers = nullptr);
+
+}  // namespace sts

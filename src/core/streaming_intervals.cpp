@@ -1,0 +1,116 @@
+#include "core/streaming_intervals.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sts {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+StreamContext compute_stream_context(const TaskGraph& graph,
+                                     std::span<const std::int32_t> block_of,
+                                     std::int32_t block_id) {
+  const std::size_t n = graph.node_count();
+  const auto is_member = [&](NodeId v) {
+    if (graph.kind(v) == NodeKind::kBuffer) return false;
+    return block_id == kWholeGraph || block_of[static_cast<std::size_t>(v)] == block_id;
+  };
+
+  // Components over member-to-member edges only (buffer-incident edges are
+  // independent memory streams).
+  UnionFind uf(n);
+  for (EdgeId e = 0; static_cast<std::size_t>(e) < graph.edge_count(); ++e) {
+    const Edge& edge = graph.edge(e);
+    if (is_member(edge.src) && is_member(edge.dst)) {
+      uf.unite(static_cast<std::size_t>(edge.src), static_cast<std::size_t>(edge.dst));
+    }
+  }
+
+  StreamContext ctx;
+  ctx.node_wcc.assign(n, -1);
+  std::vector<std::int32_t> compact(n, -1);
+  std::int32_t next = 0;
+  for (NodeId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+    if (!is_member(v)) continue;
+    const std::size_t root = uf.find(static_cast<std::size_t>(v));
+    if (compact[root] < 0) compact[root] = next++;
+    ctx.node_wcc[static_cast<std::size_t>(v)] = compact[root];
+  }
+  ctx.wcc_max.assign(static_cast<std::size_t>(next), 0);
+
+  const auto raise = [&](std::int32_t wcc, std::int64_t volume) {
+    if (wcc >= 0) {
+      auto& slot = ctx.wcc_max[static_cast<std::size_t>(wcc)];
+      slot = std::max(slot, volume);
+    }
+  };
+
+  for (NodeId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+    const auto idx = static_cast<std::size_t>(v);
+    if (!is_member(v)) continue;
+    raise(ctx.node_wcc[idx], graph.output_volume(v));
+    // Block-source / buffer-fed ingestion: streams arriving from memory join
+    // the component's steady state with their per-edge volume.
+    bool direct_stream_pred = false;
+    for (const EdgeId e : graph.in_edges(v)) {
+      const NodeId u = graph.edge(e).src;
+      if (graph.kind(u) == NodeKind::kBuffer) {
+        raise(ctx.node_wcc[idx], graph.output_volume(u));  // head replay
+      } else if (is_member(u)) {
+        direct_stream_pred = true;
+      }
+    }
+    if (!direct_stream_pred && graph.in_degree(v) > 0 && graph.input_volume(v) > 0) {
+      raise(ctx.node_wcc[idx], graph.input_volume(v));
+    }
+  }
+
+  ctx.s_in.assign(n, Rational(0));
+  ctx.s_out.assign(n, Rational(0));
+  for (NodeId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+    const auto idx = static_cast<std::size_t>(v);
+    if (is_member(v)) {
+      const std::int64_t maxvol = ctx.wcc_max[static_cast<std::size_t>(ctx.node_wcc[idx])];
+      if (graph.input_volume(v) > 0) ctx.s_in[idx] = Rational(maxvol, graph.input_volume(v));
+      if (graph.output_volume(v) > 0) ctx.s_out[idx] = Rational(maxvol, graph.output_volume(v));
+    } else if (graph.kind(v) == NodeKind::kBuffer && graph.output_volume(v) > 0) {
+      // Report the slowest per-edge emission interval towards members.
+      Rational slowest(0);
+      for (const EdgeId e : graph.out_edges(v)) {
+        const NodeId w = graph.edge(e).dst;
+        const auto wcc = ctx.node_wcc[static_cast<std::size_t>(w)];
+        if (wcc < 0) continue;
+        slowest = std::max(slowest, Rational(ctx.wcc_max[static_cast<std::size_t>(wcc)],
+                                             graph.output_volume(v)));
+      }
+      ctx.s_out[idx] = slowest;
+    }
+  }
+  return ctx;
+}
+
+StreamContext streaming_intervals(const TaskGraph& graph) {
+  return compute_stream_context(graph, {}, kWholeGraph);
+}
+
+}  // namespace sts

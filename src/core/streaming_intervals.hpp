@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/task_graph.hpp"
+#include "support/rational.hpp"
+
+namespace sts {
+
+/// Steady-state streaming intervals of a (sub-)graph (paper Section 4.1).
+///
+/// Theorem 4.1: within a weakly connected component of the buffer-split
+/// graph, S_o(v) = max_{u in WCC} O(u) / O(v). Components are formed by the
+/// direct (non-buffer) edges between co-scheduled tasks: buffer nodes are
+/// backing memory, and every buffer-incident edge is an independent stream
+/// attached to its non-buffer endpoint's component.
+///
+/// Two extensions make the analysis exact for spatial blocks:
+///  - a block source (all stream predecessors in earlier blocks) reads its
+///    I(v) elements from global memory; that stream joins the component's
+///    steady state, otherwise the node could be scheduled to emit faster
+///    than it can ingest;
+///  - a buffer head feeding a member contributes its per-edge emission
+///    volume O(b) to the consumer's component for the same reason.
+/// For a whole graph analyzed as one block these rules reduce exactly to
+/// Theorem 4.1.
+struct StreamContext {
+  /// Per node: S_i(v) = maxvol(WCC)/I(v); 0 when I(v) == 0 or not a member.
+  std::vector<Rational> s_in;
+  /// Per node: S_o(v) = maxvol(WCC)/O(v); for a buffer node, the slowest of
+  /// its per-edge emission intervals (buffer replays are per-edge streams;
+  /// the per-edge interval equals the consumer's S_i). 0 when undefined.
+  std::vector<Rational> s_out;
+  /// WCC id per member node; -1 for buffers and non-members.
+  std::vector<std::int32_t> node_wcc;
+  /// Per WCC: the dominating volume (max of member O, block-source I, and
+  /// incoming buffer-head O).
+  std::vector<std::int64_t> wcc_max;
+
+  [[nodiscard]] bool in_context(NodeId v) const {
+    return node_wcc[static_cast<std::size_t>(v)] >= 0;
+  }
+};
+
+/// Computes streaming intervals for the members of spatial block `block_id`
+/// under assignment `block_of` (one entry per node; buffer nodes use -1 and
+/// are handled through their incident edges).
+///
+/// Passing block_id == kWholeGraph treats every PE-occupying node as
+/// co-scheduled, which is the infinite-PE analysis of Section 4.
+inline constexpr std::int32_t kWholeGraph = -2;
+
+[[nodiscard]] StreamContext compute_stream_context(const TaskGraph& graph,
+                                                   std::span<const std::int32_t> block_of,
+                                                   std::int32_t block_id);
+
+/// Whole-graph streaming intervals (Theorem 4.1).
+[[nodiscard]] StreamContext streaming_intervals(const TaskGraph& graph);
+
+}  // namespace sts

@@ -1,0 +1,172 @@
+#include "core/streaming_schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace sts {
+
+namespace {
+
+/// Head latency: time between a node's start and its first output element.
+/// Downsamplers accumulate 1/R inputs first, arriving at interval s_in.
+std::int64_t head_latency(const TaskGraph& graph, NodeId v, const Rational& s_in) {
+  if (graph.kind(v) == NodeKind::kCompute && graph.input_volume(v) > 0) {
+    const Rational rate = graph.rate(v);
+    if (rate < Rational(1)) {
+      return ceil_mul(1, (rate.reciprocal() - Rational(1)) * s_in) + 1;
+    }
+  }
+  return 1;
+}
+
+/// Extra time an upsampler needs after its last input to flush its
+/// remaining outputs.
+std::int64_t tail_extra(const TaskGraph& graph, NodeId v, const Rational& s_out) {
+  if (graph.kind(v) == NodeKind::kCompute && graph.input_volume(v) > 0) {
+    const Rational rate = graph.rate(v);
+    if (rate > Rational(1)) {
+      return ((rate - Rational(1)) * s_out).ceil();
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+StreamingSchedule schedule_streaming(const TaskGraph& graph, SpatialPartition partition) {
+  StreamingSchedule sched;
+  sched.timing.assign(graph.node_count(), TaskTiming{});
+  const std::vector<NodeId> topo = topological_order(graph);
+
+  // Per-block buffer head release: FO(buffer) = max predecessors' LO + 1,
+  // clamped to the serving block's release (a buffer may feed several
+  // blocks; every consumer edge re-streams from memory independently).
+  std::vector<std::int64_t> head_fo(graph.node_count(), 0);
+  std::vector<bool> buffer_timed(graph.node_count(), false);
+
+  std::int64_t block_release = 0;
+  for (std::size_t k = 0; k < partition.blocks.size(); ++k) {
+    const auto block_id = static_cast<std::int32_t>(k);
+    const StreamContext ctx = compute_stream_context(graph, partition.block_of, block_id);
+
+    std::int64_t block_finish = block_release;
+    for (const NodeId v : topo) {
+      const auto idx = static_cast<std::size_t>(v);
+
+      if (graph.kind(v) == NodeKind::kBuffer) {
+        // Active in this block iff it feeds one of its members.
+        bool serves_block = false;
+        for (const EdgeId e : graph.out_edges(v)) {
+          if (ctx.in_context(graph.edge(e).dst)) {
+            serves_block = true;
+            break;
+          }
+        }
+        if (!serves_block) continue;
+        std::int64_t ready = block_release;
+        for (const EdgeId e : graph.in_edges(v)) {
+          ready = std::max(ready,
+                           sched.timing[static_cast<std::size_t>(graph.edge(e).src)].last_out);
+        }
+        head_fo[idx] = ready + 1;
+        if (!buffer_timed[idx]) {
+          buffer_timed[idx] = true;
+          TaskTiming& t = sched.timing[idx];
+          t.start = head_fo[idx] - 1;
+          t.first_out = head_fo[idx];
+          t.s_out = ctx.s_out[idx];
+          t.last_out = head_fo[idx] + ceil_mul(graph.output_volume(v) - 1, ctx.s_out[idx]);
+          t.block = -1;
+          t.pe = -1;
+        }
+        continue;
+      }
+
+      if (partition.block_of[idx] != block_id) continue;
+
+      TaskTiming& t = sched.timing[idx];
+      t.block = block_id;
+      t.s_in = ctx.s_in[idx];
+      t.s_out = ctx.s_out[idx];
+
+      // Streaming predecessors: same-block members and buffer heads. Other
+      // predecessors finished in earlier blocks; their data sits in memory
+      // and is read at full rate.
+      std::int64_t start = block_release;
+      bool member_pred = false;
+      bool buffer_pred = false;
+      for (const EdgeId e : graph.in_edges(v)) {
+        const NodeId u = graph.edge(e).src;
+        const auto uidx = static_cast<std::size_t>(u);
+        if (graph.kind(u) == NodeKind::kBuffer) {
+          buffer_pred = true;
+          start = std::max(start, head_fo[uidx]);
+        } else if (partition.block_of[uidx] == block_id) {
+          member_pred = true;
+          start = std::max(start, sched.timing[uidx].first_out);
+        }
+      }
+      const bool block_source = !member_pred && !buffer_pred;
+      t.start = block_source ? block_release : start;
+
+      // Block sources read global memory at full rate (one element per unit
+      // per port); everything else ingests at the component's steady-state
+      // interval.
+      const Rational ingest_interval = block_source ? Rational(1) : t.s_in;
+      t.first_out = t.start + head_latency(graph, v, ingest_interval);
+
+      // LO(v): the Section 5.1 recurrence over streaming predecessors plus
+      // the pacing bounds for memory-fed nodes.
+      std::int64_t lo = 0;
+      const std::int64_t tail1 = 1 + tail_extra(graph, v, t.s_out);
+      for (const EdgeId e : graph.in_edges(v)) {
+        const NodeId u = graph.edge(e).src;
+        const auto uidx = static_cast<std::size_t>(u);
+        if (graph.kind(u) == NodeKind::kBuffer) {
+          // Per-edge head replay: O(b) elements at the consumer's interval.
+          const std::int64_t head_lo =
+              head_fo[uidx] + ceil_mul(graph.output_volume(u) - 1, t.s_in);
+          lo = std::max(lo, head_lo + tail1);
+        } else if (partition.block_of[uidx] == block_id) {
+          lo = std::max(lo, sched.timing[uidx].last_out + tail1);
+        }
+      }
+      if (block_source) {
+        // Output-paced: O elements at S_o after the first; plus the rate-1
+        // ingestion floor.
+        if (graph.output_volume(v) > 0) {
+          lo = std::max(lo, t.first_out + ceil_mul(graph.output_volume(v) - 1, t.s_out));
+        }
+        if (graph.input_volume(v) > 0) {
+          lo = std::max(lo, t.start + graph.input_volume(v));
+        }
+      } else if (graph.input_volume(v) > 0) {
+        // Steady-state ingestion bound (covers mixed memory/stream inputs).
+        lo = std::max(lo, t.start + ceil_mul(graph.input_volume(v) - 1, t.s_in) +
+                              tail_extra(graph, v, t.s_out) + 1);
+      }
+      t.last_out = lo;
+      if (graph.kind(v) == NodeKind::kSink) t.first_out = t.start + 1;
+
+      block_finish = std::max(block_finish, t.last_out);
+    }
+
+    // PE assignment: position within the block.
+    const auto& members = partition.blocks[k];
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      sched.timing[static_cast<std::size_t>(members[i])].pe = static_cast<std::int32_t>(i);
+    }
+
+    sched.block_start.push_back(block_release);
+    sched.block_end.push_back(block_finish);
+    block_release = block_finish;
+  }
+
+  sched.makespan = sched.block_end.empty() ? 0 : sched.block_end.back();
+  sched.partition = std::move(partition);
+  return sched;
+}
+
+}  // namespace sts

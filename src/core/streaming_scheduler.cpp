@@ -1,0 +1,13 @@
+#include "core/streaming_scheduler.hpp"
+
+namespace sts {
+
+StreamingSchedulerResult schedule_streaming_graph(const TaskGraph& graph, std::int64_t num_pes,
+                                                  PartitionVariant variant) {
+  StreamingSchedulerResult result;
+  result.schedule = schedule_streaming(graph, partition_spatial_blocks(graph, num_pes, variant));
+  result.buffers = compute_buffer_plan(graph, result.schedule);
+  return result;
+}
+
+}  // namespace sts

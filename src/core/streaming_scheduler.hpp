@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/buffer_sizing.hpp"
+#include "core/partition.hpp"
+#include "core/streaming_schedule.hpp"
+#include "graph/task_graph.hpp"
+
+namespace sts {
+
+/// One-call driver for the full streaming scheduling pipeline of the paper:
+/// spatial-block partitioning (Section 5.2), within-block scheduling
+/// (Section 5.1), and deadlock-free FIFO sizing (Section 6).
+struct StreamingSchedulerResult {
+  StreamingSchedule schedule;
+  BufferPlan buffers;
+};
+
+/// Schedules `graph` on `num_pes` homogeneous PEs with the given Algorithm 1
+/// variant. The graph must validate as a canonical task graph.
+[[nodiscard]] StreamingSchedulerResult schedule_streaming_graph(const TaskGraph& graph,
+                                                                std::int64_t num_pes,
+                                                                PartitionVariant variant);
+
+}  // namespace sts

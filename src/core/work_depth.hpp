@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/task_graph.hpp"
+#include "support/rational.hpp"
+
+namespace sts {
+
+/// Work and depth analysis of a canonical task graph (paper Section 4.2).
+struct WorkDepth {
+  /// T1: sum of W(v) = max(I,O) over PE-occupying nodes — the sequential
+  /// execution time of the DAG on one processor.
+  std::int64_t work = 0;
+
+  /// T_s_inf: the streaming depth bound of Section 4.2.3 — per buffer-split
+  /// WCC, L(G_wcc) + max_u O(u) (Equation 4), summed along the deepest path
+  /// of the supernode DAG H. For graphs without buffer nodes this is
+  /// L(G) + max O(u).
+  Rational streaming_depth{0};
+
+  /// Number of levels L(G) with the generalized level function.
+  Rational levels{0};
+};
+
+[[nodiscard]] WorkDepth analyze_work_depth(const TaskGraph& graph);
+
+/// Convenience: T_s_inf only.
+[[nodiscard]] Rational streaming_depth(const TaskGraph& graph);
+
+}  // namespace sts

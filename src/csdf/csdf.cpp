@@ -1,0 +1,304 @@
+#include "csdf/csdf.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace sts {
+
+std::int32_t CsdfGraph::add_actor(CsdfActor actor) {
+  if (actor.phase_count <= 0 || actor.repetitions < 0) {
+    throw std::invalid_argument("CsdfGraph::add_actor: bad phase/repetition count");
+  }
+  actors_.push_back(std::move(actor));
+  return static_cast<std::int32_t>(actors_.size() - 1);
+}
+
+void CsdfGraph::add_channel(CsdfChannel channel) {
+  if (channel.src < 0 || static_cast<std::size_t>(channel.src) >= actors_.size() ||
+      channel.dst < 0 || static_cast<std::size_t>(channel.dst) >= actors_.size()) {
+    throw std::out_of_range("CsdfGraph::add_channel: bad actor id");
+  }
+  if (channel.production.size() !=
+          static_cast<std::size_t>(actors_[static_cast<std::size_t>(channel.src)].phase_count) ||
+      channel.consumption.size() !=
+          static_cast<std::size_t>(actors_[static_cast<std::size_t>(channel.dst)].phase_count)) {
+    throw std::invalid_argument("CsdfGraph::add_channel: pattern length != phase count");
+  }
+  channels_.push_back(std::move(channel));
+}
+
+std::int64_t CsdfGraph::total_firings() const {
+  std::int64_t total = 0;
+  for (const CsdfActor& a : actors_) total += a.repetitions;
+  return total;
+}
+
+namespace {
+
+/// Spreads `count` unit-operations over `length` phases as evenly as
+/// possible. Consumption is front-loaded (reads happen before the enabled
+/// writes: an upsampler consumes in phase 1 then emits), production is
+/// back-loaded (a downsampler emits after accumulating its inputs).
+std::vector<std::int64_t> spread_front(std::int64_t count, std::int64_t length) {
+  std::vector<std::int64_t> pattern(static_cast<std::size_t>(length));
+  for (std::int64_t i = 1; i <= length; ++i) {
+    const auto hi = (i * count + length - 1) / length;
+    const auto lo = ((i - 1) * count + length - 1) / length;
+    pattern[static_cast<std::size_t>(i - 1)] = hi - lo;
+  }
+  return pattern;
+}
+
+std::vector<std::int64_t> spread_back(std::int64_t count, std::int64_t length) {
+  std::vector<std::int64_t> pattern(static_cast<std::size_t>(length));
+  for (std::int64_t i = 1; i <= length; ++i) {
+    pattern[static_cast<std::size_t>(i - 1)] = i * count / length - (i - 1) * count / length;
+  }
+  return pattern;
+}
+
+struct ActorShape {
+  std::int64_t phases = 1;
+  std::int64_t consume_per_cycle = 0;  // b
+  std::int64_t produce_per_cycle = 0;  // a
+};
+
+ActorShape shape_of(const TaskGraph& graph, NodeId v) {
+  ActorShape s;
+  switch (graph.kind(v)) {
+    case NodeKind::kSource:
+      s.phases = 1;
+      s.produce_per_cycle = 1;
+      return s;
+    case NodeKind::kSink:
+      s.phases = 1;
+      s.consume_per_cycle = 1;
+      return s;
+    case NodeKind::kCompute: {
+      const Rational rate = graph.rate(v);  // a/b reduced
+      s.produce_per_cycle = rate.num();
+      s.consume_per_cycle = rate.den();
+      s.phases = std::max(rate.num(), rate.den());
+      return s;
+    }
+    case NodeKind::kBuffer:
+      throw std::invalid_argument(
+          "csdf_from_canonical: buffer nodes are not representable in CSDF");
+  }
+  return s;
+}
+
+}  // namespace
+
+CsdfGraph csdf_from_canonical(const TaskGraph& graph) {
+  CsdfGraph csdf;
+  std::vector<ActorShape> shapes(graph.node_count());
+  for (NodeId v = 0; static_cast<std::size_t>(v) < graph.node_count(); ++v) {
+    const ActorShape s = shape_of(graph, v);
+    shapes[static_cast<std::size_t>(v)] = s;
+    CsdfActor actor;
+    actor.name = graph.name(v).empty() ? "n" + std::to_string(v) : graph.name(v);
+    actor.phase_count = s.phases;
+    // Firings of one iteration: cycles * phases, where a cycle moves
+    // consume_per_cycle inputs / produce_per_cycle outputs.
+    std::int64_t cycles = 0;
+    if (s.consume_per_cycle > 0) {
+      cycles = graph.input_volume(v) / s.consume_per_cycle;
+    } else {
+      cycles = graph.output_volume(v);  // source: one element per firing
+    }
+    actor.repetitions = cycles * s.phases;
+    csdf.add_actor(actor);
+  }
+  for (EdgeId e = 0; static_cast<std::size_t>(e) < graph.edge_count(); ++e) {
+    const Edge& edge = graph.edge(e);
+    const ActorShape& ps = shapes[static_cast<std::size_t>(edge.src)];
+    const ActorShape& cs = shapes[static_cast<std::size_t>(edge.dst)];
+    CsdfChannel channel;
+    channel.src = edge.src;
+    channel.dst = edge.dst;
+    channel.production = spread_back(ps.produce_per_cycle, ps.phases);
+    channel.consumption = spread_front(cs.consume_per_cycle, cs.phases);
+    csdf.add_channel(channel);
+  }
+  return csdf;
+}
+
+namespace {
+
+/// Shared self-timed execution core: runs `iterations` graph iterations with
+/// optional source gating (the sink->source back edge with one initial
+/// token: sources may not enter iteration k+1 before iteration k completed).
+/// Records the completion time of every iteration.
+struct ExecutionTrace {
+  std::vector<std::int64_t> iteration_end;
+  std::int64_t firings = 0;
+  bool timed_out = false;
+  bool deadlocked = false;
+};
+
+ExecutionTrace run_self_timed(const CsdfGraph& graph, int iterations, bool gate_sources,
+                              std::int64_t max_firings) {
+  ExecutionTrace trace;
+  const std::size_t n = graph.actor_count();
+
+  std::vector<std::int64_t> tokens(graph.channel_count(), 0);
+  for (std::size_t c = 0; c < graph.channel_count(); ++c) {
+    tokens[c] = graph.channel(c).initial_tokens;
+  }
+  std::vector<std::int64_t> fired(n, 0);
+  std::vector<std::vector<std::int32_t>> in_channels(n);
+  std::vector<std::vector<std::int32_t>> out_channels(n);
+  for (std::size_t c = 0; c < graph.channel_count(); ++c) {
+    in_channels[static_cast<std::size_t>(graph.channel(c).dst)].push_back(
+        static_cast<std::int32_t>(c));
+    out_channels[static_cast<std::size_t>(graph.channel(c).src)].push_back(
+        static_cast<std::int32_t>(c));
+  }
+
+  // Iteration bookkeeping: iteration k completes when every actor reached
+  // k * repetitions firings.
+  std::int64_t completed_iterations = 0;
+  std::size_t actors_done_this_iteration = 0;
+  std::int64_t remaining = 0;
+  for (std::size_t a = 0; a < n; ++a) {
+    remaining += graph.actor(static_cast<std::int32_t>(a)).repetitions;
+  }
+  remaining *= iterations;
+
+  using Event = std::pair<std::int64_t, std::int32_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+  std::vector<std::int64_t> queued_at(n, -1);
+  const auto wake = [&](std::int32_t a, std::int64_t tick) {
+    if (queued_at[static_cast<std::size_t>(a)] != tick) {
+      queued_at[static_cast<std::size_t>(a)] = tick;
+      queue.emplace(tick, a);
+    }
+  };
+  for (std::size_t a = 0; a < n; ++a) wake(static_cast<std::int32_t>(a), 1);
+
+  std::vector<std::int32_t> batch;
+  std::vector<std::pair<std::int32_t, std::int64_t>> staged;
+  while (!queue.empty() && remaining > 0) {
+    const std::int64_t now = queue.top().first;
+    batch.clear();
+    staged.clear();
+    bool iteration_boundary = false;
+    for (std::size_t bi = 0; !queue.empty() && queue.top().first == now; ) {
+      (void)bi;
+      batch.push_back(queue.top().second);
+      queue.pop();
+    }
+    for (const std::int32_t a : batch) {
+      const auto idx = static_cast<std::size_t>(a);
+      const CsdfActor& actor = graph.actor(a);
+      const std::int64_t target = actor.repetitions * iterations;
+      if (fired[idx] >= target) continue;
+      // Back-edge gating: a source actor (no input channels) holds the
+      // single inter-iteration token; it cannot run ahead of the sinks.
+      if (gate_sources && in_channels[idx].empty() &&
+          fired[idx] >= actor.repetitions * (completed_iterations + 1)) {
+        continue;
+      }
+      const auto phase = static_cast<std::size_t>(fired[idx] % actor.phase_count);
+      bool ready = true;
+      for (const std::int32_t c : in_channels[idx]) {
+        const CsdfChannel& ch = graph.channel(static_cast<std::size_t>(c));
+        if (tokens[static_cast<std::size_t>(c)] < ch.consumption[phase]) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      for (const std::int32_t c : in_channels[idx]) {
+        tokens[static_cast<std::size_t>(c)] -=
+            graph.channel(static_cast<std::size_t>(c)).consumption[phase];
+      }
+      for (const std::int32_t c : out_channels[idx]) {
+        const CsdfChannel& ch = graph.channel(static_cast<std::size_t>(c));
+        if (ch.production[phase] > 0) {
+          staged.emplace_back(c, ch.production[phase]);
+          wake(ch.dst, now + 1);
+        }
+      }
+      ++fired[idx];
+      --remaining;
+      ++trace.firings;
+      if (fired[idx] < target) wake(a, now + 1);
+      if (fired[idx] == actor.repetitions * (completed_iterations + 1)) {
+        if (++actors_done_this_iteration == n) iteration_boundary = true;
+      }
+      if (trace.firings >= max_firings) {
+        trace.timed_out = true;
+        return trace;
+      }
+    }
+    for (const auto& [channel, amount] : staged) {
+      tokens[static_cast<std::size_t>(channel)] += amount;
+    }
+    if (iteration_boundary) {
+      trace.iteration_end.push_back(now);
+      ++completed_iterations;
+      actors_done_this_iteration = 0;
+      // Count actors that already crossed into the next iteration (without
+      // gating, fast actors may run ahead).
+      for (std::size_t a = 0; a < n; ++a) {
+        if (fired[a] >= graph.actor(static_cast<std::int32_t>(a)).repetitions *
+                            (completed_iterations + 1)) {
+          ++actors_done_this_iteration;
+        }
+      }
+      if (gate_sources) {
+        // Release the inter-iteration token: sources may fire again.
+        for (std::size_t a = 0; a < n; ++a) {
+          if (in_channels[a].empty()) wake(static_cast<std::int32_t>(a), now + 1);
+        }
+      }
+    }
+  }
+  trace.deadlocked = remaining > 0 && !trace.timed_out;
+  return trace;
+}
+
+}  // namespace
+
+CsdfAnalysis analyze_self_timed(const CsdfGraph& graph, std::int64_t max_firings) {
+  CsdfAnalysis analysis;
+  const ExecutionTrace trace =
+      run_self_timed(graph, /*iterations=*/1, /*gate_sources=*/false, max_firings);
+  analysis.firings = trace.firings;
+  analysis.timed_out = trace.timed_out;
+  analysis.deadlocked = trace.deadlocked;
+  analysis.makespan = trace.iteration_end.empty() ? 0 : trace.iteration_end.front();
+  return analysis;
+}
+
+CsdfThroughput analyze_throughput(const CsdfGraph& graph, int max_iterations,
+                                  std::int64_t max_firings) {
+  CsdfThroughput result;
+  const ExecutionTrace trace =
+      run_self_timed(graph, max_iterations, /*gate_sources=*/true, max_firings);
+  result.firings = trace.firings;
+  result.timed_out = trace.timed_out;
+  result.deadlocked = trace.deadlocked;
+  result.iterations_executed = static_cast<int>(trace.iteration_end.size());
+  if (!trace.iteration_end.empty()) {
+    result.first_iteration_makespan = trace.iteration_end.front();
+  }
+  // Steady-state period: difference between consecutive iteration ends once
+  // it stabilizes (state recurrence).
+  for (std::size_t k = 1; k < trace.iteration_end.size(); ++k) {
+    const std::int64_t period = trace.iteration_end[k] - trace.iteration_end[k - 1];
+    if (result.period == period) {
+      result.converged = true;
+      break;
+    }
+    result.period = period;
+  }
+  if (result.period == 0) result.period = result.first_iteration_makespan;
+  return result;
+}
+
+}  // namespace sts

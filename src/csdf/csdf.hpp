@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace sts {
+
+/// A cyclo-static dataflow actor: fires through a cyclic sequence of phases;
+/// every firing takes one time unit (the canonical model's element
+/// operation). `repetitions` is the firing count for one graph iteration.
+struct CsdfActor {
+  std::string name;
+  std::int64_t phase_count = 1;
+  std::int64_t repetitions = 1;
+};
+
+/// A FIFO channel between CSDF actors. `production[p]` tokens are produced
+/// at the end of the producer's phase p; `consumption[p]` tokens are needed
+/// at the start of the consumer's phase p. Patterns repeat cyclically.
+struct CsdfChannel {
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+  std::vector<std::int64_t> production;
+  std::vector<std::int64_t> consumption;
+  std::int64_t initial_tokens = 0;
+};
+
+/// Cyclo-static dataflow graph (Engels et al. [10] in the paper), the model
+/// of computation the paper compares canonical task graphs against
+/// (Section 7.2).
+class CsdfGraph {
+ public:
+  std::int32_t add_actor(CsdfActor actor);
+  void add_channel(CsdfChannel channel);
+
+  [[nodiscard]] std::size_t actor_count() const noexcept { return actors_.size(); }
+  [[nodiscard]] std::size_t channel_count() const noexcept { return channels_.size(); }
+  [[nodiscard]] const CsdfActor& actor(std::int32_t a) const {
+    return actors_[static_cast<std::size_t>(a)];
+  }
+  [[nodiscard]] const CsdfChannel& channel(std::size_t c) const { return channels_[c]; }
+  [[nodiscard]] const std::vector<CsdfChannel>& channels() const noexcept { return channels_; }
+
+  /// Total firings of one graph iteration (sum over actors of repetitions).
+  [[nodiscard]] std::int64_t total_firings() const;
+
+ private:
+  std::vector<CsdfActor> actors_;
+  std::vector<CsdfChannel> channels_;
+};
+
+/// Converts a buffer-free canonical task graph into the equivalent CSDFG
+/// (Section 7.2): a canonical node with rate a/b becomes an actor with
+/// max(a,b) phases whose consumption spreads b unit-reads and whose
+/// production spreads a unit-writes across the cycle; sources/sinks become
+/// single-phase producers/consumers. Throws if the graph has buffer nodes
+/// (not representable in CSDF, as the paper notes).
+[[nodiscard]] CsdfGraph csdf_from_canonical(const TaskGraph& graph);
+
+/// Result of self-timed execution analysis.
+struct CsdfAnalysis {
+  std::int64_t makespan = 0;       ///< completion time of one graph iteration
+  std::int64_t firings = 0;        ///< firings executed
+  bool timed_out = false;          ///< firing budget exhausted
+  bool deadlocked = false;         ///< no actor could fire before completion
+};
+
+/// Self-timed (ASAP, auto-concurrency-free) execution of one iteration:
+/// every actor fires as soon as its tokens are available, one firing per
+/// time unit per actor. For a consistent, live CSDFG this attains the
+/// optimal single-iteration makespan that SDF3/Kiter compute symbolically;
+/// like those tools the analysis walks token-by-token and is orders of
+/// magnitude more expensive than the canonical steady-state analysis.
+[[nodiscard]] CsdfAnalysis analyze_self_timed(const CsdfGraph& graph,
+                                              std::int64_t max_firings = 200'000'000);
+
+/// Steady-state throughput analysis in the paper's setup (Section 7.2):
+/// repeated self-timed execution with a token-carrying back edge from the
+/// sinks to the sources, so only one graph iteration is in flight; the
+/// analysis runs iterations until the per-iteration period stabilizes (the
+/// state-recurrence criterion of SDF3's symbolic execution). The makespan of
+/// the implied optimal schedule is the inverse throughput, i.e. the period.
+struct CsdfThroughput {
+  std::int64_t first_iteration_makespan = 0;
+  std::int64_t period = 0;  ///< steady-state time per iteration (1/throughput)
+  int iterations_executed = 0;
+  bool converged = false;
+  bool timed_out = false;
+  bool deadlocked = false;
+  std::int64_t firings = 0;
+};
+
+[[nodiscard]] CsdfThroughput analyze_throughput(const CsdfGraph& graph, int max_iterations = 6,
+                                                std::int64_t max_firings = 400'000'000);
+
+}  // namespace sts

@@ -1,0 +1,73 @@
+#include "graph/dot_export.hpp"
+
+#include <sstream>
+
+namespace sts {
+
+namespace {
+
+std::string node_label(const TaskGraph& graph, NodeId v, const DotOptions& options) {
+  std::ostringstream label;
+  if (graph.name(v).empty()) {
+    label << "n" << v;
+  } else {
+    label << graph.name(v);
+  }
+  switch (graph.kind(v)) {
+    case NodeKind::kSource:
+      label << "\\nsource O=" << graph.output_volume(v);
+      break;
+    case NodeKind::kSink:
+      label << "\\nsink I=" << graph.input_volume(v);
+      break;
+    case NodeKind::kBuffer:
+      label << "\\nB[" << graph.input_volume(v) << "]";
+      break;
+    case NodeKind::kCompute:
+      if (options.show_rates) {
+        const Rational r = graph.rate(v);
+        const char tag = r == Rational(1) ? 'E' : (r < Rational(1) ? 'D' : 'U');
+        label << "\\n" << tag << " R=" << r.to_string();
+      }
+      break;
+  }
+  return label.str();
+}
+
+const char* node_shape(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kBuffer: return "box";
+    case NodeKind::kSource: return "doublecircle";
+    case NodeKind::kSink: return "doublecircle";
+    case NodeKind::kCompute: return "ellipse";
+  }
+  return "ellipse";
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const TaskGraph& graph, const DotOptions& options) {
+  os << "digraph " << options.graph_name << " {\n";
+  os << "  rankdir=TB;\n";
+  for (NodeId v = 0; static_cast<std::size_t>(v) < graph.node_count(); ++v) {
+    os << "  n" << v << " [shape=" << node_shape(graph.kind(v)) << ", label=\""
+       << node_label(graph, v, options) << "\"";
+    if (graph.kind(v) == NodeKind::kBuffer) os << ", style=filled, fillcolor=palegreen";
+    os << "];\n";
+  }
+  for (EdgeId e = 0; static_cast<std::size_t>(e) < graph.edge_count(); ++e) {
+    const Edge& edge = graph.edge(e);
+    os << "  n" << edge.src << " -> n" << edge.dst;
+    if (options.show_volumes) os << " [label=\"" << edge.volume << "\"]";
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const TaskGraph& graph, const DotOptions& options) {
+  std::ostringstream os;
+  write_dot(os, graph, options);
+  return os.str();
+}
+
+}  // namespace sts

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "graph/task_graph.hpp"
+
+namespace sts {
+
+/// Options for Graphviz DOT rendering of a canonical task graph.
+struct DotOptions {
+  bool show_volumes = true;   ///< edge labels with data volumes
+  bool show_rates = true;     ///< node labels with R(v) for compute nodes
+  std::string graph_name = "canonical_task_graph";
+};
+
+/// Writes the task graph in Graphviz DOT format, using the paper's visual
+/// conventions: squares for buffer nodes, double circles for sources/sinks,
+/// plain circles for computational tasks (annotated E/D/U for element-wise,
+/// downsampler, upsampler).
+void write_dot(std::ostream& os, const TaskGraph& graph, const DotOptions& options = {});
+
+/// Convenience: DOT as a string.
+[[nodiscard]] std::string to_dot(const TaskGraph& graph, const DotOptions& options = {});
+
+}  // namespace sts

@@ -1,0 +1,149 @@
+#include "graph/serialization.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sts {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("load_task_graph: line " + std::to_string(line) + ": " + what);
+}
+
+NodeKind kind_from(const std::string& token, std::size_t line) {
+  if (token == "source") return NodeKind::kSource;
+  if (token == "sink") return NodeKind::kSink;
+  if (token == "compute") return NodeKind::kCompute;
+  if (token == "buffer") return NodeKind::kBuffer;
+  fail(line, "unknown node kind '" + token + "'");
+}
+
+}  // namespace
+
+TaskGraph load_task_graph(std::istream& input) {
+  TaskGraph graph;
+  // Declared outputs may precede edges; sources need theirs at creation, so
+  // records are processed in two passes over buffered lines.
+  struct PendingNode {
+    NodeKind kind;
+    std::string name;
+  };
+  struct PendingEdge {
+    NodeId src;
+    NodeId dst;
+    std::int64_t volume;
+  };
+  std::vector<PendingNode> nodes;
+  std::vector<std::pair<NodeId, std::int64_t>> outputs;
+  std::vector<PendingEdge> edges;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(input, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string record;
+    if (!(fields >> record)) continue;  // blank / comment-only line
+    if (record == "node") {
+      std::int64_t id = -1;
+      std::string kind;
+      if (!(fields >> id >> kind)) fail(line_no, "expected 'node <id> <kind> [name]'");
+      if (id != static_cast<std::int64_t>(nodes.size())) {
+        fail(line_no, "node ids must be dense and ascending (got " + std::to_string(id) +
+                          ", expected " + std::to_string(nodes.size()) + ")");
+      }
+      std::string name;
+      fields >> name;  // optional
+      nodes.push_back(PendingNode{kind_from(kind, line_no), name});
+    } else if (record == "output") {
+      std::int64_t id = -1;
+      std::int64_t volume = 0;
+      if (!(fields >> id >> volume)) fail(line_no, "expected 'output <id> <volume>'");
+      outputs.emplace_back(static_cast<NodeId>(id), volume);
+    } else if (record == "edge") {
+      PendingEdge edge{};
+      if (!(fields >> edge.src >> edge.dst >> edge.volume)) {
+        fail(line_no, "expected 'edge <src> <dst> <volume>'");
+      }
+      edges.push_back(edge);
+    } else {
+      fail(line_no, "unknown record '" + record + "'");
+    }
+  }
+
+  std::vector<std::int64_t> declared(nodes.size(), 0);
+  for (const auto& [id, volume] : outputs) {
+    if (id < 0 || static_cast<std::size_t>(id) >= nodes.size()) {
+      throw std::invalid_argument("load_task_graph: output record for unknown node " +
+                                  std::to_string(id));
+    }
+    declared[static_cast<std::size_t>(id)] = volume;
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    switch (nodes[i].kind) {
+      case NodeKind::kSource:
+        if (declared[i] <= 0) {
+          throw std::invalid_argument("load_task_graph: source node " + std::to_string(i) +
+                                      " needs an 'output' record");
+        }
+        graph.add_source(declared[i], nodes[i].name);
+        break;
+      case NodeKind::kSink:
+        graph.add_sink(nodes[i].name);
+        break;
+      case NodeKind::kCompute: {
+        const NodeId v = graph.add_compute(nodes[i].name);
+        if (declared[i] > 0) graph.declare_output(v, declared[i]);
+        break;
+      }
+      case NodeKind::kBuffer: {
+        const NodeId v = graph.add_buffer(nodes[i].name);
+        if (declared[i] > 0) graph.declare_output(v, declared[i]);
+        break;
+      }
+    }
+  }
+  for (const auto& edge : edges) {
+    graph.add_edge(edge.src, edge.dst, edge.volume);
+  }
+  return graph;
+}
+
+TaskGraph load_task_graph_from_string(const std::string& text) {
+  std::istringstream input(text);
+  return load_task_graph(input);
+}
+
+void save_task_graph(std::ostream& output, const TaskGraph& graph) {
+  output << "# canonical task graph: " << graph.node_count() << " nodes, "
+         << graph.edge_count() << " edges\n";
+  for (NodeId v = 0; static_cast<std::size_t>(v) < graph.node_count(); ++v) {
+    output << "node " << v << " " << to_string(graph.kind(v));
+    if (!graph.name(v).empty()) output << " " << graph.name(v);
+    output << "\n";
+    const bool is_exit = graph.out_degree(v) == 0 && graph.kind(v) != NodeKind::kSink;
+    if (graph.kind(v) == NodeKind::kSource || is_exit ||
+        (graph.kind(v) == NodeKind::kBuffer && graph.output_volume(v) > 0)) {
+      if (graph.output_volume(v) > 0) {
+        output << "output " << v << " " << graph.output_volume(v) << "\n";
+      }
+    }
+  }
+  for (EdgeId e = 0; static_cast<std::size_t>(e) < graph.edge_count(); ++e) {
+    const Edge& edge = graph.edge(e);
+    output << "edge " << edge.src << " " << edge.dst << " " << edge.volume << "\n";
+  }
+}
+
+std::string save_task_graph_to_string(const TaskGraph& graph) {
+  std::ostringstream os;
+  save_task_graph(os, graph);
+  return os.str();
+}
+
+}  // namespace sts

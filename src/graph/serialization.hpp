@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/task_graph.hpp"
+
+namespace sts {
+
+/// Plain-text serialization of canonical task graphs.
+///
+/// Format (one record per line, `#` comments, blank lines ignored):
+///
+///     node <id> <kind> [name]        kind in {source, sink, compute, buffer}
+///     output <id> <volume>           declared output volume (sources, exits,
+///                                    buffers)
+///     edge <src> <dst> <volume>
+///
+/// Node ids must be dense and ascending starting at 0 (they map directly to
+/// NodeId). `save_task_graph` always writes that shape, so round-trips are
+/// exact.
+[[nodiscard]] TaskGraph load_task_graph(std::istream& input);
+[[nodiscard]] TaskGraph load_task_graph_from_string(const std::string& text);
+
+void save_task_graph(std::ostream& output, const TaskGraph& graph);
+[[nodiscard]] std::string save_task_graph_to_string(const TaskGraph& graph);
+
+}  // namespace sts

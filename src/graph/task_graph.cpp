@@ -1,0 +1,192 @@
+#include "graph/task_graph.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace sts {
+
+const char* to_string(NodeKind kind) noexcept {
+  switch (kind) {
+    case NodeKind::kSource: return "source";
+    case NodeKind::kSink: return "sink";
+    case NodeKind::kCompute: return "compute";
+    case NodeKind::kBuffer: return "buffer";
+  }
+  return "?";
+}
+
+NodeId TaskGraph::add_node(NodeKind kind, std::string name) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(NodeRec{kind, std::move(name), 0});
+  in_.emplace_back();
+  out_.emplace_back();
+  return id;
+}
+
+NodeId TaskGraph::add_source(std::int64_t output_volume, std::string name) {
+  if (output_volume <= 0) throw std::invalid_argument("add_source: output volume must be > 0");
+  const NodeId v = add_node(NodeKind::kSource, std::move(name));
+  nodes_[static_cast<std::size_t>(v)].declared_output = output_volume;
+  return v;
+}
+
+NodeId TaskGraph::add_compute(std::string name) {
+  return add_node(NodeKind::kCompute, std::move(name));
+}
+
+NodeId TaskGraph::add_buffer(std::string name) {
+  return add_node(NodeKind::kBuffer, std::move(name));
+}
+
+NodeId TaskGraph::add_sink(std::string name) { return add_node(NodeKind::kSink, std::move(name)); }
+
+void TaskGraph::declare_output(NodeId v, std::int64_t output_volume) {
+  check_node(v);
+  if (output_volume <= 0) throw std::invalid_argument("declare_output: volume must be > 0");
+  nodes_[static_cast<std::size_t>(v)].declared_output = output_volume;
+}
+
+EdgeId TaskGraph::add_edge(NodeId src, NodeId dst, std::int64_t volume) {
+  check_node(src);
+  check_node(dst);
+  if (volume <= 0) throw std::invalid_argument("add_edge: volume must be > 0");
+  if (src == dst) throw std::invalid_argument("add_edge: self loop");
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{src, dst, volume});
+  out_[static_cast<std::size_t>(src)].push_back(id);
+  in_[static_cast<std::size_t>(dst)].push_back(id);
+  return id;
+}
+
+void TaskGraph::check_node(NodeId v) const {
+  if (v < 0 || static_cast<std::size_t>(v) >= nodes_.size()) {
+    throw std::out_of_range("TaskGraph: invalid node id " + std::to_string(v));
+  }
+}
+
+std::int64_t TaskGraph::input_volume(NodeId v) const {
+  check_node(v);
+  const auto ins = in_edges(v);
+  if (ins.empty()) return 0;
+  return edge(ins.front()).volume;
+}
+
+std::int64_t TaskGraph::output_volume(NodeId v) const {
+  check_node(v);
+  if (kind(v) == NodeKind::kSink) return 0;
+  const auto outs = out_edges(v);
+  if (!outs.empty()) return edge(outs.front()).volume;
+  return nodes_[static_cast<std::size_t>(v)].declared_output;
+}
+
+Rational TaskGraph::rate(NodeId v) const {
+  const std::int64_t in = input_volume(v);
+  const std::int64_t out = output_volume(v);
+  if (in == 0) {
+    throw std::logic_error("rate(): node " + std::to_string(v) + " has no inputs (source?)");
+  }
+  return Rational(out, in);
+}
+
+std::int64_t TaskGraph::work(NodeId v) const {
+  if (kind(v) == NodeKind::kBuffer) return 0;
+  return std::max(input_volume(v), output_volume(v));
+}
+
+std::int64_t TaskGraph::total_work() const {
+  std::int64_t sum = 0;
+  for (NodeId v = 0; static_cast<std::size_t>(v) < nodes_.size(); ++v) {
+    if (occupies_pe(v)) sum += work(v);
+  }
+  return sum;
+}
+
+std::vector<std::string> TaskGraph::validate() const {
+  std::vector<std::string> issues;
+  const auto complain = [&issues](NodeId v, const std::string& what) {
+    issues.push_back("node " + std::to_string(v) + ": " + what);
+  };
+
+  for (NodeId v = 0; static_cast<std::size_t>(v) < nodes_.size(); ++v) {
+    const auto& rec = nodes_[static_cast<std::size_t>(v)];
+    const auto ins = in_edges(v);
+    const auto outs = out_edges(v);
+
+    // Canonicity: same volume on every input edge / every output edge.
+    for (const EdgeId e : ins) {
+      if (edge(e).volume != edge(ins.front()).volume) {
+        complain(v, "input edges carry different volumes (" +
+                        std::to_string(edge(ins.front()).volume) + " vs " +
+                        std::to_string(edge(e).volume) + ")");
+        break;
+      }
+    }
+    for (const EdgeId e : outs) {
+      if (edge(e).volume != edge(outs.front()).volume) {
+        complain(v, "output edges carry different volumes (" +
+                        std::to_string(edge(outs.front()).volume) + " vs " +
+                        std::to_string(edge(e).volume) + ")");
+        break;
+      }
+    }
+    if (rec.declared_output != 0 && !outs.empty() &&
+        rec.declared_output != edge(outs.front()).volume) {
+      complain(v, "declared output volume " + std::to_string(rec.declared_output) +
+                      " contradicts out-edge volume " + std::to_string(edge(outs.front()).volume));
+    }
+
+    switch (rec.kind) {
+      case NodeKind::kSource:
+        if (!ins.empty()) complain(v, "source has input edges");
+        if (rec.declared_output <= 0) complain(v, "source without declared output volume");
+        break;
+      case NodeKind::kSink:
+        if (!outs.empty()) complain(v, "sink has output edges");
+        if (ins.empty()) complain(v, "sink without input edges");
+        break;
+      case NodeKind::kCompute:
+        if (ins.empty()) complain(v, "compute node without inputs (use add_source)");
+        if (outs.empty() && rec.declared_output <= 0) {
+          complain(v, "exit compute node without declared output volume");
+        }
+        break;
+      case NodeKind::kBuffer:
+        if (ins.empty()) complain(v, "buffer node without inputs");
+        if (outs.empty()) complain(v, "buffer node without outputs");
+        break;
+    }
+  }
+
+  for (const Edge& e : edges_) {
+    if (kind(e.src) == NodeKind::kBuffer && kind(e.dst) == NodeKind::kBuffer) {
+      issues.push_back("edge " + std::to_string(e.src) + "->" + std::to_string(e.dst) +
+                       ": buffer feeding buffer (merge them into one buffer node)");
+    }
+  }
+
+  if (!is_acyclic(*this)) issues.emplace_back("graph contains a directed cycle");
+
+  // Buffer placement rule (Section 4.2.3): the supernode DAG obtained by
+  // merging buffer-split WCCs must be acyclic; otherwise an undirected cycle
+  // through a buffer node would require "implicit" unbounded buffering.
+  if (issues.empty() && !buffer_supernode_dag_is_acyclic(*this)) {
+    issues.emplace_back(
+        "buffer placement violates Section 4.2.3: a cycle over weakly connected "
+        "components passes through a buffer node");
+  }
+
+  return issues;
+}
+
+void TaskGraph::validate_or_throw() const {
+  const auto issues = validate();
+  if (issues.empty()) return;
+  std::ostringstream os;
+  os << "invalid canonical task graph (" << issues.size() << " issue(s)):";
+  for (const auto& issue : issues) os << "\n  - " << issue;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace sts

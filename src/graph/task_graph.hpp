@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/rational.hpp"
+
+namespace sts {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Canonical node kinds (paper Section 3.1).
+enum class NodeKind : std::uint8_t {
+  kSource,   ///< reads its output from global memory; no production rate
+  kSink,     ///< stores its input to global memory; production rate zero
+  kCompute,  ///< computational node with production rate R(v) = O(v)/I(v)
+  kBuffer,   ///< passive memory node; cannot be pipelined through; holds no PE
+};
+
+[[nodiscard]] const char* to_string(NodeKind kind) noexcept;
+
+/// A directed data dependency carrying `volume` unitary elements (edge label
+/// in the paper's figures).  Canonicity implies volume == O(src) == I(dst).
+struct Edge {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::int64_t volume = 0;
+};
+
+/// A canonical task graph (paper Sections 2-3): a DAG of canonical nodes.
+///
+/// Volumes are per-edge element counts. A canonical node receives the same
+/// amount from every input edge (I(v)) and emits the same amount to every
+/// output edge (O(v)). Exit nodes (no out-edges) and sources declare their
+/// output volume explicitly via `declare_output` / `add_source`, modelling
+/// the stream they write to / read from global memory.
+///
+/// The class enforces structural rules lazily: construction never throws on
+/// semantic violations; `validate()` reports them all so tests can assert on
+/// specific diagnostics.
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+
+  /// Creates a source streaming `output_volume` elements out of global memory.
+  NodeId add_source(std::int64_t output_volume, std::string name = {});
+
+  /// Creates a computational node; I/O volumes derive from incident edges.
+  NodeId add_compute(std::string name = {});
+
+  /// Creates a passive buffer node (not scheduled on a PE).
+  NodeId add_buffer(std::string name = {});
+
+  /// Creates a sink absorbing its input into global memory.
+  NodeId add_sink(std::string name = {});
+
+  /// Declares the output volume of an exit computational node (stream written
+  /// to global memory). For nodes with out-edges the declaration must match
+  /// the edge volumes (checked by validate()).
+  void declare_output(NodeId v, std::int64_t output_volume);
+
+  /// Adds a dependency edge carrying `volume` elements.
+  EdgeId add_edge(NodeId src, NodeId dst, std::int64_t volume);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  [[nodiscard]] NodeKind kind(NodeId v) const { return nodes_[static_cast<std::size_t>(v)].kind; }
+  [[nodiscard]] const std::string& name(NodeId v) const {
+    return nodes_[static_cast<std::size_t>(v)].name;
+  }
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[static_cast<std::size_t>(e)]; }
+
+  [[nodiscard]] std::span<const EdgeId> in_edges(NodeId v) const {
+    return in_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] std::span<const EdgeId> out_edges(NodeId v) const {
+    return out_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] std::size_t in_degree(NodeId v) const { return in_edges(v).size(); }
+  [[nodiscard]] std::size_t out_degree(NodeId v) const { return out_edges(v).size(); }
+
+  /// I(v): per-edge input element count; 0 for sources.
+  [[nodiscard]] std::int64_t input_volume(NodeId v) const;
+
+  /// O(v): per-edge output element count; the declared volume for exit nodes
+  /// and sources, otherwise the (common) out-edge volume. 0 for sinks.
+  [[nodiscard]] std::int64_t output_volume(NodeId v) const;
+
+  /// R(v) = O(v)/I(v); only defined for compute and buffer nodes.
+  [[nodiscard]] Rational rate(NodeId v) const;
+
+  /// W(v) = max(I(v), O(v)) (paper Section 4.2); 0 for buffer nodes, which
+  /// are not active entities.
+  [[nodiscard]] std::int64_t work(NodeId v) const;
+
+  /// T1 = sum of work over PE-occupying nodes: sequential execution time.
+  [[nodiscard]] std::int64_t total_work() const;
+
+  /// True for nodes that must be scheduled on a processing element
+  /// (everything except buffer nodes).
+  [[nodiscard]] bool occupies_pe(NodeId v) const { return kind(v) != NodeKind::kBuffer; }
+
+  /// Node classification helpers (computational nodes only).
+  [[nodiscard]] bool is_elementwise(NodeId v) const { return rate(v) == Rational(1); }
+  [[nodiscard]] bool is_downsampler(NodeId v) const { return rate(v) < Rational(1); }
+  [[nodiscard]] bool is_upsampler(NodeId v) const { return rate(v) > Rational(1); }
+
+  /// All structural/canonicity violations; empty means the graph is a valid
+  /// canonical task graph (per-node volume rules, DAG-ness, buffer placement
+  /// rule of Section 4.2.3).
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// Throws std::invalid_argument listing all violations, if any.
+  void validate_or_throw() const;
+
+ private:
+  struct NodeRec {
+    NodeKind kind = NodeKind::kCompute;
+    std::string name;
+    std::int64_t declared_output = 0;  // 0 = not declared
+  };
+
+  NodeId add_node(NodeKind kind, std::string name);
+  void check_node(NodeId v) const;
+
+  std::vector<NodeRec> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> in_;
+  std::vector<std::vector<EdgeId>> out_;
+};
+
+}  // namespace sts

@@ -1,0 +1,40 @@
+#include "metrics/metrics.hpp"
+
+namespace sts {
+
+double speedup(std::int64_t total_work, std::int64_t makespan) {
+  if (makespan <= 0) return 0.0;
+  return static_cast<double>(total_work) / static_cast<double>(makespan);
+}
+
+double streaming_slr(std::int64_t makespan, const Rational& streaming_depth) {
+  const double depth = streaming_depth.to_double();
+  if (depth <= 0.0) return 0.0;
+  return static_cast<double>(makespan) / depth;
+}
+
+double streaming_utilization(const TaskGraph& graph, const StreamingSchedule& schedule,
+                             std::int64_t num_pes) {
+  if (schedule.makespan <= 0 || num_pes <= 0) return 0.0;
+  std::int64_t busy = 0;
+  for (NodeId v = 0; static_cast<std::size_t>(v) < graph.node_count(); ++v) {
+    if (!graph.occupies_pe(v)) continue;
+    const TaskTiming& t = schedule.at(v);
+    busy += t.last_out - t.start;
+  }
+  return static_cast<double>(busy) /
+         (static_cast<double>(num_pes) * static_cast<double>(schedule.makespan));
+}
+
+double non_streaming_utilization(const TaskGraph& graph, const ListSchedule& schedule,
+                                 std::int64_t num_pes) {
+  if (schedule.makespan <= 0 || num_pes <= 0) return 0.0;
+  std::int64_t busy = 0;
+  for (NodeId v = 0; static_cast<std::size_t>(v) < graph.node_count(); ++v) {
+    if (graph.occupies_pe(v)) busy += graph.work(v);
+  }
+  return static_cast<double>(busy) /
+         (static_cast<double>(num_pes) * static_cast<double>(schedule.makespan));
+}
+
+}  // namespace sts

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "baseline/list_scheduler.hpp"
+#include "core/streaming_schedule.hpp"
+#include "core/work_depth.hpp"
+#include "graph/task_graph.hpp"
+
+namespace sts {
+
+/// Comparison metrics of the paper's evaluation (Section 7).
+
+/// Speedup: sequential execution time T1 over the schedule makespan.
+[[nodiscard]] double speedup(std::int64_t total_work, std::int64_t makespan);
+
+/// Streaming Scheduling Length Ratio: makespan over the streaming depth
+/// T_s_inf of the DAG (the paper's extension of Topcuoglu's SLR).
+[[nodiscard]] double streaming_slr(std::int64_t makespan, const Rational& streaming_depth);
+
+/// PE utilization of a streaming schedule: a task holds its PE from ST to LO
+/// (co-scheduled pipelines are non-preemptive), so utilization is
+/// sum(LO - ST) / (P * makespan).
+[[nodiscard]] double streaming_utilization(const TaskGraph& graph,
+                                           const StreamingSchedule& schedule,
+                                           std::int64_t num_pes);
+
+/// PE utilization of the non-streaming baseline: busy time is the task work.
+[[nodiscard]] double non_streaming_utilization(const TaskGraph& graph,
+                                               const ListSchedule& schedule,
+                                               std::int64_t num_pes);
+
+}  // namespace sts

@@ -1,0 +1,48 @@
+#include "ml/canonical_builder.hpp"
+
+#include <stdexcept>
+
+namespace sts {
+
+Stream CanonicalBuilder::source(std::int64_t volume, std::string name) {
+  const NodeId v = graph_.add_source(volume, std::move(name));
+  return Stream{v, volume};
+}
+
+Stream CanonicalBuilder::compute(std::span<const Stream> inputs, std::int64_t out_volume,
+                                 std::string name) {
+  if (inputs.empty()) throw std::invalid_argument("compute: needs at least one input");
+  for (const Stream& s : inputs) {
+    if (s.volume != inputs.front().volume) {
+      throw std::invalid_argument("compute '" + name +
+                                  "': canonical nodes need equal input volumes (" +
+                                  std::to_string(inputs.front().volume) + " vs " +
+                                  std::to_string(s.volume) + ")");
+    }
+  }
+  const NodeId v = graph_.add_compute(std::move(name));
+  for (const Stream& s : inputs) graph_.add_edge(s.node, v, s.volume);
+  graph_.declare_output(v, out_volume);
+  return Stream{v, out_volume};
+}
+
+Stream CanonicalBuilder::buffer(std::span<const Stream> inputs, std::int64_t out_volume,
+                                std::string name) {
+  if (inputs.empty()) throw std::invalid_argument("buffer: needs at least one input");
+  const NodeId v = graph_.add_buffer(std::move(name));
+  for (const Stream& s : inputs) graph_.add_edge(s.node, v, s.volume);
+  graph_.declare_output(v, out_volume);
+  return Stream{v, out_volume};
+}
+
+NodeId CanonicalBuilder::sink(const Stream& input, std::string name) {
+  const NodeId v = graph_.add_sink(std::move(name));
+  graph_.add_edge(input.node, v, input.volume);
+  return v;
+}
+
+void CanonicalBuilder::finish(const Stream& stream) {
+  graph_.declare_output(stream.node, stream.volume);
+}
+
+}  // namespace sts

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace sts {
+
+/// A producer endpoint inside a canonical task graph under construction:
+/// node id plus the per-edge volume it emits. Connecting a Stream to a
+/// consumer adds one edge carrying `volume` elements.
+struct Stream {
+  NodeId node = kInvalidNode;
+  std::int64_t volume = 0;
+};
+
+/// Fluent construction of canonical task graphs. Node types (element-wise,
+/// down-/upsampler) emerge from the input/output volumes, exactly as in the
+/// paper's model; the builder only distinguishes compute, buffer, source and
+/// sink nodes.
+class CanonicalBuilder {
+ public:
+  explicit CanonicalBuilder(TaskGraph& graph) : graph_(graph) {}
+
+  /// Stream read from global memory (inputs, weights).
+  [[nodiscard]] Stream source(std::int64_t volume, std::string name);
+
+  /// Computational node consuming every input stream and emitting
+  /// `out_volume` per output edge. R(v) = out_volume / I emerges.
+  [[nodiscard]] Stream compute(std::span<const Stream> inputs, std::int64_t out_volume,
+                               std::string name);
+  [[nodiscard]] Stream compute(const Stream& input, std::int64_t out_volume, std::string name) {
+    return compute(std::span<const Stream>(&input, 1), out_volume, std::move(name));
+  }
+  /// Element-wise shortcut: output volume equals input volume.
+  [[nodiscard]] Stream elementwise(const Stream& input, std::string name) {
+    return compute(input, input.volume, std::move(name));
+  }
+  [[nodiscard]] Stream elementwise(std::span<const Stream> inputs, std::string name) {
+    return compute(inputs, inputs.empty() ? 0 : inputs.front().volume, std::move(name));
+  }
+
+  /// Buffer node (backing memory): absorbs the inputs, then emits
+  /// `out_volume` per output edge (replication/reshape/replay).
+  [[nodiscard]] Stream buffer(std::span<const Stream> inputs, std::int64_t out_volume,
+                              std::string name);
+  [[nodiscard]] Stream buffer(const Stream& input, std::int64_t out_volume, std::string name) {
+    return buffer(std::span<const Stream>(&input, 1), out_volume, std::move(name));
+  }
+
+  /// Terminal store to global memory (optional; exit computes may simply
+  /// declare their output instead).
+  NodeId sink(const Stream& input, std::string name);
+
+  /// Marks a compute node as writing its stream to memory (exit node).
+  void finish(const Stream& stream);
+
+  [[nodiscard]] TaskGraph& graph() noexcept { return graph_; }
+
+ private:
+  TaskGraph& graph_;
+};
+
+}  // namespace sts

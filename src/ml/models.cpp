@@ -1,0 +1,181 @@
+#include "ml/models.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ml/canonical_builder.hpp"
+#include "ml/ops.hpp"
+
+namespace sts {
+
+ModelStats stats_of(const TaskGraph& graph) {
+  ModelStats stats;
+  stats.nodes = static_cast<std::int64_t>(graph.node_count());
+  stats.edges = static_cast<std::int64_t>(graph.edge_count());
+  for (NodeId v = 0; static_cast<std::size_t>(v) < graph.node_count(); ++v) {
+    if (graph.kind(v) == NodeKind::kBuffer) {
+      ++stats.buffer_nodes;
+    } else {
+      ++stats.pe_tasks;
+    }
+  }
+  stats.total_work = graph.total_work();
+  return stats;
+}
+
+TaskGraph build_transformer_encoder(const TransformerConfig& config) {
+  const std::int64_t s = config.seq_len;
+  const std::int64_t d = config.d_model;
+  const std::int64_t h = config.heads;
+  const std::int64_t dff = config.d_ff;
+  if (h <= 0 || d % h != 0) {
+    throw std::invalid_argument("build_transformer_encoder: d_model must divide by heads");
+  }
+  const std::int64_t dk = d / h;
+
+  TaskGraph graph;
+  CanonicalBuilder b(graph);
+  const Stream x = b.source(s * d, "x");
+
+  // Q/K/V projections: column-parallel matmuls against resident weights.
+  const MatmulExpansion q = matmul_weights(b, x, s, d, d, "q", /*merge_output=*/false);
+  const MatmulExpansion kp = matmul_weights(b, x, s, d, d, "k", /*merge_output=*/false);
+  const MatmulExpansion v = matmul_weights(b, x, s, d, d, "v", /*merge_output=*/false);
+
+  // Per-head scaled dot-product attention.
+  std::vector<Stream> head_columns;
+  head_columns.reserve(static_cast<std::size_t>(d));
+  for (std::int64_t head = 0; head < h; ++head) {
+    const std::string hn = "h" + std::to_string(head);
+    const auto slice = [&](const MatmulExpansion& m) {
+      return std::span<const Stream>(m.column_streams)
+          .subspan(static_cast<std::size_t>(head * dk), static_cast<std::size_t>(dk));
+    };
+    // Reshape Q_h column streams to a row-major stream (buffer), stream it
+    // to the S score tasks; K_h is buffered and replayed column by column.
+    const Stream q_rows = b.buffer(slice(q), s * dk, hn + "/qbuf");
+    const Stream q_rep = b.elementwise(q_rows, hn + "/qrep");
+    const Stream k_replay = b.buffer(slice(kp), s * dk, hn + "/kbuf");
+    std::vector<Stream> score_cols;
+    score_cols.reserve(static_cast<std::size_t>(s));
+    for (std::int64_t j = 0; j < s; ++j) {
+      const std::array<Stream, 2> ins{q_rep, k_replay};
+      score_cols.push_back(b.compute(ins, s, hn + "/score" + std::to_string(j)));
+    }
+    const Stream scores = b.compute(score_cols, s * s, hn + "/scores");
+    const Stream probs = softmax(b, scores, s, s, hn + "/softmax");
+
+    // attention . V_h: probs (S x S) streamed, V_h buffered and replayed.
+    const Stream probs_rep = b.elementwise(probs, hn + "/prep");
+    const Stream v_replay = b.buffer(slice(v), s * s, hn + "/vbuf");
+    for (std::int64_t j = 0; j < dk; ++j) {
+      const std::array<Stream, 2> ins{probs_rep, v_replay};
+      head_columns.push_back(b.compute(ins, s, hn + "/out" + std::to_string(j)));
+    }
+  }
+
+  // Concatenate heads (reshape buffer) and apply the output projection. The
+  // residual stream is buffered: streaming it directly from x would close a
+  // cycle over weakly connected components through the attention buffers,
+  // which Section 4.2.3 forbids (it would need unbounded implicit buffering).
+  const Stream concat = b.buffer(head_columns, s * d, "concat");
+  const MatmulExpansion proj = matmul_weights(b, concat, s, d, d, "wo");
+  const Stream residual1 = b.buffer(x, s * d, "res1");
+  const std::array<Stream, 2> add1_ins{proj.out, residual1};
+  const Stream add1 = b.elementwise(add1_ins, "add1");
+  const Stream ln1 = layer_norm(b, add1, s, d, "ln1");
+
+  // Position-wise feed-forward network with residual.
+  const MatmulExpansion ff1 = matmul_weights(b, ln1, s, d, dff, "ff1");
+  const Stream act = b.elementwise(ff1.out, "gelu");
+  const MatmulExpansion ff2 = matmul_weights(b, act, s, dff, d, "ff2");
+  const std::array<Stream, 2> add2_ins{ff2.out, ln1};
+  const Stream add2 = b.elementwise(add2_ins, "add2");
+  const Stream out = layer_norm(b, add2, s, d, "ln2");
+  b.finish(out);
+  return graph;
+}
+
+namespace {
+
+struct StageSpec {
+  int blocks;
+  std::int64_t mid;
+  std::int64_t out;
+  std::int64_t stride;
+};
+
+Stream bottleneck(CanonicalBuilder& b, const Stream& input, std::int64_t in_channels,
+                  const StageSpec& stage, std::int64_t hw, bool first_in_stage,
+                  const std::string& name) {
+  const std::int64_t stride = first_in_stage ? stage.stride : 1;
+  const std::int64_t out_hw = hw / stride;
+
+  const ConvExpansion c1 =
+      conv2d_bn(b, input, ConvSpec{in_channels, stage.mid, hw, hw, 1, 1, 0}, name + "/c1");
+  const Stream r1 = b.elementwise(c1.out, name + "/r1");
+  const ConvExpansion c2 =
+      conv2d_bn(b, r1, ConvSpec{stage.mid, stage.mid, hw, hw, 3, stride, 1}, name + "/c2");
+  const Stream r2 = b.elementwise(c2.out, name + "/r2");
+  const ConvExpansion c3 = conv2d_bn(
+      b, r2, ConvSpec{stage.mid, stage.out, out_hw, out_hw, 1, 1, 0}, name + "/c3");
+
+  // The skip connection is buffered: the main path passes through the 3x3
+  // conv's im2col buffer, so streaming the skip would close a WCC cycle
+  // through that buffer (Section 4.2.3).
+  Stream shortcut;
+  if (first_in_stage || in_channels != stage.out) {
+    // Strided projections buffer inside conv2d_bn (pixel selection); the
+    // stride-1 projection streams, so decouple its input explicitly.
+    Stream proj_in = input;
+    if (stride == 1) proj_in = b.buffer(input, input.volume, name + "/skipbuf");
+    shortcut = conv2d_bn(b, proj_in, ConvSpec{in_channels, stage.out, hw, hw, 1, stride, 0},
+                         name + "/proj")
+                   .out;
+  } else {
+    shortcut = b.buffer(input, input.volume, name + "/skip");
+  }
+  const std::array<Stream, 2> add_ins{c3.out, shortcut};
+  const Stream added = b.elementwise(add_ins, name + "/add");
+  return b.elementwise(added, name + "/relu");
+}
+
+}  // namespace
+
+TaskGraph build_resnet50(const ResNetConfig& config) {
+  if (config.image % 32 != 0) {
+    throw std::invalid_argument("build_resnet50: image size must be a multiple of 32");
+  }
+  TaskGraph graph;
+  CanonicalBuilder b(graph);
+
+  std::int64_t hw = config.image;
+  const Stream x = b.source(3 * hw * hw, "x");
+  const ConvExpansion stem = conv2d_bn(b, x, ConvSpec{3, 64, hw, hw, 7, 2, 3}, "stem");
+  hw /= 2;
+  const Stream stem_relu = b.elementwise(stem.out, "stem/relu");
+  Stream cursor = max_pool(b, stem_relu, 64, hw, hw, 3, 2, 1, "stem/pool");
+  hw /= 2;
+
+  const std::array<StageSpec, 4> stages{StageSpec{3, 64, 256, 1}, StageSpec{4, 128, 512, 2},
+                                        StageSpec{6, 256, 1024, 2}, StageSpec{3, 512, 2048, 2}};
+  std::int64_t channels = 64;
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    const StageSpec& stage = stages[s];
+    for (int blk = 0; blk < stage.blocks; ++blk) {
+      const std::string name = "s" + std::to_string(s + 2) + "b" + std::to_string(blk);
+      cursor = bottleneck(b, cursor, channels, stage, hw, blk == 0, name);
+      if (blk == 0) hw /= stage.stride;
+      channels = stage.out;
+    }
+  }
+
+  const Stream pooled = global_avg_pool(b, cursor, channels, hw * hw, "gap");
+  const MatmulExpansion fc = matmul_weights(b, pooled, 1, channels, config.num_classes, "fc");
+  b.finish(fc.out);
+  return graph;
+}
+
+}  // namespace sts

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/task_graph.hpp"
+
+namespace sts {
+
+/// Aggregate statistics of a built model graph (paper Section 7.3 quotes
+/// node and buffer counts for its ML task graphs).
+struct ModelStats {
+  std::int64_t nodes = 0;
+  std::int64_t edges = 0;
+  std::int64_t buffer_nodes = 0;
+  std::int64_t pe_tasks = 0;
+  std::int64_t total_work = 0;
+};
+
+[[nodiscard]] ModelStats stats_of(const TaskGraph& graph);
+
+/// Configuration of one transformer encoder layer (Vaswani et al. [34],
+/// base model by default; the sequence length trades graph size for build
+/// time).
+struct TransformerConfig {
+  std::int64_t seq_len = 64;
+  std::int64_t d_model = 512;
+  std::int64_t heads = 8;
+  std::int64_t d_ff = 2048;
+};
+
+/// Canonical task graph of one transformer encoder layer: Q/K/V projections,
+/// per-head scaled dot-product attention with the Figure 5 softmax, output
+/// projection, residual adds, layer norms, and the position-wise FFN. Every
+/// MatMul uses the column-parallel expansion (Figure 3, graph 2), the
+/// implementation that maximizes parallelism for these shapes.
+[[nodiscard]] TaskGraph build_transformer_encoder(const TransformerConfig& config = {});
+
+/// Configuration of the ResNet-50 build (He et al. [15]); `image` scales the
+/// input resolution (224 reproduces the paper's ImageNet setting).
+struct ResNetConfig {
+  std::int64_t image = 224;
+  std::int64_t num_classes = 1000;
+};
+
+/// Canonical task graph of ResNet-50 inference: every convolution is lowered
+/// to a matrix multiplication via im2col (Section 7.3) and expanded
+/// row-parallel with one dot task per output channel; batch normalization
+/// folds into the channel-merge node; ReLU/add are element-wise tasks;
+/// max/global pooling are downsamplers behind window-replication buffers.
+[[nodiscard]] TaskGraph build_resnet50(const ResNetConfig& config = {});
+
+}  // namespace sts

@@ -1,0 +1,234 @@
+#include "ml/ops.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace sts {
+
+namespace {
+
+/// Shared core of the parallel matmul variants: `a_volume`-sized A stream is
+/// replicated to `m` dot tasks; `column_source` yields the second operand
+/// stream for task j (weight replay or buffer replay).
+MatmulExpansion parallel_columns(CanonicalBuilder& builder, const Stream& a_replicated,
+                                 const Stream& b_replayed, std::int64_t n, std::int64_t m,
+                                 const std::string& name, bool merge_output) {
+  MatmulExpansion result;
+  result.column_streams.reserve(static_cast<std::size_t>(m));
+  for (std::int64_t j = 0; j < m; ++j) {
+    const std::array<Stream, 2> ins{a_replicated, b_replayed};
+    result.column_streams.push_back(
+        builder.compute(ins, n, name + "/mv" + std::to_string(j)));
+    ++result.tasks;
+  }
+  if (merge_output) {
+    result.out =
+        builder.compute(result.column_streams, n * m, name + "/interleave");
+    ++result.tasks;
+  } else if (m == 1) {
+    result.out = result.column_streams.front();
+  }
+  return result;
+}
+
+}  // namespace
+
+MatmulExpansion matmul_weights(CanonicalBuilder& builder, const Stream& a, std::int64_t n,
+                               std::int64_t k, std::int64_t m, const std::string& name,
+                               bool merge_output) {
+  if (a.volume != n * k) throw std::invalid_argument("matmul_weights: |A| != N*K");
+  const Stream rep = builder.elementwise(a, name + "/repA");
+  // One weight source; every out-edge replays one filter column N times.
+  const Stream w = builder.source(n * k, name + "/W");
+  MatmulExpansion result = parallel_columns(builder, rep, w, n, m, name, merge_output);
+  ++result.tasks;  // the replicator occupies a PE
+  return result;
+}
+
+MatmulExpansion matmul_activations(CanonicalBuilder& builder, const Stream& a, const Stream& b,
+                                   std::int64_t n, std::int64_t k, std::int64_t m,
+                                   const std::string& name, bool merge_output) {
+  if (a.volume != n * k) throw std::invalid_argument("matmul_activations: |A| != N*K");
+  if (b.volume != k * m) throw std::invalid_argument("matmul_activations: |B| != K*M");
+  const Stream rep = builder.elementwise(a, name + "/repA");
+  const Stream b_buf = builder.buffer(b, n * k, name + "/B");  // column replay, N times
+  MatmulExpansion result = parallel_columns(builder, rep, b_buf, n, m, name, merge_output);
+  ++result.tasks;
+  return result;
+}
+
+Stream matmul_inner_product(CanonicalBuilder& builder, const Stream& a, const Stream& b,
+                            std::int64_t n, std::int64_t k, std::int64_t m,
+                            const std::string& name) {
+  if (a.volume != n * k || b.volume != k * m) {
+    throw std::invalid_argument("matmul_inner_product: operand volume mismatch");
+  }
+  const Stream a_buf = builder.buffer(a, n * k * m, name + "/Abuf");
+  const Stream b_buf = builder.buffer(b, n * k * m, name + "/Bbuf");
+  const std::array<Stream, 2> ins{a_buf, b_buf};
+  return builder.compute(ins, n * m, name + "/dot");  // downsampler R = 1/K
+}
+
+MatmulExpansion matmul_outer_product(CanonicalBuilder& builder, const Stream& a, const Stream& b,
+                                     std::int64_t n, std::int64_t k, std::int64_t m,
+                                     const std::string& name) {
+  if (a.volume != n * k || b.volume != k * m) {
+    throw std::invalid_argument("matmul_outer_product: operand volume mismatch");
+  }
+  MatmulExpansion result;
+  // The buffers replay, per task i, column i of A with each element repeated
+  // M times and row i of B repeated N times (N*M elements each), so every
+  // multiply task is element-wise and computes one rank-1 update (N*M work).
+  const Stream a_buf = builder.buffer(a, n * m, name + "/Abuf");
+  const Stream b_buf = builder.buffer(b, n * m, name + "/Bbuf");
+  std::vector<Stream> partial;
+  partial.reserve(static_cast<std::size_t>(k));
+  for (std::int64_t i = 0; i < k; ++i) {
+    const std::array<Stream, 2> ins{a_buf, b_buf};
+    partial.push_back(builder.compute(ins, n * m, name + "/mul" + std::to_string(i)));
+    ++result.tasks;
+  }
+  // Binary tree of element-wise sums.
+  while (partial.size() > 1) {
+    std::vector<Stream> next;
+    next.reserve(partial.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < partial.size(); i += 2) {
+      const std::array<Stream, 2> ins{partial[i], partial[i + 1]};
+      next.push_back(builder.compute(
+          ins, n * m, name + "/sum" + std::to_string(next.size()) + "_" +
+                          std::to_string(partial.size())));
+      ++result.tasks;
+    }
+    if (partial.size() % 2 == 1) next.push_back(partial.back());
+    partial = std::move(next);
+  }
+  result.out = partial.front();
+  return result;
+}
+
+Stream outer_product(CanonicalBuilder& builder, const Stream& u, const Stream& v, std::int64_t n,
+                     std::int64_t m, const std::string& name) {
+  if (u.volume != n || v.volume != m) {
+    throw std::invalid_argument("outer_product: operand volume mismatch");
+  }
+  const Stream u_rep = builder.compute(u, n * m, name + "/U");  // upsampler R = M
+  const Stream v_buf = builder.buffer(v, n * m, name + "/Vbuf");
+  const std::array<Stream, 2> ins{u_rep, v_buf};
+  return builder.compute(ins, n * m, name + "/mul");
+}
+
+Stream vector_normalize_buffered(CanonicalBuilder& builder, const Stream& x, std::int64_t n,
+                                 const std::string& name) {
+  if (x.volume != n) throw std::invalid_argument("vector_normalize: |x| != n");
+  const Stream x_buf = builder.buffer(x, n, name + "/xbuf");
+  const Stream norm = builder.compute(x_buf, 1, name + "/nrm");  // downsampler R = 1/N
+  const Stream norm_buf = builder.buffer(norm, n, name + "/nbuf");
+  const std::array<Stream, 2> ins{x_buf, norm_buf};
+  return builder.compute(ins, n, name + "/div");
+}
+
+Stream vector_normalize_streamed(CanonicalBuilder& builder, const Stream& x, std::int64_t n,
+                                 const std::string& name) {
+  if (x.volume != n) throw std::invalid_argument("vector_normalize: |x| != n");
+  const Stream norm = builder.compute(x, 1, name + "/nrm");
+  const Stream up = builder.compute(norm, n, name + "/U");  // upsampler R = N
+  const std::array<Stream, 2> ins{x, up};
+  return builder.compute(ins, n, name + "/div");
+}
+
+Stream softmax(CanonicalBuilder& builder, const Stream& x, std::int64_t rows, std::int64_t cols,
+               const std::string& name) {
+  const std::int64_t total = rows * cols;
+  if (x.volume != total) throw std::invalid_argument("softmax: |x| != rows*cols");
+  const Stream row_max = builder.compute(x, rows, name + "/max");      // R = 1/cols
+  const Stream x_buf = builder.buffer(x, total, name + "/xbuf");       // x replayed
+  const Stream max_buf = builder.buffer(row_max, total, name + "/maxbuf");
+  const std::array<Stream, 2> sub_ins{x_buf, max_buf};
+  const Stream sub = builder.compute(sub_ins, total, name + "/sub");
+  const Stream expd = builder.compute(sub, total, name + "/exp");
+  const Stream row_sum = builder.compute(expd, rows, name + "/sum");   // R = 1/cols
+  const Stream exp_buf = builder.buffer(expd, total, name + "/expbuf");
+  const Stream sum_buf = builder.buffer(row_sum, total, name + "/sumbuf");
+  const std::array<Stream, 2> div_ins{exp_buf, sum_buf};
+  return builder.compute(div_ins, total, name + "/div");
+}
+
+Stream layer_norm(CanonicalBuilder& builder, const Stream& x, std::int64_t rows,
+                  std::int64_t cols, const std::string& name) {
+  const std::int64_t total = rows * cols;
+  if (x.volume != total) throw std::invalid_argument("layer_norm: |x| != rows*cols");
+  const Stream mean = builder.compute(x, rows, name + "/mean");  // R = 1/cols
+  const Stream x_buf = builder.buffer(x, total, name + "/xbuf");
+  const Stream mean_buf = builder.buffer(mean, total, name + "/meanbuf");
+  const std::array<Stream, 2> sub_ins{x_buf, mean_buf};
+  const Stream centered = builder.compute(sub_ins, total, name + "/sub");
+  const Stream squared = builder.compute(centered, total, name + "/sq");
+  const Stream var = builder.compute(squared, rows, name + "/var");
+  const Stream rstd = builder.compute(var, rows, name + "/rstd");
+  const Stream centered_buf = builder.buffer(centered, total, name + "/cbuf");
+  const Stream rstd_buf = builder.buffer(rstd, total, name + "/rstdbuf");
+  const std::array<Stream, 2> norm_ins{centered_buf, rstd_buf};
+  const Stream normalized = builder.compute(norm_ins, total, name + "/norm");
+  const Stream affine_w = builder.source(total, name + "/gamma_beta");
+  const std::array<Stream, 2> affine_ins{normalized, affine_w};
+  return builder.compute(affine_ins, total, name + "/affine");
+}
+
+ConvExpansion conv2d_bn(CanonicalBuilder& builder, const Stream& input, const ConvSpec& spec,
+                        const std::string& name) {
+  const std::int64_t in_total = spec.in_channels * spec.in_height * spec.in_width;
+  if (input.volume != in_total) {
+    throw std::invalid_argument("conv2d_bn '" + name + "': input volume mismatch");
+  }
+  const std::int64_t pixels = spec.out_height() * spec.out_width();
+  const std::int64_t depth = spec.kernel * spec.kernel * spec.in_channels;  // im2col rows
+
+  // im2col: overlapping windows re-read input elements -> buffer node. The
+  // 1x1 stride-1 case reads every element exactly once and streams directly.
+  Stream columns = input;
+  if (!(spec.kernel == 1 && spec.stride == 1 && spec.padding == 0)) {
+    columns = builder.buffer(input, depth * pixels, name + "/im2col");
+  }
+
+  ConvExpansion result;
+  const Stream rep = builder.elementwise(columns, name + "/rep");
+  const Stream w = builder.source(depth * pixels, name + "/W");  // filter rows replayed
+  std::vector<Stream> channels;
+  channels.reserve(static_cast<std::size_t>(spec.out_channels));
+  for (std::int64_t c = 0; c < spec.out_channels; ++c) {
+    const std::array<Stream, 2> ins{rep, w};
+    channels.push_back(builder.compute(ins, pixels, name + "/oc" + std::to_string(c)));
+  }
+  // The per-channel columns land in the output buffer (Figure 3 graph 2
+  // stores C in B[NM]); batch normalization streams out of it. Pipelining
+  // then happens between BN, ReLU, and pooling, as the paper describes for
+  // Resnet-50.
+  const Stream out_buffer =
+      builder.buffer(channels, spec.out_channels * pixels, name + "/C");
+  result.out = builder.elementwise(out_buffer, name + "/bn");
+  result.tasks = static_cast<int>(spec.out_channels) + 2;
+  return result;
+}
+
+Stream max_pool(CanonicalBuilder& builder, const Stream& input, std::int64_t channels,
+                std::int64_t in_height, std::int64_t in_width, std::int64_t window,
+                std::int64_t stride, std::int64_t padding, const std::string& name) {
+  if (input.volume != channels * in_height * in_width) {
+    throw std::invalid_argument("max_pool: input volume mismatch");
+  }
+  const std::int64_t out_h = (in_height + 2 * padding - window) / stride + 1;
+  const std::int64_t out_w = (in_width + 2 * padding - window) / stride + 1;
+  const std::int64_t windows = channels * out_h * out_w;
+  const Stream expanded = builder.buffer(input, windows * window * window, name + "/windows");
+  return builder.compute(expanded, windows, name + "/max");  // R = 1/window^2
+}
+
+Stream global_avg_pool(CanonicalBuilder& builder, const Stream& input, std::int64_t channels,
+                       std::int64_t spatial, const std::string& name) {
+  if (input.volume != channels * spatial) {
+    throw std::invalid_argument("global_avg_pool: input volume mismatch");
+  }
+  return builder.compute(input, channels, name + "/gap");  // R = 1/spatial
+}
+
+}  // namespace sts

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/canonical_builder.hpp"
+
+namespace sts {
+
+/// Canonical expansions of ML operators (paper Section 3.2). Each helper
+/// appends a canonical subgraph and returns the output stream(s).
+
+/// Result of a parallel matrix multiply expansion.
+struct MatmulExpansion {
+  Stream out;                        ///< merged output stream (N*M elements)
+  std::vector<Stream> column_streams;  ///< per-task output columns (M streams of N)
+  int tasks = 0;                     ///< number of dot-product PE tasks spawned
+};
+
+/// C = A (N x K) . B (K x M), B resident weights (Figure 3, graph 2 family):
+/// M parallel matrix-vector tasks, each receiving the streamed A (replicated
+/// by an element-wise node) and its weight column replayed N times from
+/// memory. Each task is a downsampler with R = 1/K producing one column of C
+/// (N elements). `merge_output` adds the interleaving node producing the
+/// row-major C stream.
+[[nodiscard]] MatmulExpansion matmul_weights(CanonicalBuilder& builder, const Stream& a,
+                                             std::int64_t n, std::int64_t k, std::int64_t m,
+                                             const std::string& name, bool merge_output = true);
+
+/// C = A (N x K) . B (K x M) where B is itself an activation stream: B is
+/// stored in a buffer node [K*M] and replayed N times to each of the M
+/// column tasks (Figure 3, graph 2).
+[[nodiscard]] MatmulExpansion matmul_activations(CanonicalBuilder& builder, const Stream& a,
+                                                 const Stream& b, std::int64_t n, std::int64_t k,
+                                                 std::int64_t m, const std::string& name,
+                                                 bool merge_output = true);
+
+/// Naive inner-product implementation (Figure 3, graph 1): both operands
+/// buffered and fully replayed into a single downsampler with R = 1/K.
+[[nodiscard]] Stream matmul_inner_product(CanonicalBuilder& builder, const Stream& a,
+                                          const Stream& b, std::int64_t n, std::int64_t k,
+                                          std::int64_t m, const std::string& name);
+
+/// Outer-product implementation parallelizing along K (Figure 3, graph 3):
+/// K element-wise multiply tasks (one per column of A / row of B) followed
+/// by a binary tree of element-wise sum tasks.
+[[nodiscard]] MatmulExpansion matmul_outer_product(CanonicalBuilder& builder, const Stream& a,
+                                                   const Stream& b, std::int64_t n,
+                                                   std::int64_t k, std::int64_t m,
+                                                   const std::string& name);
+
+/// Outer product u (N) x v^T (M) with u streamed and v buffered (Figure 2,
+/// graph 1): upsampler replicating u M times, buffer replaying v N times,
+/// element-wise multiplier emitting A row-major (N*M).
+[[nodiscard]] Stream outer_product(CanonicalBuilder& builder, const Stream& u, const Stream& v,
+                                   std::int64_t n, std::int64_t m, const std::string& name);
+
+/// Vector normalization y = x / ||x|| (Figure 4, graph 1: buffered variant).
+[[nodiscard]] Stream vector_normalize_buffered(CanonicalBuilder& builder, const Stream& x,
+                                               std::int64_t n, const std::string& name);
+
+/// Vector normalization with x streamed to both consumers (Figure 4,
+/// graph 2); requires Eq. 5 buffer space to avoid deadlock.
+[[nodiscard]] Stream vector_normalize_streamed(CanonicalBuilder& builder, const Stream& x,
+                                               std::int64_t n, const std::string& name);
+
+/// Numerically stable softmax over `rows` rows of `cols` elements
+/// (Figure 5): max-reduce, subtract, exponentiate, sum-reduce, divide, with
+/// buffer nodes for the replayed x / e^x streams and the per-row scalars.
+[[nodiscard]] Stream softmax(CanonicalBuilder& builder, const Stream& x, std::int64_t rows,
+                             std::int64_t cols, const std::string& name);
+
+/// Layer normalization over `rows` rows of `cols` elements with affine
+/// parameters resident in memory.
+[[nodiscard]] Stream layer_norm(CanonicalBuilder& builder, const Stream& x, std::int64_t rows,
+                                std::int64_t cols, const std::string& name);
+
+/// Convolution lowered to matrix multiplication with im2col (paper
+/// Section 7.3, Chellapilla et al. [5]). The input stream (c_in * h * w) is
+/// buffered (im2col replication), then multiplied row-parallel against the
+/// resident filter bank: one task per output channel. Fuses the trailing
+/// batch-norm as the merging element-wise node. For 1x1 stride-1 kernels the
+/// im2col buffer degenerates to the identity and is skipped (each element is
+/// read once, so the input can stream straight into the tasks).
+struct ConvSpec {
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t in_height = 0;
+  std::int64_t in_width = 0;
+  std::int64_t kernel = 1;
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;
+
+  [[nodiscard]] std::int64_t out_height() const {
+    return (in_height + 2 * padding - kernel) / stride + 1;
+  }
+  [[nodiscard]] std::int64_t out_width() const {
+    return (in_width + 2 * padding - kernel) / stride + 1;
+  }
+};
+
+struct ConvExpansion {
+  Stream out;       ///< batch-normalized output stream (c_out * h' * w')
+  int tasks = 0;    ///< PE tasks spawned (dot tasks + glue)
+};
+
+[[nodiscard]] ConvExpansion conv2d_bn(CanonicalBuilder& builder, const Stream& input,
+                                      const ConvSpec& spec, const std::string& name);
+
+/// Max pooling (window x window, stride, padding): buffer replication
+/// (overlapping windows re-read elements) followed by a 1/window^2
+/// downsampler.
+[[nodiscard]] Stream max_pool(CanonicalBuilder& builder, const Stream& input,
+                              std::int64_t channels, std::int64_t in_height,
+                              std::int64_t in_width, std::int64_t window, std::int64_t stride,
+                              std::int64_t padding, const std::string& name);
+
+/// Global average pooling: one downsampler with R = 1 / (h*w).
+[[nodiscard]] Stream global_avg_pool(CanonicalBuilder& builder, const Stream& input,
+                                     std::int64_t channels, std::int64_t spatial,
+                                     const std::string& name);
+
+}  // namespace sts

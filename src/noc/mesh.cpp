@@ -1,0 +1,35 @@
+#include "noc/mesh.hpp"
+
+#include <cmath>
+
+namespace sts {
+
+Mesh Mesh::for_pes(std::int64_t pes) {
+  if (pes <= 0) throw std::invalid_argument("Mesh::for_pes: need at least one PE");
+  auto rows = static_cast<std::int32_t>(std::sqrt(static_cast<double>(pes)));
+  while (rows > 1 && (pes + rows - 1) / rows * rows < pes) --rows;
+  if (rows < 1) rows = 1;
+  const auto cols = static_cast<std::int32_t>((pes + rows - 1) / rows);
+  return Mesh(rows, cols);
+}
+
+std::int64_t Mesh::link_id(MeshCoord from, MeshCoord to) const {
+  // Layout: [0, rows*(cols-1)) east, then west, then north (y+), then south.
+  const std::int64_t horizontal = static_cast<std::int64_t>(rows_) * (cols_ - 1);
+  const std::int64_t vertical = static_cast<std::int64_t>(cols_) * (rows_ - 1);
+  if (to.x == from.x + 1 && to.y == from.y) {
+    return static_cast<std::int64_t>(from.y) * (cols_ - 1) + from.x;  // east
+  }
+  if (to.x == from.x - 1 && to.y == from.y) {
+    return horizontal + static_cast<std::int64_t>(from.y) * (cols_ - 1) + to.x;  // west
+  }
+  if (to.y == from.y + 1 && to.x == from.x) {
+    return 2 * horizontal + static_cast<std::int64_t>(from.x) * (rows_ - 1) + from.y;  // north
+  }
+  if (to.y == from.y - 1 && to.x == from.x) {
+    return 2 * horizontal + vertical + static_cast<std::int64_t>(from.x) * (rows_ - 1) + to.y;
+  }
+  throw std::invalid_argument("Mesh::link_id: coordinates are not adjacent");
+}
+
+}  // namespace sts

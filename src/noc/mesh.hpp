@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace sts {
+
+/// Coordinate on a 2D mesh network-on-chip.
+struct MeshCoord {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend bool operator==(const MeshCoord& a, const MeshCoord& b) noexcept {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// A rows x cols 2D mesh NoC of processing elements with dimension-ordered
+/// (XY) routing — the fabric model behind the placement extension the paper
+/// names as future work (Section 9). The scheduling model itself assumes
+/// contention-free communication; the mesh quantifies how far a placement
+/// is from that ideal (hop counts, per-link load).
+class Mesh {
+ public:
+  Mesh(std::int32_t rows, std::int32_t cols) : rows_(rows), cols_(cols) {
+    if (rows <= 0 || cols <= 0) throw std::invalid_argument("Mesh: bad dimensions");
+  }
+
+  /// Smallest near-square mesh with at least `pes` processing elements.
+  [[nodiscard]] static Mesh for_pes(std::int64_t pes);
+
+  [[nodiscard]] std::int32_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::int32_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(rows_) * cols_;
+  }
+
+  [[nodiscard]] MeshCoord coord_of(std::int64_t pe) const {
+    return MeshCoord{static_cast<std::int32_t>(pe % cols_),
+                     static_cast<std::int32_t>(pe / cols_)};
+  }
+  [[nodiscard]] std::int64_t pe_of(MeshCoord c) const {
+    return static_cast<std::int64_t>(c.y) * cols_ + c.x;
+  }
+
+  /// Manhattan (minimal XY-route) hop distance.
+  [[nodiscard]] std::int64_t distance(std::int64_t a, std::int64_t b) const {
+    const MeshCoord ca = coord_of(a);
+    const MeshCoord cb = coord_of(b);
+    return std::int64_t{ca.x > cb.x ? ca.x - cb.x : cb.x - ca.x} +
+           std::int64_t{ca.y > cb.y ? ca.y - cb.y : cb.y - ca.y};
+  }
+
+  /// Number of directed mesh links (for link-load vectors).
+  [[nodiscard]] std::int64_t link_count() const noexcept {
+    // Horizontal: rows * (cols-1) per direction; vertical: cols * (rows-1).
+    return 2 * (static_cast<std::int64_t>(rows_) * (cols_ - 1) +
+                static_cast<std::int64_t>(cols_) * (rows_ - 1));
+  }
+
+  /// Directed link id for a unit step from `from` towards `to` (adjacent).
+  [[nodiscard]] std::int64_t link_id(MeshCoord from, MeshCoord to) const;
+
+ private:
+  std::int32_t rows_;
+  std::int32_t cols_;
+};
+
+}  // namespace sts

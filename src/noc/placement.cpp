@@ -1,0 +1,160 @@
+#include "noc/placement.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace sts {
+
+namespace {
+
+/// Streaming (same-block, direct) edges of one spatial block.
+std::vector<EdgeId> block_stream_edges(const TaskGraph& graph,
+                                       const StreamingSchedule& schedule,
+                                       std::int32_t block_id) {
+  std::vector<EdgeId> edges;
+  for (EdgeId e = 0; static_cast<std::size_t>(e) < graph.edge_count(); ++e) {
+    const Edge& edge = graph.edge(e);
+    if (graph.kind(edge.src) == NodeKind::kBuffer || graph.kind(edge.dst) == NodeKind::kBuffer) {
+      continue;
+    }
+    const auto& block_of = schedule.partition.block_of;
+    if (block_of[static_cast<std::size_t>(edge.src)] == block_id &&
+        block_of[static_cast<std::size_t>(edge.dst)] == block_id) {
+      edges.push_back(e);
+    }
+  }
+  return edges;
+}
+
+void route_xy(const Mesh& mesh, std::int64_t from, std::int64_t to, std::int64_t volume,
+              std::vector<std::int64_t>& link_load) {
+  MeshCoord at = mesh.coord_of(from);
+  const MeshCoord goal = mesh.coord_of(to);
+  while (at.x != goal.x) {
+    const MeshCoord next{at.x < goal.x ? at.x + 1 : at.x - 1, at.y};
+    link_load[static_cast<std::size_t>(mesh.link_id(at, next))] += volume;
+    at = next;
+  }
+  while (at.y != goal.y) {
+    const MeshCoord next{at.x, at.y < goal.y ? at.y + 1 : at.y - 1};
+    link_load[static_cast<std::size_t>(mesh.link_id(at, next))] += volume;
+    at = next;
+  }
+}
+
+}  // namespace
+
+PlacementMetrics evaluate_placement(const TaskGraph& graph, const StreamingSchedule& schedule,
+                                    const Mesh& mesh,
+                                    const std::vector<std::int64_t>& mesh_pe) {
+  PlacementMetrics metrics;
+  std::vector<std::int64_t> link_load(static_cast<std::size_t>(mesh.link_count()), 0);
+  std::int64_t hop_sum = 0;
+  for (std::size_t b = 0; b < schedule.partition.blocks.size(); ++b) {
+    // Each block runs alone on the fabric: link loads do not add up across
+    // blocks, so track the per-block maximum.
+    std::fill(link_load.begin(), link_load.end(), 0);
+    for (const EdgeId e : block_stream_edges(graph, schedule, static_cast<std::int32_t>(b))) {
+      const Edge& edge = graph.edge(e);
+      const std::int64_t from = mesh_pe[static_cast<std::size_t>(edge.src)];
+      const std::int64_t to = mesh_pe[static_cast<std::size_t>(edge.dst)];
+      if (from < 0 || to < 0) throw std::logic_error("evaluate_placement: unplaced task");
+      const std::int64_t hops = mesh.distance(from, to);
+      metrics.weighted_hops += hops * edge.volume;
+      hop_sum += hops;
+      ++metrics.streaming_edges;
+      route_xy(mesh, from, to, edge.volume, link_load);
+    }
+    for (const std::int64_t load : link_load) {
+      metrics.max_link_load = std::max(metrics.max_link_load, load);
+    }
+  }
+  metrics.mean_hops = metrics.streaming_edges == 0
+                          ? 0.0
+                          : static_cast<double>(hop_sum) /
+                                static_cast<double>(metrics.streaming_edges);
+  return metrics;
+}
+
+Placement place_identity(const TaskGraph& graph, const StreamingSchedule& schedule,
+                         const Mesh& mesh) {
+  Placement placement;
+  placement.mesh_pe.assign(graph.node_count(), -1);
+  for (const auto& block : schedule.partition.blocks) {
+    if (static_cast<std::int64_t>(block.size()) > mesh.size()) {
+      throw std::invalid_argument("place_identity: block larger than the mesh");
+    }
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      placement.mesh_pe[static_cast<std::size_t>(block[i])] = static_cast<std::int64_t>(i);
+    }
+  }
+  placement.metrics = evaluate_placement(graph, schedule, mesh, placement.mesh_pe);
+  return placement;
+}
+
+Placement place_greedy(const TaskGraph& graph, const StreamingSchedule& schedule,
+                       const Mesh& mesh) {
+  Placement placement;
+  placement.mesh_pe.assign(graph.node_count(), -1);
+
+  for (std::size_t b = 0; b < schedule.partition.blocks.size(); ++b) {
+    const auto& block = schedule.partition.blocks[b];
+    if (static_cast<std::int64_t>(block.size()) > mesh.size()) {
+      throw std::invalid_argument("place_greedy: block larger than the mesh");
+    }
+    const std::vector<EdgeId> edges =
+        block_stream_edges(graph, schedule, static_cast<std::int32_t>(b));
+
+    // Streamed volume per task inside this block drives the placement order:
+    // heavy communicators grab central spots first.
+    std::vector<std::int64_t> traffic(graph.node_count(), 0);
+    for (const EdgeId e : edges) {
+      traffic[static_cast<std::size_t>(graph.edge(e).src)] += graph.edge(e).volume;
+      traffic[static_cast<std::size_t>(graph.edge(e).dst)] += graph.edge(e).volume;
+    }
+    std::vector<NodeId> order(block);
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId c) {
+      const auto ta = traffic[static_cast<std::size_t>(a)];
+      const auto tc = traffic[static_cast<std::size_t>(c)];
+      if (ta != tc) return ta > tc;
+      return a < c;
+    });
+
+    std::vector<bool> occupied(static_cast<std::size_t>(mesh.size()), false);
+    const MeshCoord center{mesh.cols() / 2, mesh.rows() / 2};
+    for (const NodeId v : order) {
+      std::int64_t best_pe = -1;
+      std::int64_t best_cost = std::numeric_limits<std::int64_t>::max();
+      for (std::int64_t pe = 0; pe < mesh.size(); ++pe) {
+        if (occupied[static_cast<std::size_t>(pe)]) continue;
+        std::int64_t cost = 0;
+        for (const EdgeId e : edges) {
+          const Edge& edge = graph.edge(e);
+          NodeId other = kInvalidNode;
+          if (edge.src == v) other = edge.dst;
+          if (edge.dst == v) other = edge.src;
+          if (other == kInvalidNode) continue;
+          const std::int64_t placed = placement.mesh_pe[static_cast<std::size_t>(other)];
+          if (placed < 0) continue;
+          cost += mesh.distance(pe, placed) * edge.volume;
+        }
+        // Tie-break towards the mesh center to keep future neighbors close.
+        const MeshCoord c = mesh.coord_of(pe);
+        const std::int64_t centrality =
+            std::abs(c.x - center.x) + std::abs(c.y - center.y);
+        const std::int64_t key = cost * 1024 + centrality;
+        if (key < best_cost) {
+          best_cost = key;
+          best_pe = pe;
+        }
+      }
+      placement.mesh_pe[static_cast<std::size_t>(v)] = best_pe;
+      occupied[static_cast<std::size_t>(best_pe)] = true;
+    }
+  }
+  placement.metrics = evaluate_placement(graph, schedule, mesh, placement.mesh_pe);
+  return placement;
+}
+
+}  // namespace sts

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/streaming_schedule.hpp"
+#include "graph/task_graph.hpp"
+#include "noc/mesh.hpp"
+
+namespace sts {
+
+/// Quality metrics of a placement of one schedule onto a mesh NoC, under
+/// dimension-ordered (XY) routing. The scheduling model assumes
+/// contention-free links; `max_link_load` measures how far a placement is
+/// from that ideal (elements crossing the hottest link).
+struct PlacementMetrics {
+  std::int64_t weighted_hops = 0;  ///< sum over streaming edges of volume * hops
+  double mean_hops = 0.0;          ///< unweighted mean hop distance
+  std::int64_t max_link_load = 0;  ///< elements over the most loaded directed link
+  std::int64_t streaming_edges = 0;
+};
+
+/// A placement: mesh PE per task, per spatial block (blocks time-multiplex
+/// the whole fabric, so placements of different blocks are independent).
+struct Placement {
+  std::vector<std::int64_t> mesh_pe;  ///< per node; -1 for buffers/unplaced
+  PlacementMetrics metrics;
+};
+
+/// Baseline placement: tasks take mesh PEs in schedule (PE-index) order.
+[[nodiscard]] Placement place_identity(const TaskGraph& graph,
+                                       const StreamingSchedule& schedule, const Mesh& mesh);
+
+/// Communication-aware greedy placement: within each block, tasks are
+/// placed in decreasing order of streamed volume; each task takes the free
+/// mesh PE minimizing the volume-weighted distance to its already-placed
+/// streaming neighbors (ties towards the mesh center). A practical starting
+/// point for the placement problem the paper leaves as future work.
+[[nodiscard]] Placement place_greedy(const TaskGraph& graph, const StreamingSchedule& schedule,
+                                     const Mesh& mesh);
+
+/// Evaluates an existing placement (hops + XY link loads).
+[[nodiscard]] PlacementMetrics evaluate_placement(const TaskGraph& graph,
+                                                  const StreamingSchedule& schedule,
+                                                  const Mesh& mesh,
+                                                  const std::vector<std::int64_t>& mesh_pe);
+
+}  // namespace sts

@@ -1,0 +1,225 @@
+#include "sim/dataflow_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace sts {
+
+namespace {
+
+constexpr std::int64_t kUnbounded = -1;
+constexpr std::int64_t kNeverReleased = std::numeric_limits<std::int64_t>::max();
+
+/// Static per-task execution profile derived from the canonical node.
+struct TaskProfile {
+  std::int64_t total_consume = 0;  ///< I(v): consume steps (one per input edge each)
+  std::int64_t total_produce = 0;  ///< O(v): produce steps (one per output edge each)
+  // Production rate R = rate_num / rate_den (reduced). Output j needs
+  // ceil(j * rate_den / rate_num) consume steps completed.
+  std::int64_t rate_num = 1;
+  std::int64_t rate_den = 1;
+  bool is_buffer = false;
+
+  [[nodiscard]] std::int64_t consumes_needed(std::int64_t produce_step) const {
+    if (is_buffer) return total_consume;
+    if (total_consume == 0) return 0;  // source
+    return (produce_step * rate_den + rate_num - 1) / rate_num;
+  }
+
+  /// Constant-space bound: inputs a task may ingest before emitting output
+  /// `produced + 1` (it must not hoard elements of later outputs).
+  [[nodiscard]] std::int64_t consume_cap(std::int64_t produced) const {
+    if (is_buffer || total_produce == 0) return total_consume;
+    if (produced >= total_produce) return total_consume;
+    return std::min(total_consume, consumes_needed(produced + 1));
+  }
+};
+
+}  // namespace
+
+SimResult simulate_streaming(const TaskGraph& graph, const StreamingSchedule& schedule,
+                             const BufferPlan& buffers, SimOptions options) {
+  const std::size_t n = graph.node_count();
+  SimResult result;
+  result.finish.assign(n, 0);
+  result.first_out.assign(n, 0);
+
+  // --- Channel capacities -------------------------------------------------
+  std::vector<std::int64_t> capacity(graph.edge_count(), kUnbounded);
+  for (const ChannelPlan& plan : buffers.channels) {
+    capacity[static_cast<std::size_t>(plan.edge)] = plan.capacity;
+  }
+  std::vector<std::int64_t> occupancy(graph.edge_count(), 0);
+
+  // --- Task profiles and block release bookkeeping ------------------------
+  std::vector<TaskProfile> profile(n);
+  std::vector<std::int64_t> consumed(n, 0);
+  std::vector<std::int64_t> produced(n, 0);
+  std::vector<std::int64_t> release(n, 0);
+  std::vector<bool> complete(n, false);
+  const auto& blocks = schedule.partition.blocks;
+  std::vector<std::int64_t> block_pending(blocks.size(), 0);
+
+  for (NodeId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+    const auto idx = static_cast<std::size_t>(v);
+    TaskProfile& p = profile[idx];
+    p.total_consume = graph.input_volume(v);
+    p.total_produce = graph.output_volume(v);
+    p.is_buffer = graph.kind(v) == NodeKind::kBuffer;
+    if (graph.kind(v) == NodeKind::kCompute && p.total_consume > 0 && p.total_produce > 0) {
+      const Rational r = graph.rate(v);
+      p.rate_num = r.num();
+      p.rate_den = r.den();
+    }
+    if (graph.occupies_pe(v)) {
+      const auto block = schedule.partition.block_of[idx];
+      if (block < 0) throw std::invalid_argument("simulate_streaming: PE node without block");
+      ++block_pending[static_cast<std::size_t>(block)];
+      release[idx] = block == 0 ? 0 : kNeverReleased;
+    } else {
+      release[idx] = 0;  // buffers are passive memory, always live
+    }
+  }
+
+  // --- Event queue ---------------------------------------------------------
+  using Event = std::pair<std::int64_t, NodeId>;  // (tick, task)
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+  std::vector<std::int64_t> queued_at(n, -1);  // dedupe per tick
+  const auto wake = [&](NodeId v, std::int64_t tick) {
+    if (queued_at[static_cast<std::size_t>(v)] != tick) {
+      queued_at[static_cast<std::size_t>(v)] = tick;
+      queue.emplace(tick, v);
+    }
+  };
+  for (NodeId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+    if (release[static_cast<std::size_t>(v)] == 0) wake(v, 1);
+  }
+
+  std::size_t incomplete_pe_tasks = 0;
+  for (NodeId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+    if (graph.occupies_pe(v)) ++incomplete_pe_tasks;
+  }
+  std::size_t next_block_to_release = blocks.empty() ? 0 : 1;
+
+  std::vector<NodeId> batch;
+  while (!queue.empty() && incomplete_pe_tasks > 0) {
+    const std::int64_t now = queue.top().first;
+    if (now > options.max_ticks) {
+      result.tick_limit_reached = true;
+      break;
+    }
+    result.ticks_executed = now;
+    batch.clear();
+    while (!queue.empty() && queue.top().first == now) {
+      batch.push_back(queue.top().second);
+      queue.pop();
+    }
+
+    // Phase C: consume steps. Reads run before writes within a time unit, so
+    // a full FIFO drained now can be refilled now (rate-1 with capacity 1);
+    // producers blocked on the freed channel re-enter this tick's phase P.
+    std::vector<NodeId> acted;
+    const auto join_phase_p = [&](NodeId u) {
+      if (queued_at[static_cast<std::size_t>(u)] != now) {
+        queued_at[static_cast<std::size_t>(u)] = now;
+        batch.push_back(u);
+      }
+    };
+    for (std::size_t bi = 0; bi < batch.size(); ++bi) {
+      const NodeId v = batch[bi];
+      const auto idx = static_cast<std::size_t>(v);
+      if (now <= release[idx] || complete[idx]) continue;
+      const TaskProfile& p = profile[idx];
+      if (consumed[idx] >= p.consume_cap(produced[idx])) continue;
+      bool inputs_ready = !graph.in_edges(v).empty();
+      for (const EdgeId e : graph.in_edges(v)) {
+        if (occupancy[static_cast<std::size_t>(e)] < 1) {
+          inputs_ready = false;
+          break;
+        }
+      }
+      if (!inputs_ready) continue;
+      for (const EdgeId e : graph.in_edges(v)) {
+        --occupancy[static_cast<std::size_t>(e)];
+        join_phase_p(graph.edge(e).src);  // space freed: producer may write now
+      }
+      ++consumed[idx];
+      if (graph.kind(v) == NodeKind::kSink) result.finish[idx] = now;
+      if (options.record_trace) {
+        result.trace.push_back(SimEvent{now, v, SimEvent::Kind::kConsume});
+      }
+      acted.push_back(v);
+    }
+
+    // Phase P: produce steps. An output enabled by this tick's consume may
+    // leave in the same unit (one time unit per element end-to-end).
+    for (const NodeId v : batch) {
+      const auto idx = static_cast<std::size_t>(v);
+      if (now <= release[idx] || complete[idx]) continue;
+      const TaskProfile& p = profile[idx];
+      if (produced[idx] >= p.total_produce) continue;
+      if (p.consumes_needed(produced[idx] + 1) > consumed[idx]) continue;
+      bool space = true;
+      for (const EdgeId e : graph.out_edges(v)) {
+        const auto eidx = static_cast<std::size_t>(e);
+        if (capacity[eidx] != kUnbounded && occupancy[eidx] >= capacity[eidx]) {
+          space = false;
+          break;
+        }
+      }
+      if (!space) continue;
+      for (const EdgeId e : graph.out_edges(v)) {
+        ++occupancy[static_cast<std::size_t>(e)];
+        wake(graph.edge(e).dst, now + 1);
+      }
+      ++produced[idx];
+      if (result.first_out[idx] == 0) result.first_out[idx] = now;
+      result.finish[idx] = now;
+      if (options.record_trace) {
+        result.trace.push_back(SimEvent{now, v, SimEvent::Kind::kProduce});
+      }
+      acted.push_back(v);
+    }
+
+    // Progress bookkeeping: completions, barriers, re-arming active tasks.
+    for (const NodeId v : acted) {
+      const auto idx = static_cast<std::size_t>(v);
+      wake(v, now + 1);
+      if (!complete[idx] && consumed[idx] >= profile[idx].total_consume &&
+          produced[idx] >= profile[idx].total_produce) {
+        complete[idx] = true;
+        if (!graph.occupies_pe(v)) continue;
+        --incomplete_pe_tasks;
+        const auto block = static_cast<std::size_t>(schedule.partition.block_of[idx]);
+        if (--block_pending[block] == 0 && next_block_to_release < blocks.size() &&
+            block + 1 == next_block_to_release) {
+          for (const NodeId w : blocks[next_block_to_release]) {
+            release[static_cast<std::size_t>(w)] = now;
+            wake(w, now + 1);
+          }
+          ++next_block_to_release;
+        }
+      }
+    }
+  }
+
+  if (incomplete_pe_tasks > 0 && !result.tick_limit_reached) {
+    result.deadlocked = true;
+    for (NodeId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+      if (graph.occupies_pe(v) && !complete[static_cast<std::size_t>(v)]) {
+        result.stuck.push_back(v);
+      }
+    }
+  }
+  for (NodeId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+    if (graph.occupies_pe(v)) {
+      result.makespan = std::max(result.makespan, result.finish[static_cast<std::size_t>(v)]);
+    }
+  }
+  return result;
+}
+
+}  // namespace sts

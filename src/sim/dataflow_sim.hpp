@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/buffer_sizing.hpp"
+#include "core/streaming_schedule.hpp"
+#include "graph/task_graph.hpp"
+
+namespace sts {
+
+/// Options for the dataflow simulation.
+struct SimOptions {
+  /// Safety limit; a run exceeding it reports tick_limit_reached.
+  std::int64_t max_ticks = 50'000'000;
+  /// Record the full element-movement event trace (consume/produce steps).
+  bool record_trace = false;
+};
+
+/// One element-movement step of the simulation trace.
+struct SimEvent {
+  enum class Kind : std::uint8_t { kConsume, kProduce };
+  std::int64_t tick = 0;
+  NodeId node = kInvalidNode;
+  Kind kind = Kind::kConsume;
+};
+
+/// Outcome of simulating a streaming schedule.
+struct SimResult {
+  bool deadlocked = false;
+  bool tick_limit_reached = false;
+  /// Simulated makespan: last tick at which any PE task moved an element.
+  std::int64_t makespan = 0;
+  /// Per node: tick of its last element movement (the simulated LO).
+  std::vector<std::int64_t> finish;
+  /// Per node: tick of its first produced element (the simulated FO);
+  /// 0 if the node never produced.
+  std::vector<std::int64_t> first_out;
+  /// Full event trace when SimOptions::record_trace is set (tick-ordered).
+  std::vector<SimEvent> trace;
+  /// Incomplete PE tasks when a deadlock was detected.
+  std::vector<NodeId> stuck;
+  std::int64_t ticks_executed = 0;
+};
+
+/// Discrete-event simulation of a streaming schedule (paper Appendix B).
+///
+/// Model (mirrors the paper's simpy validation):
+///  - Every task is a process moving one element per input edge and one per
+///    output edge per unit of time, with constant internal space: a node may
+///    only run ahead of its output by the inputs of the next output element
+///    (downsamplers accumulate 1/R inputs, upsamplers emit R outputs per
+///    input, buffers absorb everything).
+///  - Streaming channels (same-block task-to-task edges) are finite FIFOs
+///    with blocking-after-service semantics, sized by the BufferPlan.
+///    Reads and writes in the same time unit see reads first, so a
+///    capacity-1 FIFO sustains one element per unit.
+///  - Edges to/from buffer nodes and across spatial blocks go through global
+///    memory: unbounded, but consumers of a later block only start once the
+///    previous block completed (gang-scheduled barriers).
+///  - An element produced in time unit t is consumable from t+1 on; a node
+///    may consume and produce in the same unit (pipelining), which matches
+///    the ST/FO/LO recurrences of Section 5.1.
+///
+/// Deadlock (all incomplete tasks blocked) is detected and reported; with
+/// buffer space from Equation 5 it must not occur on valid schedules.
+[[nodiscard]] SimResult simulate_streaming(const TaskGraph& graph,
+                                           const StreamingSchedule& schedule,
+                                           const BufferPlan& buffers, SimOptions options = {});
+
+}  // namespace sts

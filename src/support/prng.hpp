@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sts {
+
+/// xoshiro256** — a small, fast, high-quality PRNG with an explicit,
+/// platform-independent state.  Used instead of std::mt19937 so that every
+/// workload generator is reproducible bit-for-bit across standard libraries
+/// (libstdc++ / libc++ distribution implementations differ).
+///
+/// Satisfies UniformRandomBitGenerator.
+class Prng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Prng(std::uint64_t seed) noexcept {
+    // SplitMix64 seeding, recommended initialisation for xoshiro.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Uses Lemire-style rejection-free
+  /// multiply-shift; bias is negligible for the ranges used here (<= 2^32).
+  [[nodiscard]] constexpr std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    const auto r = (*this)();
+    return lo + static_cast<std::int64_t>(
+                    static_cast<std::uint64_t>((static_cast<unsigned __int128>(r) * span) >> 64));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace sts

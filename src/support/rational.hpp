@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace sts {
+
+/// Exact rational arithmetic over 64-bit integers.
+///
+/// Streaming intervals (Theorem 4.1) are ratios of data volumes and are not
+/// integers in general; schedule times, however, must be exact integers
+/// (clock cycles).  Rational keeps the analysis exact and provides the
+/// ceiling operations the schedule recurrences of Section 5.1 need.
+///
+/// Invariants: den > 0 and gcd(|num|, den) == 1 (canonical form).
+class Rational {
+ public:
+  constexpr Rational() noexcept : num_(0), den_(1) {}
+  constexpr Rational(std::int64_t value) noexcept : num_(value), den_(1) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs num/den in canonical form. Throws on zero denominator.
+  constexpr Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+    if (den_ == 0) throw std::invalid_argument("Rational: zero denominator");
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+  }
+
+  [[nodiscard]] constexpr std::int64_t num() const noexcept { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const noexcept { return den_; }
+
+  [[nodiscard]] constexpr bool is_integer() const noexcept { return den_ == 1; }
+
+  /// Largest integer <= this.
+  [[nodiscard]] constexpr std::int64_t floor() const noexcept {
+    if (num_ >= 0) return num_ / den_;
+    return -((-num_ + den_ - 1) / den_);
+  }
+
+  /// Smallest integer >= this.
+  [[nodiscard]] constexpr std::int64_t ceil() const noexcept {
+    if (num_ >= 0) return (num_ + den_ - 1) / den_;
+    return -((-num_) / den_);
+  }
+
+  [[nodiscard]] double to_double() const noexcept {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  [[nodiscard]] constexpr Rational reciprocal() const {
+    if (num_ == 0) throw std::domain_error("Rational: reciprocal of zero");
+    return Rational(den_, num_);
+  }
+
+  friend constexpr Rational operator+(const Rational& a, const Rational& b) {
+    // Cross-reduce to limit intermediate magnitude.
+    const std::int64_t g = std::gcd(a.den_, b.den_);
+    const std::int64_t bd = b.den_ / g;
+    return Rational(a.num_ * bd + b.num_ * (a.den_ / g), a.den_ * bd);
+  }
+  friend constexpr Rational operator-(const Rational& a, const Rational& b) {
+    const std::int64_t g = std::gcd(a.den_, b.den_);
+    const std::int64_t bd = b.den_ / g;
+    return Rational(a.num_ * bd - b.num_ * (a.den_ / g), a.den_ * bd);
+  }
+  friend constexpr Rational operator*(const Rational& a, const Rational& b) {
+    const std::int64_t g1 = std::gcd(a.num_ < 0 ? -a.num_ : a.num_, b.den_);
+    const std::int64_t g2 = std::gcd(b.num_ < 0 ? -b.num_ : b.num_, a.den_);
+    return Rational((a.num_ / g1) * (b.num_ / g2), (a.den_ / g2) * (b.den_ / g1));
+  }
+  friend constexpr Rational operator/(const Rational& a, const Rational& b) {
+    if (b.num_ == 0) throw std::domain_error("Rational: division by zero");
+    return a * b.reciprocal();
+  }
+  constexpr Rational operator-() const noexcept {
+    Rational r;
+    r.num_ = -num_;
+    r.den_ = den_;
+    return r;
+  }
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  friend constexpr bool operator==(const Rational& a, const Rational& b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend constexpr bool operator!=(const Rational& a, const Rational& b) noexcept {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(const Rational& a, const Rational& b) noexcept {
+    return a.num_ * b.den_ < b.num_ * a.den_;
+  }
+  friend constexpr bool operator<=(const Rational& a, const Rational& b) noexcept {
+    return a.num_ * b.den_ <= b.num_ * a.den_;
+  }
+  friend constexpr bool operator>(const Rational& a, const Rational& b) noexcept { return b < a; }
+  friend constexpr bool operator>=(const Rational& a, const Rational& b) noexcept { return b <= a; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (den_ == 1) return std::to_string(num_);
+    return std::to_string(num_) + "/" + std::to_string(den_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& r) {
+    return os << r.to_string();
+  }
+
+ private:
+  std::int64_t num_;
+  std::int64_t den_;
+};
+
+/// ceil(a * b) for an integer scale and a rational interval; the common
+/// operation in the ST/FO/LO recurrences, e.g. ceil((O(v)-1) * S_o(v)).
+[[nodiscard]] constexpr std::int64_t ceil_mul(std::int64_t scale, const Rational& r) {
+  return (Rational(scale) * r).ceil();
+}
+
+}  // namespace sts

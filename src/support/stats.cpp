@@ -1,0 +1,76 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace sts {
+
+namespace {
+
+// Type-7 quantile on a sorted vector.
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+std::string BoxStats::summary(int precision) const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << median << " [" << q1 << ", " << q3 << "]";
+  return os.str();
+}
+
+BoxStats box_stats(std::vector<double> samples) {
+  BoxStats s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.mean = mean_of(samples);
+  s.q1 = sorted_quantile(samples, 0.25);
+  s.median = sorted_quantile(samples, 0.50);
+  s.q3 = sorted_quantile(samples, 0.75);
+  const double iqr = s.q3 - s.q1;
+  const double lo_fence = s.q1 - 1.5 * iqr;
+  const double hi_fence = s.q3 + 1.5 * iqr;
+  s.whisker_lo = s.max;
+  s.whisker_hi = s.min;
+  for (const double x : samples) {
+    if (x >= lo_fence && x <= hi_fence) {
+      s.whisker_lo = std::min(s.whisker_lo, x);
+      s.whisker_hi = std::max(s.whisker_hi, x);
+    } else {
+      s.outliers.push_back(x);
+    }
+  }
+  return s;
+}
+
+double mean_of(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  return std::accumulate(samples.begin(), samples.end(), 0.0) /
+         static_cast<double>(samples.size());
+}
+
+double median_of(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return sorted_quantile(samples, 0.5);
+}
+
+double quantile_of(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return sorted_quantile(samples, q);
+}
+
+}  // namespace sts

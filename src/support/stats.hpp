@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sts {
+
+/// Five-number boxplot summary matching the paper's figures (Appendix B):
+/// median, quartiles Q1/Q3, whiskers at the most extreme samples within
+/// 1.5*IQR of the box, plus outliers beyond the whiskers.
+struct BoxStats {
+  double min = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double max = 0;
+  double mean = 0;
+  double whisker_lo = 0;  ///< smallest sample > Q1 - 1.5*IQR
+  double whisker_hi = 0;  ///< largest sample  < Q3 + 1.5*IQR
+  std::size_t n = 0;
+  std::vector<double> outliers;
+
+  /// Compact "med [q1, q3]" rendering used in the bench tables.
+  [[nodiscard]] std::string summary(int precision = 2) const;
+};
+
+/// Computes boxplot statistics; the input need not be sorted.
+/// Quartiles use linear interpolation between closest ranks (type-7, the
+/// default of numpy/matplotlib that produced the paper's plots).
+[[nodiscard]] BoxStats box_stats(std::vector<double> samples);
+
+/// Arithmetic mean; 0 for an empty range.
+[[nodiscard]] double mean_of(const std::vector<double>& samples);
+
+/// Median (type-7 interpolation); 0 for an empty range.
+[[nodiscard]] double median_of(std::vector<double> samples);
+
+/// Quantile q in [0,1] with type-7 interpolation; input need not be sorted.
+[[nodiscard]] double quantile_of(std::vector<double> samples, double q);
+
+}  // namespace sts

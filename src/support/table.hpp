@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sts {
+
+/// Minimal ASCII table printer used by the benchmark harnesses so that every
+/// table/figure reproduction prints rows in a uniform, diff-friendly layout.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders with column widths fitted to content, `|`-separated.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double -> string ("12.34").
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+
+}  // namespace sts

@@ -1,0 +1,99 @@
+#pragma once
+
+#include "graph/task_graph.hpp"
+
+namespace sts::testing {
+
+/// The spatial block of paper Figure 8 (5 tasks, one block). Expected
+/// schedule: ST/LO/FO = (0,31,1), (1,32,8), (8,33,9), (1,33,2), (2,34,6).
+inline TaskGraph figure8_graph() {
+  TaskGraph g;
+  const NodeId n0 = g.add_source(16, "t0");
+  const NodeId n1 = g.add_compute("t1");  // downsampler R = 1/4
+  const NodeId n2 = g.add_compute("t2");  // element-wise
+  const NodeId n3 = g.add_compute("t3");  // upsampler R = 2
+  const NodeId n4 = g.add_compute("t4");  // downsampler R = 1/4
+  g.add_edge(n0, n1, 16);
+  g.add_edge(n1, n2, 4);
+  g.add_edge(n0, n3, 16);
+  g.add_edge(n3, n4, 32);
+  g.declare_output(n2, 4);
+  g.declare_output(n4, 8);
+  return g;
+}
+
+/// Paper Figure 9, task graph 1: two disjoint paths from task 0 to task 4;
+/// reducers on the left path delay the reconvergence. Expected schedule:
+/// (0,32,1), (1,33,9), (9,34,18), (18,50,19), (19,51,20); the streaming FIFO
+/// for edge (0,4) needs 18 slots.
+inline TaskGraph figure9_graph1() {
+  TaskGraph g;
+  const NodeId n0 = g.add_source(32, "t0");
+  const NodeId n1 = g.add_compute("t1");  // R = 1/8
+  const NodeId n2 = g.add_compute("t2");  // R = 1/2
+  const NodeId n3 = g.add_compute("t3");  // R = 16
+  const NodeId n4 = g.add_compute("t4");  // element-wise join
+  g.add_edge(n0, n1, 32);
+  g.add_edge(n1, n2, 4);
+  g.add_edge(n2, n3, 2);
+  g.add_edge(n3, n4, 32);
+  g.add_edge(n0, n4, 32);
+  g.declare_output(n4, 32);
+  return g;
+}
+
+/// Paper Figure 9, task graph 2: an undirected cycle across two source
+/// chains. Expected schedule: (0,32,1), (1,33,33), (33,65,34), (0,32,1),
+/// (1,33,2), (34,66,35); the FIFO into task 5 from the short chain needs 32
+/// slots.
+inline TaskGraph figure9_graph2() {
+  TaskGraph g;
+  const NodeId n0 = g.add_source(32, "t0");
+  const NodeId n1 = g.add_compute("t1");  // R = 1/32
+  const NodeId n2 = g.add_compute("t2");  // R = 32
+  const NodeId n3 = g.add_source(32, "t3");
+  const NodeId n4 = g.add_compute("t4");  // element-wise join
+  const NodeId n5 = g.add_compute("t5");  // element-wise join
+  g.add_edge(n0, n1, 32);
+  g.add_edge(n1, n2, 1);
+  g.add_edge(n2, n5, 32);
+  g.add_edge(n3, n4, 32);
+  g.add_edge(n0, n4, 32);
+  g.add_edge(n4, n5, 32);
+  g.declare_output(n5, 32);
+  return g;
+}
+
+/// Figure 6: source u (K = 8 elements) feeding an upsampler with R = 4.
+/// At steady state S_o(u) = 4 and S_o(v) = 1.
+inline TaskGraph figure6_graph() {
+  TaskGraph g;
+  const NodeId u = g.add_source(8, "u");
+  const NodeId v = g.add_compute("v");
+  g.add_edge(u, v, 8);
+  g.declare_output(v, 32);
+  return g;
+}
+
+/// A two-component graph in the spirit of Figure 7: streaming intervals are
+/// computed per weakly connected component of the buffer-split transform.
+/// WCC0 = {s, e1, d} with max volume 16; WCC1 = {B.head, u1, e2} with max
+/// volume 32.
+inline TaskGraph buffer_split_example() {
+  TaskGraph g;
+  const NodeId s = g.add_source(16, "s");
+  const NodeId e1 = g.add_compute("e1");  // element-wise 16 -> 16
+  const NodeId d = g.add_compute("d");    // downsampler 16 -> 4
+  const NodeId buf = g.add_buffer("B");   // 4 in, 8 out (R = 2)
+  const NodeId u1 = g.add_compute("u1");  // upsampler 8 -> 32
+  const NodeId e2 = g.add_compute("e2");  // element-wise 32 -> 32
+  g.add_edge(s, e1, 16);
+  g.add_edge(e1, d, 16);
+  g.add_edge(d, buf, 4);
+  g.add_edge(buf, u1, 8);
+  g.add_edge(u1, e2, 32);
+  g.declare_output(e2, 32);
+  return g;
+}
+
+}  // namespace sts::testing

@@ -1,0 +1,198 @@
+#include "core/streaming_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/partition.hpp"
+#include "paper_examples.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace sts {
+namespace {
+
+SpatialPartition single_block(const TaskGraph& g) {
+  SpatialPartition p;
+  p.block_of.assign(g.node_count(), -1);
+  p.blocks.emplace_back();
+  for (NodeId v = 0; static_cast<std::size_t>(v) < g.node_count(); ++v) {
+    if (g.occupies_pe(v)) {
+      p.block_of[static_cast<std::size_t>(v)] = 0;
+      p.blocks[0].push_back(v);
+    }
+  }
+  return p;
+}
+
+TEST(BlockSchedule, ReproducesPaperFigure8Exactly) {
+  const TaskGraph g = testing::figure8_graph();
+  const StreamingSchedule s = schedule_streaming(g, single_block(g));
+  // Paper Figure 8 table: Task | ST | LO | FO.
+  EXPECT_EQ(s.at(0).start, 0);
+  EXPECT_EQ(s.at(0).last_out, 31);
+  EXPECT_EQ(s.at(0).first_out, 1);
+  EXPECT_EQ(s.at(1).start, 1);
+  EXPECT_EQ(s.at(1).last_out, 32);
+  EXPECT_EQ(s.at(1).first_out, 8);
+  EXPECT_EQ(s.at(2).start, 8);
+  EXPECT_EQ(s.at(2).last_out, 33);
+  EXPECT_EQ(s.at(2).first_out, 9);
+  EXPECT_EQ(s.at(3).start, 1);
+  EXPECT_EQ(s.at(3).last_out, 33);
+  EXPECT_EQ(s.at(3).first_out, 2);
+  EXPECT_EQ(s.at(4).start, 2);
+  EXPECT_EQ(s.at(4).last_out, 34);
+  EXPECT_EQ(s.at(4).first_out, 6);
+  EXPECT_EQ(s.makespan, 34);
+}
+
+TEST(BlockSchedule, ReproducesPaperFigure9Graph1Exactly) {
+  const TaskGraph g = testing::figure9_graph1();
+  const StreamingSchedule s = schedule_streaming(g, single_block(g));
+  const std::array<std::array<std::int64_t, 3>, 5> expected{{
+      {0, 32, 1}, {1, 33, 9}, {9, 34, 18}, {18, 50, 19}, {19, 51, 20}}};
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(s.at(v).start, expected[static_cast<std::size_t>(v)][0]) << "ST " << v;
+    EXPECT_EQ(s.at(v).last_out, expected[static_cast<std::size_t>(v)][1]) << "LO " << v;
+    EXPECT_EQ(s.at(v).first_out, expected[static_cast<std::size_t>(v)][2]) << "FO " << v;
+  }
+}
+
+TEST(BlockSchedule, ReproducesPaperFigure9Graph2Exactly) {
+  const TaskGraph g = testing::figure9_graph2();
+  const StreamingSchedule s = schedule_streaming(g, single_block(g));
+  const std::array<std::array<std::int64_t, 3>, 6> expected{{
+      {0, 32, 1}, {1, 33, 33}, {33, 65, 34}, {0, 32, 1}, {1, 33, 2}, {34, 66, 35}}};
+  for (NodeId v = 0; v < 6; ++v) {
+    EXPECT_EQ(s.at(v).start, expected[static_cast<std::size_t>(v)][0]) << "ST " << v;
+    EXPECT_EQ(s.at(v).last_out, expected[static_cast<std::size_t>(v)][1]) << "LO " << v;
+    EXPECT_EQ(s.at(v).first_out, expected[static_cast<std::size_t>(v)][2]) << "FO " << v;
+  }
+}
+
+TEST(BlockSchedule, ElementwiseChainStreamingDepth) {
+  // Section 4.2.1: a fully streamed element-wise chain finishes in
+  // k + L(G) - 1 time units.
+  TaskGraph g;
+  const std::int64_t k = 64;
+  NodeId prev = g.add_source(k, "s");
+  const int chain = 6;
+  for (int i = 1; i < chain; ++i) {
+    const NodeId next = g.add_compute("c" + std::to_string(i));
+    g.add_edge(prev, next, k);
+    prev = next;
+  }
+  g.declare_output(prev, k);
+  const StreamingSchedule s = schedule_streaming(g, single_block(g));
+  EXPECT_EQ(s.makespan, k + chain - 1);
+}
+
+TEST(BlockSchedule, BufferNodeBreaksPipelining) {
+  const TaskGraph g = testing::buffer_split_example();
+  const StreamingSchedule s = schedule_streaming(g, single_block(g));
+  // WCC0: s(0) e1(1) d(2); source streams 16 at interval 1.
+  EXPECT_EQ(s.at(0).last_out, 16);
+  EXPECT_EQ(s.at(1).last_out, 17);
+  EXPECT_EQ(s.at(2).last_out, 18);
+  // The buffer head only starts after d completes: FO(B) = LO(d) + 1 = 19.
+  EXPECT_EQ(s.at(3).first_out, 19);
+  // Head emits 8 elements at interval 4 (WCC1 max is 32): LO = 19 + 7*4 = 47.
+  EXPECT_EQ(s.at(3).last_out, 47);
+  // u1 consumes at S_i = 4, R = 4 upsampler: ST = FO(B) = 19, FO = 20.
+  EXPECT_EQ(s.at(4).start, 19);
+  EXPECT_EQ(s.at(4).first_out, 20);
+  // e2 runs at interval 1 behind u1: LO(e2) = LO(u1) + 1.
+  EXPECT_EQ(s.at(5).last_out, s.at(4).last_out + 1);
+  EXPECT_EQ(s.makespan, s.at(5).last_out);
+}
+
+TEST(BlockSchedule, TwoBlocksRunBackToBack) {
+  const TaskGraph g = testing::figure9_graph1();
+  // Force a two-block split: {0, 1} then {2, 3, 4}.
+  SpatialPartition p;
+  p.block_of = {0, 0, 1, 1, 1};
+  p.blocks = {{0, 1}, {2, 3, 4}};
+  const StreamingSchedule s = schedule_streaming(g, p);
+  ASSERT_EQ(s.block_start.size(), 2u);
+  // Block 0: source streams 32 (throttled? WCC = {0,1}: max 32 -> S_o(0)=1).
+  EXPECT_EQ(s.block_start[0], 0);
+  EXPECT_EQ(s.at(0).last_out, 32);
+  EXPECT_EQ(s.at(1).last_out, 33);
+  EXPECT_EQ(s.block_end[0], 33);
+  // Block 1 is released at the barrier.
+  EXPECT_EQ(s.block_start[1], 33);
+  EXPECT_GE(s.at(2).start, 33);
+  // Task 4 reads task 0's output from memory (cross-block edge) and task 3's
+  // stream within the block.
+  EXPECT_GT(s.at(4).last_out, s.at(3).last_out);
+  EXPECT_EQ(s.makespan, s.block_end[1]);
+}
+
+TEST(BlockSchedule, BlockSourceDownsamplerIngestsFromMemory) {
+  // A downsampler alone in block 1 must take I time units to read its input.
+  TaskGraph g;
+  const NodeId src = g.add_source(64, "src");
+  const NodeId down = g.add_compute("down");
+  g.add_edge(src, down, 64);
+  g.declare_output(down, 4);
+  SpatialPartition p;
+  p.block_of = {0, 1};
+  p.blocks = {{src}, {down}};
+  const StreamingSchedule s = schedule_streaming(g, p);
+  EXPECT_EQ(s.at(0).last_out, 64);
+  EXPECT_EQ(s.block_start[1], 64);
+  // ST = 64; reading 64 elements at S_i = 1; LO = 64 + 63 + 1 = 128.
+  EXPECT_EQ(s.at(1).start, 64);
+  EXPECT_EQ(s.at(1).last_out, 128);
+  // FO: first output after 16 inputs: 64 + ceil((16-1)*1) + 1 = 80.
+  EXPECT_EQ(s.at(1).first_out, 80);
+}
+
+TEST(BlockSchedule, PeAssignmentsAreDistinctWithinBlock) {
+  const TaskGraph g = make_fft(8, /*seed=*/4);
+  const SpatialPartition p =
+      partition_spatial_blocks(g, 8, PartitionVariant::kRLX);
+  const StreamingSchedule s = schedule_streaming(g, p);
+  for (std::size_t b = 0; b < p.blocks.size(); ++b) {
+    std::set<std::int32_t> pes;
+    for (const NodeId v : p.blocks[b]) {
+      const auto pe = s.at(v).pe;
+      EXPECT_GE(pe, 0);
+      EXPECT_LT(pe, 8);
+      EXPECT_TRUE(pes.insert(pe).second) << "duplicate PE in block " << b;
+    }
+  }
+}
+
+TEST(BlockSchedule, MakespanIsLastBlockEnd) {
+  const TaskGraph g = make_cholesky(4, /*seed=*/9);
+  const SpatialPartition p = partition_spatial_blocks(g, 4, PartitionVariant::kLTS);
+  const StreamingSchedule s = schedule_streaming(g, p);
+  ASSERT_FALSE(s.block_end.empty());
+  EXPECT_EQ(s.makespan, s.block_end.back());
+  for (std::size_t b = 1; b < s.block_start.size(); ++b) {
+    EXPECT_EQ(s.block_start[b], s.block_end[b - 1]);
+  }
+}
+
+TEST(BlockSchedule, TimingOrderingInvariants) {
+  // ST < FO <= LO for every PE task; FO of a node is after the FO of the
+  // streaming predecessors it consumes from.
+  const TaskGraph g = make_gaussian_elimination(8, /*seed=*/2);
+  const SpatialPartition p = partition_spatial_blocks(g, 16, PartitionVariant::kRLX);
+  const StreamingSchedule s = schedule_streaming(g, p);
+  for (NodeId v = 0; static_cast<std::size_t>(v) < g.node_count(); ++v) {
+    if (!g.occupies_pe(v)) continue;
+    const TaskTiming& t = s.at(v);
+    EXPECT_LT(t.start, t.first_out) << "node " << v;
+    EXPECT_LE(t.first_out, t.last_out) << "node " << v;
+    for (const EdgeId e : g.in_edges(v)) {
+      const NodeId u = g.edge(e).src;
+      if (s.at(u).block == t.block && g.kind(u) != NodeKind::kBuffer) {
+        EXPECT_GT(t.first_out, s.at(u).first_out) << "edge " << u << "->" << v;
+        EXPECT_GE(t.last_out, s.at(u).last_out) << "edge " << u << "->" << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sts

@@ -1,0 +1,140 @@
+#include "core/buffer_sizing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/streaming_scheduler.hpp"
+#include "paper_examples.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace sts {
+namespace {
+
+std::int64_t capacity_between(const TaskGraph& g, const BufferPlan& plan, NodeId u, NodeId v) {
+  for (const ChannelPlan& c : plan.channels) {
+    if (g.edge(c.edge).src == u && g.edge(c.edge).dst == v) return c.capacity;
+  }
+  return -1;
+}
+
+std::int64_t requirement_between(const TaskGraph& g, const BufferPlan& plan, NodeId u, NodeId v) {
+  for (const ChannelPlan& c : plan.channels) {
+    if (g.edge(c.edge).src == u && g.edge(c.edge).dst == v) return c.eq5_requirement;
+  }
+  return -1;
+}
+
+TEST(BufferSizing, PaperFigure9Graph1Needs18) {
+  const TaskGraph g = testing::figure9_graph1();
+  const StreamingSchedulerResult r =
+      schedule_streaming_graph(g, 5, PartitionVariant::kRLX);
+  ASSERT_EQ(r.schedule.partition.block_count(), 1u);
+  // Paper: "the FIFO channel between tasks 0 and 4 must have a buffer space
+  // equal to 18". The allocation adds one credit-slack slot on top.
+  EXPECT_EQ(requirement_between(g, r.buffers, 0, 4), 18);
+  EXPECT_EQ(capacity_between(g, r.buffers, 0, 4), 19);
+  // The slow path edge (3,4) carries the max-delay input: no Eq. 5 need.
+  EXPECT_EQ(requirement_between(g, r.buffers, 3, 4), 0);
+  EXPECT_EQ(capacity_between(g, r.buffers, 3, 4), 2);
+}
+
+TEST(BufferSizing, PaperFigure9Graph2Needs32) {
+  const TaskGraph g = testing::figure9_graph2();
+  const StreamingSchedulerResult r =
+      schedule_streaming_graph(g, 6, PartitionVariant::kRLX);
+  ASSERT_EQ(r.schedule.partition.block_count(), 1u);
+  // Paper: "the buffer space for the channel [into task 5 from the short
+  // chain] must be equal to 32" — which is the full edge volume, so the
+  // allocation is capped there too.
+  EXPECT_EQ(requirement_between(g, r.buffers, 4, 5), 32);
+  EXPECT_EQ(capacity_between(g, r.buffers, 4, 5), 32);
+  EXPECT_EQ(capacity_between(g, r.buffers, 2, 5), 2);
+}
+
+TEST(BufferSizing, CapacityCappedAtEdgeVolume) {
+  // Join with an extreme delay difference: the required space exceeds the
+  // data volume, so the volume is enough (paper Section 6).
+  TaskGraph g;
+  const NodeId s = g.add_source(8, "s");
+  const NodeId d1 = g.add_compute("d1");  // 8 -> 1
+  const NodeId u1 = g.add_compute("u1");  // 1 -> 8
+  const NodeId join = g.add_compute("join");
+  g.add_edge(s, d1, 8);
+  g.add_edge(d1, u1, 1);
+  g.add_edge(u1, join, 8);
+  g.add_edge(s, join, 8);
+  g.declare_output(join, 8);
+  const StreamingSchedulerResult r =
+      schedule_streaming_graph(g, 4, PartitionVariant::kRLX);
+  const std::int64_t cap = capacity_between(g, r.buffers, s, join);
+  EXPECT_EQ(cap, 8);  // requirement + slack exceeds the volume: capped at 8
+}
+
+TEST(BufferSizing, TreeShapedBlocksUseDefaultCapacity) {
+  TaskGraph g;
+  NodeId prev = g.add_source(16, "s");
+  for (int i = 0; i < 4; ++i) {
+    const NodeId next = g.add_compute("c" + std::to_string(i));
+    g.add_edge(prev, next, 16);
+    prev = next;
+  }
+  g.declare_output(prev, 16);
+  const StreamingSchedulerResult r =
+      schedule_streaming_graph(g, 8, PartitionVariant::kRLX);
+  for (const ChannelPlan& c : r.buffers.channels) {
+    EXPECT_FALSE(c.on_undirected_cycle);
+    EXPECT_EQ(c.eq5_requirement, 0);
+    EXPECT_EQ(c.capacity, 2);  // double-buffering slack only
+  }
+  EXPECT_EQ(r.buffers.total_capacity, 8);
+}
+
+TEST(BufferSizing, OnlyInBlockEdgesGetChannels) {
+  const TaskGraph g = testing::figure9_graph1();
+  SpatialPartition p;
+  p.block_of = {0, 0, 1, 1, 1};
+  p.blocks = {{0, 1}, {2, 3, 4}};
+  const StreamingSchedule s = schedule_streaming(g, p);
+  const BufferPlan plan = compute_buffer_plan(g, s);
+  // Edges 1->2 (cross-block) and 0->4 (cross-block) have no FIFO.
+  EXPECT_EQ(capacity_between(g, plan, 1, 2), -1);
+  EXPECT_EQ(capacity_between(g, plan, 0, 4), -1);
+  EXPECT_EQ(capacity_between(g, plan, 0, 1), 2);
+  EXPECT_EQ(capacity_between(g, plan, 3, 4), 2);
+  // And the cross-block split removes the undirected cycle entirely.
+  for (const ChannelPlan& c : plan.channels) EXPECT_FALSE(c.on_undirected_cycle);
+}
+
+TEST(BufferSizing, LargerDefaultCapacityRespected) {
+  const TaskGraph g = testing::figure9_graph1();
+  const StreamingSchedule s =
+      schedule_streaming(g, partition_spatial_blocks(g, 8, PartitionVariant::kRLX));
+  const BufferPlan plan = compute_buffer_plan(g, s, /*default_capacity=*/4);
+  EXPECT_EQ(capacity_between(g, plan, 1, 2), 4);
+  EXPECT_EQ(capacity_between(g, plan, 0, 4), 21);  // 18 + 3 slack slots
+  EXPECT_THROW(compute_buffer_plan(g, s, 0), std::invalid_argument);
+}
+
+TEST(BufferSizing, TotalCapacityAccumulates) {
+  const TaskGraph g = make_fft(8, /*seed=*/6);
+  const StreamingSchedulerResult r =
+      schedule_streaming_graph(g, 64, PartitionVariant::kRLX);
+  std::int64_t sum = 0;
+  for (const ChannelPlan& c : r.buffers.channels) sum += c.capacity;
+  EXPECT_EQ(sum, r.buffers.total_capacity);
+  EXPECT_GE(sum, static_cast<std::int64_t>(r.buffers.channels.size()));
+}
+
+TEST(BufferSizing, CycleEdgesFlagged) {
+  const TaskGraph g = testing::figure9_graph2();
+  const StreamingSchedulerResult r =
+      schedule_streaming_graph(g, 6, PartitionVariant::kRLX);
+  int cycle_edges = 0;
+  for (const ChannelPlan& c : r.buffers.channels) {
+    if (c.on_undirected_cycle) ++cycle_edges;
+  }
+  // The undirected cycle 0-1-2-5-4-0 has 5 edges; 3->4 is a bridge.
+  EXPECT_EQ(cycle_edges, 5);
+}
+
+}  // namespace
+}  // namespace sts

@@ -1,0 +1,204 @@
+#include "csdf/csdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/streaming_scheduler.hpp"
+#include "paper_examples.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace sts {
+namespace {
+
+TEST(CsdfConversion, ElementwiseActorShape) {
+  TaskGraph g;
+  const NodeId s = g.add_source(8, "s");
+  const NodeId e = g.add_compute("e");
+  g.add_edge(s, e, 8);
+  g.declare_output(e, 8);
+  const CsdfGraph csdf = csdf_from_canonical(g);
+  ASSERT_EQ(csdf.actor_count(), 2u);
+  EXPECT_EQ(csdf.actor(0).phase_count, 1);
+  EXPECT_EQ(csdf.actor(0).repetitions, 8);
+  EXPECT_EQ(csdf.actor(1).phase_count, 1);
+  EXPECT_EQ(csdf.actor(1).repetitions, 8);
+  ASSERT_EQ(csdf.channel_count(), 1u);
+  EXPECT_EQ(csdf.channel(0).production, (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(csdf.channel(0).consumption, (std::vector<std::int64_t>{1}));
+}
+
+TEST(CsdfConversion, DownsamplerPhases) {
+  TaskGraph g;
+  const NodeId s = g.add_source(8, "s");
+  const NodeId d = g.add_compute("d");  // R = 1/4
+  g.add_edge(s, d, 8);
+  g.declare_output(d, 2);
+  const CsdfGraph csdf = csdf_from_canonical(g);
+  EXPECT_EQ(csdf.actor(1).phase_count, 4);
+  EXPECT_EQ(csdf.actor(1).repetitions, 8);  // 2 cycles of 4 phases
+  // Consumes one token per phase.
+  EXPECT_EQ(csdf.channel(0).consumption, (std::vector<std::int64_t>{1, 1, 1, 1}));
+}
+
+TEST(CsdfConversion, UpsamplerPhases) {
+  TaskGraph g;
+  const NodeId s = g.add_source(2, "s");
+  const NodeId u = g.add_compute("u");  // R = 4
+  g.add_edge(s, u, 2);
+  g.declare_output(u, 8);
+  const NodeId e = g.add_compute("e");
+  g.add_edge(u, e, 8);
+  g.declare_output(e, 8);
+  const CsdfGraph csdf = csdf_from_canonical(g);
+  EXPECT_EQ(csdf.actor(1).phase_count, 4);
+  EXPECT_EQ(csdf.actor(1).repetitions, 8);
+  // Consumes only in the first phase of each cycle; produces every phase.
+  const CsdfChannel& in = csdf.channel(0);
+  EXPECT_EQ(in.consumption, (std::vector<std::int64_t>{1, 0, 0, 0}));
+  const CsdfChannel& out = csdf.channel(1);
+  EXPECT_EQ(out.production, (std::vector<std::int64_t>{1, 1, 1, 1}));
+}
+
+TEST(CsdfConversion, RejectsBufferNodes) {
+  EXPECT_THROW(csdf_from_canonical(testing::buffer_split_example()), std::invalid_argument);
+}
+
+TEST(CsdfSelfTimed, ChainMakespanMatchesStreamingDepth) {
+  TaskGraph g;
+  const std::int64_t k = 16;
+  NodeId prev = g.add_source(k, "s");
+  const int chain = 4;
+  for (int i = 1; i < chain; ++i) {
+    const NodeId next = g.add_compute("c" + std::to_string(i));
+    g.add_edge(prev, next, k);
+    prev = next;
+  }
+  g.declare_output(prev, k);
+  const CsdfAnalysis a = analyze_self_timed(csdf_from_canonical(g));
+  EXPECT_FALSE(a.deadlocked);
+  EXPECT_FALSE(a.timed_out);
+  EXPECT_EQ(a.makespan, k + chain - 1);
+  EXPECT_EQ(a.firings, 4 * k);
+}
+
+TEST(CsdfSelfTimed, MatchesStreamingScheduleOnSingleBlock) {
+  // With P = #nodes the streaming schedule co-schedules everything; the
+  // CSDF self-timed makespan should be close (paper Figure 12 right: ratios
+  // within a few percent).
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const TaskGraph g = make_fft(8, seed);
+    const auto r = schedule_streaming_graph(
+        g, static_cast<std::int64_t>(g.node_count()), PartitionVariant::kRLX);
+    const CsdfAnalysis a = analyze_self_timed(csdf_from_canonical(g));
+    ASSERT_FALSE(a.deadlocked);
+    const double ratio = static_cast<double>(r.schedule.makespan) /
+                         static_cast<double>(a.makespan);
+    EXPECT_GT(ratio, 0.8) << "seed " << seed;
+    EXPECT_LT(ratio, 1.35) << "seed " << seed;
+  }
+}
+
+TEST(CsdfSelfTimed, TimeoutBudgetRespected) {
+  const TaskGraph g = make_chain(8, /*seed=*/1);
+  const CsdfAnalysis a = analyze_self_timed(csdf_from_canonical(g), /*max_firings=*/5);
+  EXPECT_TRUE(a.timed_out);
+  EXPECT_EQ(a.firings, 5);
+}
+
+TEST(CsdfSelfTimed, DeadlockDetectedOnStarvedGraph) {
+  // An actor that needs two tokens it never gets.
+  CsdfGraph g;
+  const auto a = g.add_actor(CsdfActor{"a", 1, 1});
+  const auto b = g.add_actor(CsdfActor{"b", 1, 1});
+  CsdfChannel ch;
+  ch.src = a;
+  ch.dst = b;
+  ch.production = {1};
+  ch.consumption = {2};  // b needs 2 tokens but a only fires once
+  g.add_channel(ch);
+  const CsdfAnalysis r = analyze_self_timed(g);
+  EXPECT_TRUE(r.deadlocked);
+}
+
+TEST(CsdfGraph, ApiGuards) {
+  CsdfGraph g;
+  EXPECT_THROW(g.add_actor(CsdfActor{"bad", 0, 1}), std::invalid_argument);
+  const auto a = g.add_actor(CsdfActor{"a", 2, 2});
+  const auto b = g.add_actor(CsdfActor{"b", 1, 1});
+  CsdfChannel ch;
+  ch.src = a;
+  ch.dst = b;
+  ch.production = {1};  // wrong length: actor a has 2 phases
+  ch.consumption = {1};
+  EXPECT_THROW(g.add_channel(ch), std::invalid_argument);
+  ch.src = 99;
+  EXPECT_THROW(g.add_channel(ch), std::out_of_range);
+}
+
+TEST(CsdfGraph, TotalFiringsSum) {
+  CsdfGraph g;
+  g.add_actor(CsdfActor{"a", 1, 3});
+  g.add_actor(CsdfActor{"b", 2, 4});
+  EXPECT_EQ(g.total_firings(), 7);
+}
+
+TEST(CsdfThroughput, ConvergesOnChainWithUnitPeriod) {
+  // A pipelined chain with the sink->source back edge: each iteration takes
+  // the same time once the period stabilizes, and the period equals the
+  // single-iteration makespan (only one iteration in flight).
+  TaskGraph g;
+  const std::int64_t k = 16;
+  NodeId prev = g.add_source(k, "s");
+  for (int i = 1; i < 4; ++i) {
+    const NodeId next = g.add_compute("c" + std::to_string(i));
+    g.add_edge(prev, next, k);
+    prev = next;
+  }
+  g.declare_output(prev, k);
+  const CsdfThroughput t = analyze_throughput(csdf_from_canonical(g), /*max_iterations=*/5);
+  EXPECT_FALSE(t.deadlocked);
+  EXPECT_FALSE(t.timed_out);
+  EXPECT_TRUE(t.converged);
+  EXPECT_EQ(t.first_iteration_makespan, k + 3);
+  EXPECT_EQ(t.period, t.first_iteration_makespan);
+  EXPECT_EQ(t.iterations_executed, 5);
+}
+
+TEST(CsdfThroughput, GatingKeepsOneIterationInFlight) {
+  // Without gating a source would start iteration 2 immediately; the
+  // back-edge token delays it until the sinks finish, so total time is
+  // iterations * period rather than period + (iterations-1).
+  TaskGraph g;
+  const NodeId s = g.add_source(8, "s");
+  const NodeId c = g.add_compute("c");
+  g.add_edge(s, c, 8);
+  g.declare_output(c, 8);
+  const CsdfThroughput t = analyze_throughput(csdf_from_canonical(g), /*max_iterations=*/3);
+  ASSERT_FALSE(t.deadlocked);
+  ASSERT_EQ(t.iterations_executed, 3);
+  EXPECT_EQ(t.first_iteration_makespan, 9);
+  EXPECT_EQ(t.period, 9);
+  EXPECT_EQ(t.firings, 3 * 16);
+}
+
+TEST(CsdfThroughput, MatchesSelfTimedFirstIteration) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const TaskGraph g = make_fft(8, seed);
+    const CsdfGraph csdf = csdf_from_canonical(g);
+    const CsdfAnalysis single = analyze_self_timed(csdf);
+    const CsdfThroughput multi = analyze_throughput(csdf, /*max_iterations=*/3);
+    ASSERT_FALSE(multi.deadlocked) << seed;
+    EXPECT_EQ(multi.first_iteration_makespan, single.makespan) << seed;
+    EXPECT_GE(multi.period, single.makespan) << seed;  // back edge serializes
+  }
+}
+
+TEST(CsdfThroughput, FiringBudgetReported) {
+  const TaskGraph g = make_chain(6, 2);
+  const CsdfThroughput t =
+      analyze_throughput(csdf_from_canonical(g), /*max_iterations=*/4, /*max_firings=*/10);
+  EXPECT_TRUE(t.timed_out);
+  EXPECT_EQ(t.firings, 10);
+}
+
+}  // namespace
+}  // namespace sts

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "core/schedule_export.hpp"
+#include "core/streaming_scheduler.hpp"
+#include "graph/dot_export.hpp"
+#include "paper_examples.hpp"
+
+namespace sts {
+namespace {
+
+TEST(DotExport, ContainsAllNodesAndEdges) {
+  const TaskGraph g = testing::figure8_graph();
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  for (NodeId v = 0; static_cast<std::size_t>(v) < g.node_count(); ++v) {
+    EXPECT_NE(dot.find("n" + std::to_string(v) + " ["), std::string::npos) << v;
+  }
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n3 -> n4"), std::string::npos);
+}
+
+TEST(DotExport, AnnotatesNodeTypes) {
+  const TaskGraph g = testing::figure8_graph();
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("source O=16"), std::string::npos);
+  EXPECT_NE(dot.find("D R=1/4"), std::string::npos);  // downsampler
+  EXPECT_NE(dot.find("U R=2"), std::string::npos);    // upsampler
+}
+
+TEST(DotExport, BuffersDrawnAsBoxes) {
+  const TaskGraph g = testing::buffer_split_example();
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("B[4]"), std::string::npos);  // buffer with I=4
+}
+
+TEST(DotExport, OptionsSuppressLabels) {
+  const TaskGraph g = testing::figure8_graph();
+  DotOptions options;
+  options.show_volumes = false;
+  options.show_rates = false;
+  const std::string dot = to_dot(g, options);
+  EXPECT_EQ(dot.find("label=\"16\""), std::string::npos);
+  EXPECT_EQ(dot.find("R="), std::string::npos);
+}
+
+TEST(Gantt, PaintsEveryTaskRow) {
+  const TaskGraph g = testing::figure8_graph();
+  const auto r = schedule_streaming_graph(g, 5, PartitionVariant::kRLX);
+  const std::string gantt = to_gantt(g, r.schedule, 60);
+  EXPECT_NE(gantt.find("block 0"), std::string::npos);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_NE(gantt.find("t" + std::to_string(v)), std::string::npos);
+  }
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+  EXPECT_NE(gantt.find('F'), std::string::npos);  // first-out markers
+}
+
+TEST(Gantt, HandlesDegenerateInput) {
+  const TaskGraph g = testing::figure8_graph();
+  StreamingSchedule empty;
+  empty.timing.assign(g.node_count(), TaskTiming{});
+  const std::string gantt = to_gantt(g, empty, 40);
+  EXPECT_NE(gantt.find("empty schedule"), std::string::npos);
+}
+
+TEST(ScheduleJson, StructureAndValues) {
+  const TaskGraph g = testing::figure8_graph();
+  const auto r = schedule_streaming_graph(g, 5, PartitionVariant::kRLX);
+  const std::string json = to_schedule_json(g, r.schedule, &r.buffers);
+  EXPECT_NE(json.find("\"makespan\": 34"), std::string::npos);
+  EXPECT_NE(json.find("\"st\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"fo\": 8"), std::string::npos);   // task 1
+  EXPECT_NE(json.find("\"lo\": 34"), std::string::npos);  // task 4
+  EXPECT_NE(json.find("\"channels\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_buffer_space\""), std::string::npos);
+  // Rational intervals serialized as strings.
+  EXPECT_NE(json.find("\"s_out\": \"2\""), std::string::npos);
+}
+
+TEST(ScheduleJson, OmitsChannelsWithoutPlan) {
+  const TaskGraph g = testing::figure8_graph();
+  const auto r = schedule_streaming_graph(g, 5, PartitionVariant::kRLX);
+  const std::string json = to_schedule_json(g, r.schedule);
+  EXPECT_EQ(json.find("\"channels\""), std::string::npos);
+}
+
+TEST(ScheduleJson, EscapesNames) {
+  TaskGraph g;
+  const NodeId a = g.add_source(4, "weird\"name");
+  const NodeId b = g.add_compute("b");
+  g.add_edge(a, b, 4);
+  g.declare_output(b, 4);
+  const auto r = schedule_streaming_graph(g, 2, PartitionVariant::kRLX);
+  const std::string json = to_schedule_json(g, r.schedule);
+  EXPECT_NE(json.find("weird\\\"name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sts

@@ -1,0 +1,145 @@
+// Property-based fuzzing of the full pipeline over random layered DAGs:
+// arbitrary canonical topologies (fan-in/fan-out, skip edges, mixed rates)
+// must always produce valid partitions, monotone schedules, deadlock-free
+// simulations, and near-agreeing makespans. These sweeps exercise corner
+// shapes the hand-built workloads do not (diamonds, wide joins, deep skips).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "baseline/list_scheduler.hpp"
+#include "core/streaming_scheduler.hpp"
+#include "core/work_depth.hpp"
+#include "csdf/csdf.hpp"
+#include "sim/dataflow_sim.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace sts {
+namespace {
+
+LayeredSpec spec_for(int shape) {
+  LayeredSpec spec;
+  switch (shape) {
+    case 0:  // deep and narrow
+      spec.layers = 12;
+      spec.width = 3;
+      spec.edge_probability = 0.2;
+      break;
+    case 1:  // shallow and wide
+      spec.layers = 4;
+      spec.width = 12;
+      spec.edge_probability = 0.15;
+      break;
+    case 2:  // dense with long skips
+      spec.layers = 7;
+      spec.width = 6;
+      spec.edge_probability = 0.4;
+      spec.max_skip = 4;
+      break;
+    default:  // sparse default
+      break;
+  }
+  return spec;
+}
+
+class FuzzPipeline : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(FuzzPipeline, EndToEndInvariantsHold) {
+  const auto [shape, seed] = GetParam();
+  const TaskGraph g = make_random_layered(spec_for(shape), seed);
+  ASSERT_TRUE(g.validate().empty());
+
+  const auto tasks = static_cast<std::int64_t>(g.node_count());
+  for (const std::int64_t pes : {std::int64_t{3}, tasks / 2 + 1, tasks}) {
+    for (const auto variant : {PartitionVariant::kLTS, PartitionVariant::kRLX}) {
+      const auto r = schedule_streaming_graph(g, pes, variant);
+
+      // Partition invariants.
+      ASSERT_TRUE(partition_is_valid(g, r.schedule.partition, pes));
+
+      // Timing invariants: ST < FO <= LO, blocks tile the timeline.
+      for (NodeId v = 0; static_cast<std::size_t>(v) < g.node_count(); ++v) {
+        if (!g.occupies_pe(v)) continue;
+        const TaskTiming& t = r.schedule.at(v);
+        ASSERT_LT(t.start, t.first_out) << "node " << v;
+        ASSERT_LE(t.first_out, t.last_out) << "node " << v;
+        ASSERT_GE(t.start, r.schedule.block_start[static_cast<std::size_t>(t.block)]);
+        ASSERT_LE(t.last_out, r.schedule.block_end[static_cast<std::size_t>(t.block)]);
+      }
+
+      // Buffer plan invariants: capacities within [1, volume].
+      for (const ChannelPlan& c : r.buffers.channels) {
+        ASSERT_GE(c.capacity, 1);
+        ASSERT_LE(c.capacity, g.edge(c.edge).volume);
+      }
+
+      // Simulation: deadlock-free, makespan agreement within tolerance.
+      const SimResult sim = simulate_streaming(g, r.schedule, r.buffers);
+      ASSERT_FALSE(sim.deadlocked)
+          << "shape " << shape << " seed " << seed << " pes " << pes;
+      ASSERT_FALSE(sim.tick_limit_reached);
+      const double err = std::abs(static_cast<double>(r.schedule.makespan) -
+                                  static_cast<double>(sim.makespan)) /
+                         static_cast<double>(sim.makespan);
+      EXPECT_LT(err, 0.30) << "shape " << shape << " seed " << seed << " pes " << pes
+                           << " analytic " << r.schedule.makespan << " sim " << sim.makespan;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FuzzPipeline,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(11u, 22u, 33u, 44u, 55u)));
+
+class FuzzAnalysis : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzAnalysis, StreamingDepthAndBaselineBounds) {
+  const TaskGraph g = make_random_layered(LayeredSpec{}, GetParam());
+  const WorkDepth wd = analyze_work_depth(g);
+  ASSERT_GT(wd.work, 0);
+  ASSERT_GT(wd.streaming_depth, Rational(0));
+
+  // Non-streaming baseline: bounded by critical path and total work.
+  const auto bl = bottom_levels(g);
+  std::int64_t cp = 0;
+  for (const auto b : bl) cp = std::max(cp, b);
+  const ListSchedule nstr = schedule_non_streaming(g, 8);
+  EXPECT_GE(nstr.makespan, cp);
+  EXPECT_LE(nstr.makespan, wd.work);
+
+  // CSDF conversion stays consistent for buffer-free graphs.
+  const CsdfGraph csdf = csdf_from_canonical(g);
+  const CsdfAnalysis analysis = analyze_self_timed(csdf);
+  EXPECT_FALSE(analysis.deadlocked);
+  EXPECT_GT(analysis.makespan, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzAnalysis,
+                         ::testing::Values(7u, 14u, 21u, 28u, 35u, 42u, 49u, 56u));
+
+TEST(FuzzGenerator, LayeredGraphsAreValidAndDeterministic) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const TaskGraph a = make_random_layered(LayeredSpec{}, seed);
+    EXPECT_TRUE(a.validate().empty()) << seed;
+    const TaskGraph b = make_random_layered(LayeredSpec{}, seed);
+    ASSERT_EQ(a.node_count(), b.node_count());
+    ASSERT_EQ(a.edge_count(), b.edge_count());
+    for (NodeId v = 0; static_cast<std::size_t>(v) < a.node_count(); ++v) {
+      EXPECT_EQ(a.output_volume(v), b.output_volume(v));
+    }
+  }
+}
+
+TEST(FuzzGenerator, SpecGuards) {
+  LayeredSpec bad;
+  bad.layers = 0;
+  EXPECT_THROW(make_random_layered(bad, 1), std::invalid_argument);
+  bad = LayeredSpec{};
+  bad.edge_probability = 1.5;
+  EXPECT_THROW(make_random_layered(bad, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sts

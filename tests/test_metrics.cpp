@@ -1,0 +1,72 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/streaming_scheduler.hpp"
+#include "paper_examples.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace sts {
+namespace {
+
+TEST(Metrics, SpeedupDefinition) {
+  EXPECT_DOUBLE_EQ(speedup(100, 25), 4.0);
+  EXPECT_DOUBLE_EQ(speedup(100, 0), 0.0);
+}
+
+TEST(Metrics, StreamingSlrDefinition) {
+  EXPECT_DOUBLE_EQ(streaming_slr(60, Rational(30)), 2.0);
+  EXPECT_DOUBLE_EQ(streaming_slr(60, Rational(0)), 0.0);
+  EXPECT_DOUBLE_EQ(streaming_slr(9, Rational(9, 2)), 2.0);
+}
+
+TEST(Metrics, StreamingUtilizationBounded) {
+  const TaskGraph g = testing::figure8_graph();
+  const auto r = schedule_streaming_graph(g, 5, PartitionVariant::kRLX);
+  const double util = streaming_utilization(g, r.schedule, 5);
+  EXPECT_GT(util, 0.0);
+  EXPECT_LE(util, 1.0);
+}
+
+TEST(Metrics, NonStreamingUtilizationMatchesHandComputation) {
+  // 4 independent tasks of work 10 on 4 PEs: util = 40 / (4*10) = 1.
+  TaskGraph g;
+  for (int i = 0; i < 4; ++i) g.add_source(10, "s" + std::to_string(i));
+  const ListSchedule s = schedule_non_streaming(g, 4);
+  EXPECT_DOUBLE_EQ(non_streaming_utilization(g, s, 4), 1.0);
+  const ListSchedule s8 = schedule_non_streaming(g, 8);
+  EXPECT_DOUBLE_EQ(non_streaming_utilization(g, s8, 8), 0.5);
+}
+
+TEST(Metrics, StreamingBeatsNonStreamingOnChain) {
+  // The headline claim on the Chain workload (Figure 10 leftmost panel).
+  const TaskGraph g = make_chain(8, /*seed=*/3);
+  const std::int64_t t1 = g.total_work();
+  const ListSchedule nstr = schedule_non_streaming(g, 8);
+  EXPECT_DOUBLE_EQ(speedup(t1, nstr.makespan), 1.0);
+  const auto str = schedule_streaming_graph(g, 8, PartitionVariant::kRLX);
+  EXPECT_GT(speedup(t1, str.schedule.makespan), 1.5);
+}
+
+TEST(Metrics, SslrApproachesOneWithManyPes) {
+  // Figure 11: SB-RLX reaches SSLR ~ 1 when PEs >= tasks.
+  const TaskGraph g = make_fft(8, /*seed=*/4);
+  const WorkDepth wd = analyze_work_depth(g);
+  const auto r = schedule_streaming_graph(
+      g, static_cast<std::int64_t>(g.node_count()), PartitionVariant::kRLX);
+  const double sslr = streaming_slr(r.schedule.makespan, wd.streaming_depth);
+  EXPECT_GE(sslr, 0.5);
+  EXPECT_LE(sslr, 1.5);
+}
+
+TEST(Metrics, SslrShrinksWithMorePes) {
+  const TaskGraph g = make_gaussian_elimination(8, /*seed=*/9);
+  const WorkDepth wd = analyze_work_depth(g);
+  const auto few = schedule_streaming_graph(g, 4, PartitionVariant::kRLX);
+  const auto many = schedule_streaming_graph(g, 32, PartitionVariant::kRLX);
+  EXPECT_LE(streaming_slr(many.schedule.makespan, wd.streaming_depth),
+            streaming_slr(few.schedule.makespan, wd.streaming_depth));
+}
+
+}  // namespace
+}  // namespace sts

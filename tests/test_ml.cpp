@@ -1,0 +1,301 @@
+#include "ml/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/canonical_builder.hpp"
+#include "ml/ops.hpp"
+
+namespace sts {
+namespace {
+
+TEST(CanonicalBuilder, StreamsCarryVolumes) {
+  TaskGraph g;
+  CanonicalBuilder b(g);
+  const Stream x = b.source(8, "x");
+  const Stream y = b.elementwise(x, "y");
+  const Stream z = b.compute(y, 2, "z");
+  b.finish(z);
+  EXPECT_TRUE(g.validate().empty());
+  EXPECT_EQ(y.volume, 8);
+  EXPECT_EQ(g.rate(z.node), Rational(1, 4));
+}
+
+TEST(CanonicalBuilder, RejectsMismatchedInputs) {
+  TaskGraph g;
+  CanonicalBuilder b(g);
+  const Stream x = b.source(8, "x");
+  const Stream y = b.source(4, "y");
+  const std::array<Stream, 2> ins{x, y};
+  EXPECT_THROW((void)b.elementwise(ins, "join"), std::invalid_argument);
+}
+
+TEST(MatmulWeights, StructureAndVolumes) {
+  // Figure 3 graph 2 family: M column tasks, each a 1/K downsampler.
+  TaskGraph g;
+  CanonicalBuilder b(g);
+  const std::int64_t n = 4, k = 8, m = 3;
+  const Stream a = b.source(n * k, "A");
+  const MatmulExpansion mm = matmul_weights(b, a, n, k, m, "mm");
+  b.finish(mm.out);
+  EXPECT_TRUE(g.validate().empty());
+  ASSERT_EQ(mm.column_streams.size(), static_cast<std::size_t>(m));
+  for (const Stream& col : mm.column_streams) {
+    EXPECT_EQ(col.volume, n);
+    EXPECT_EQ(g.rate(col.node), Rational(1, k));  // downsampler R = 1/K
+  }
+  EXPECT_EQ(mm.out.volume, n * m);
+  // 1 replicator + M dot tasks + 1 interleave = m + 2 PE tasks.
+  EXPECT_EQ(mm.tasks, static_cast<int>(m) + 2);
+}
+
+TEST(MatmulActivations, BuffersTheSecondOperand) {
+  TaskGraph g;
+  CanonicalBuilder b(g);
+  const std::int64_t n = 4, k = 2, m = 3;
+  const Stream a = b.source(n * k, "A");
+  const Stream bs = b.source(k * m, "B");
+  const MatmulExpansion mm = matmul_activations(b, a, bs, n, k, m, "mm");
+  b.finish(mm.out);
+  EXPECT_TRUE(g.validate().empty());
+  int buffers = 0;
+  for (NodeId v = 0; static_cast<std::size_t>(v) < g.node_count(); ++v) {
+    if (g.kind(v) == NodeKind::kBuffer) ++buffers;
+  }
+  EXPECT_EQ(buffers, 1);
+}
+
+TEST(MatmulInnerProduct, SingleDownsampler) {
+  // Figure 3 graph 1: both operands buffered, one 1/K dot node.
+  TaskGraph g;
+  CanonicalBuilder b(g);
+  const std::int64_t n = 3, k = 4, m = 2;
+  const Stream a = b.source(n * k, "A");
+  const Stream bs = b.source(k * m, "B");
+  const Stream c = matmul_inner_product(b, a, bs, n, k, m, "mm");
+  b.finish(c);
+  EXPECT_TRUE(g.validate().empty());
+  EXPECT_EQ(c.volume, n * m);
+  EXPECT_EQ(g.rate(c.node), Rational(1, k));
+  EXPECT_EQ(g.input_volume(c.node), n * k * m);
+}
+
+TEST(MatmulOuterProduct, TreeOfSums) {
+  // Figure 3 graph 3: K rank-1 multiplies + K-1 sum nodes.
+  TaskGraph g;
+  CanonicalBuilder b(g);
+  const std::int64_t n = 2, k = 4, m = 3;
+  const Stream a = b.source(n * k, "A");
+  const Stream bs = b.source(k * m, "B");
+  const MatmulExpansion mm = matmul_outer_product(b, a, bs, n, k, m, "mm");
+  b.finish(mm.out);
+  EXPECT_TRUE(g.validate().empty());
+  EXPECT_EQ(mm.tasks, static_cast<int>(2 * k - 1));
+  EXPECT_EQ(mm.out.volume, n * m);
+}
+
+TEST(OuterProduct, Figure2Graph1Shape) {
+  TaskGraph g;
+  CanonicalBuilder b(g);
+  const std::int64_t n = 4, m = 6;
+  const Stream u = b.source(n, "u");
+  const Stream v = b.source(m, "v");
+  const Stream out = outer_product(b, u, v, n, m, "op");
+  b.finish(out);
+  EXPECT_TRUE(g.validate().empty());
+  EXPECT_EQ(out.volume, n * m);
+  // The replicator is an upsampler with R = M.
+  bool found_upsampler = false;
+  for (NodeId node = 0; static_cast<std::size_t>(node) < g.node_count(); ++node) {
+    if (g.kind(node) == NodeKind::kCompute && g.in_degree(node) > 0 &&
+        g.rate(node) == Rational(m)) {
+      found_upsampler = true;
+    }
+  }
+  EXPECT_TRUE(found_upsampler);
+}
+
+TEST(VectorNormalize, BothVariantsValidate) {
+  {
+    TaskGraph g;
+    CanonicalBuilder b(g);
+    const Stream x = b.source(16, "x");
+    b.finish(vector_normalize_buffered(b, x, 16, "vn"));
+    EXPECT_TRUE(g.validate().empty());
+  }
+  {
+    TaskGraph g;
+    CanonicalBuilder b(g);
+    const Stream x = b.source(16, "x");
+    b.finish(vector_normalize_streamed(b, x, 16, "vn"));
+    EXPECT_TRUE(g.validate().empty());
+  }
+}
+
+TEST(Softmax, Figure5Shape) {
+  TaskGraph g;
+  CanonicalBuilder b(g);
+  const Stream x = b.source(32, "x");
+  const Stream y = softmax(b, x, /*rows=*/4, /*cols=*/8, "sm");
+  b.finish(y);
+  EXPECT_TRUE(g.validate().empty());
+  EXPECT_EQ(y.volume, 32);
+  // 5 computational tasks (max, sub, exp, sum, div) + 4 buffers + source.
+  const ModelStats stats = stats_of(g);
+  EXPECT_EQ(stats.buffer_nodes, 4);
+  EXPECT_EQ(stats.pe_tasks, 6);  // source + 5 compute
+}
+
+TEST(LayerNorm, ValidatesAndKeepsVolume) {
+  TaskGraph g;
+  CanonicalBuilder b(g);
+  const Stream x = b.source(64, "x");
+  const Stream y = layer_norm(b, x, 8, 8, "ln");
+  b.finish(y);
+  EXPECT_TRUE(g.validate().empty());
+  EXPECT_EQ(y.volume, 64);
+}
+
+TEST(Conv2d, ShapesAndIm2col) {
+  TaskGraph g;
+  CanonicalBuilder b(g);
+  ConvSpec spec;
+  spec.in_channels = 3;
+  spec.out_channels = 4;
+  spec.in_height = spec.in_width = 8;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.padding = 1;
+  const Stream x = b.source(3 * 8 * 8, "x");
+  const ConvExpansion conv = conv2d_bn(b, x, spec, "conv");
+  b.finish(conv.out);
+  EXPECT_TRUE(g.validate().empty());
+  EXPECT_EQ(spec.out_height(), 8);
+  EXPECT_EQ(conv.out.volume, 4 * 8 * 8);
+  const ModelStats stats = stats_of(g);
+  EXPECT_EQ(stats.buffer_nodes, 2);  // im2col buffer + output buffer
+}
+
+TEST(Conv2d, PointwiseSkipsIm2colBuffer) {
+  TaskGraph g;
+  CanonicalBuilder b(g);
+  ConvSpec spec;
+  spec.in_channels = 8;
+  spec.out_channels = 4;
+  spec.in_height = spec.in_width = 4;
+  spec.kernel = 1;
+  const Stream x = b.source(8 * 16, "x");
+  const ConvExpansion conv = conv2d_bn(b, x, spec, "conv");
+  b.finish(conv.out);
+  EXPECT_TRUE(g.validate().empty());
+  // A 1x1 stride-1 conv reads every input element once: only the output
+  // buffer remains.
+  EXPECT_EQ(stats_of(g).buffer_nodes, 1);
+}
+
+TEST(Pooling, MaxAndGlobalAvg) {
+  TaskGraph g;
+  CanonicalBuilder b(g);
+  const Stream x = b.source(2 * 6 * 6, "x");
+  const Stream pooled = max_pool(b, x, 2, 6, 6, 2, 2, 0, "pool");
+  EXPECT_EQ(pooled.volume, 2 * 3 * 3);
+  const Stream gap = global_avg_pool(b, pooled, 2, 9, "gap");
+  b.finish(gap);
+  EXPECT_TRUE(g.validate().empty());
+  EXPECT_EQ(gap.volume, 2);
+}
+
+TEST(Transformer, BuildsValidGraphOfPaperScale) {
+  const TaskGraph g = build_transformer_encoder(TransformerConfig{});
+  EXPECT_TRUE(g.validate().empty());
+  const ModelStats stats = stats_of(g);
+  // Paper: 4,748 nodes, 37 buffers for the encoder layer. Our expansion
+  // lands in the same regime (thousands of nodes, tens of buffers).
+  EXPECT_GT(stats.nodes, 3000);
+  EXPECT_LT(stats.nodes, 12000);
+  EXPECT_GT(stats.buffer_nodes, 20);
+  EXPECT_LT(stats.buffer_nodes, 200);
+}
+
+TEST(Transformer, ConfigGuards) {
+  TransformerConfig cfg;
+  cfg.heads = 3;  // does not divide 512
+  EXPECT_THROW(build_transformer_encoder(cfg), std::invalid_argument);
+}
+
+TEST(Resnet50, BuildsValidGraphOfPaperScale) {
+  const TaskGraph g = build_resnet50(ResNetConfig{});
+  EXPECT_TRUE(g.validate().empty());
+  const ModelStats stats = stats_of(g);
+  // Paper: 54,252 nodes with 246 buffer nodes. Our channel-parallel
+  // expansion lands in the same order of magnitude.
+  EXPECT_GT(stats.nodes, 20000);
+  EXPECT_LT(stats.nodes, 80000);
+  EXPECT_GT(stats.buffer_nodes, 30);
+  EXPECT_LT(stats.buffer_nodes, 400);
+}
+
+class MatmulShapeSweep
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t, std::int64_t>> {};
+
+TEST_P(MatmulShapeSweep, ColumnParallelStructureHolds) {
+  const auto [n, k, m] = GetParam();
+  TaskGraph g;
+  CanonicalBuilder b(g);
+  const Stream a = b.source(n * k, "A");
+  const MatmulExpansion mm = matmul_weights(b, a, n, k, m, "mm");
+  b.finish(mm.out);
+  ASSERT_TRUE(g.validate().empty());
+  // Node budget: source + replicator + weight source + m tasks + interleave.
+  EXPECT_EQ(g.node_count(), static_cast<std::size_t>(m) + 4);
+  EXPECT_EQ(mm.out.volume, n * m);
+  // Volume conservation through every dot task: I = n*k, O = n.
+  for (const Stream& col : mm.column_streams) {
+    EXPECT_EQ(g.input_volume(col.node), n * k);
+    EXPECT_EQ(g.output_volume(col.node), n);
+  }
+  // Total work scales with n*k*m (each column task reads the full A).
+  EXPECT_GE(g.total_work(), n * k * m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulShapeSweep,
+                         ::testing::Values(std::make_tuple(2, 2, 2),
+                                           std::make_tuple(8, 4, 16),
+                                           std::make_tuple(16, 32, 8),
+                                           std::make_tuple(1, 64, 10),
+                                           std::make_tuple(32, 1, 4)));
+
+class SoftmaxShapeSweep
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {};
+
+TEST_P(SoftmaxShapeSweep, VolumesAndBuffersScale) {
+  const auto [rows, cols] = GetParam();
+  TaskGraph g;
+  CanonicalBuilder b(g);
+  const Stream x = b.source(rows * cols, "x");
+  const Stream y = softmax(b, x, rows, cols, "sm");
+  b.finish(y);
+  ASSERT_TRUE(g.validate().empty());
+  EXPECT_EQ(y.volume, rows * cols);
+  const ModelStats stats = stats_of(g);
+  EXPECT_EQ(stats.buffer_nodes, 4);
+  EXPECT_EQ(stats.pe_tasks, 6);
+  // Row reductions have rate 1/cols.
+  int reducers = 0;
+  for (NodeId v = 0; static_cast<std::size_t>(v) < g.node_count(); ++v) {
+    if (g.kind(v) == NodeKind::kCompute && g.rate(v) == Rational(1, cols)) ++reducers;
+  }
+  EXPECT_EQ(reducers, 2);  // max and sum
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SoftmaxShapeSweep,
+                         ::testing::Values(std::make_tuple(1, 8), std::make_tuple(4, 4),
+                                           std::make_tuple(16, 64), std::make_tuple(64, 2)));
+
+TEST(Resnet50, RejectsBadImageSize) {
+  ResNetConfig cfg;
+  cfg.image = 100;
+  EXPECT_THROW(build_resnet50(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sts

@@ -1,0 +1,149 @@
+#include "core/optimal_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/streaming_scheduler.hpp"
+#include "core/work_depth.hpp"
+#include "paper_examples.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace sts {
+namespace {
+
+TEST(OptimalPartition, SingleBlockWhenPesCoverGraph) {
+  // With P >= N the all-in-one-block schedule is feasible; the optimum can
+  // not be worse than it.
+  const TaskGraph g = testing::figure8_graph();
+  const OptimalPartitionResult best = optimal_partition_exhaustive(g, 5);
+  EXPECT_TRUE(best.exhausted);
+  const auto rlx = schedule_streaming_graph(g, 5, PartitionVariant::kRLX);
+  EXPECT_LE(best.makespan, rlx.schedule.makespan);
+  EXPECT_TRUE(partition_is_valid(g, best.partition, 5));
+}
+
+TEST(OptimalPartition, NeverWorseThanHeuristics) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    LayeredSpec spec;
+    spec.layers = 4;
+    spec.width = 2;
+    const TaskGraph g = make_random_layered(spec, seed);
+    const auto tasks = static_cast<std::int64_t>(g.node_count());
+    for (const std::int64_t pes : {std::int64_t{2}, tasks / 2 + 1}) {
+      const OptimalPartitionResult best = optimal_partition_exhaustive(g, pes);
+      ASSERT_TRUE(best.exhausted) << "seed " << seed;
+      const auto lts = schedule_streaming_graph(g, pes, PartitionVariant::kLTS);
+      const auto rlx = schedule_streaming_graph(g, pes, PartitionVariant::kRLX);
+      EXPECT_LE(best.makespan, lts.schedule.makespan) << "seed " << seed << " pes " << pes;
+      EXPECT_LE(best.makespan, rlx.schedule.makespan) << "seed " << seed << " pes " << pes;
+      EXPECT_TRUE(partition_is_valid(g, best.partition, pes));
+    }
+  }
+}
+
+TEST(OptimalPartition, ChainSplitsEvenly) {
+  // A uniform element-wise chain of 6 tasks on 3 PEs: the optimum is two
+  // blocks of 3 (makespan 2*(k + 2)).
+  TaskGraph g;
+  const std::int64_t k = 64;
+  NodeId prev = g.add_source(k, "s");
+  for (int i = 1; i < 6; ++i) {
+    const NodeId next = g.add_compute("c" + std::to_string(i));
+    g.add_edge(prev, next, k);
+    prev = next;
+  }
+  g.declare_output(prev, k);
+  const OptimalPartitionResult best = optimal_partition_exhaustive(g, 3);
+  EXPECT_TRUE(best.exhausted);
+  EXPECT_EQ(best.partition.block_count(), 2u);
+  EXPECT_EQ(best.makespan, 2 * (k + 2));
+}
+
+TEST(OptimalPartition, CandidateBudgetReported) {
+  const TaskGraph g = make_fft(8, 1);  // 23 tasks: far beyond exhaustive reach
+  const OptimalPartitionResult capped = optimal_partition_exhaustive(g, 8, /*max=*/50);
+  EXPECT_FALSE(capped.exhausted);
+  EXPECT_EQ(capped.explored, 50);
+  EXPECT_GT(capped.makespan, 0);  // still returns the best seen
+}
+
+TEST(OptimalPartition, RespectsBufferRelaying) {
+  // Consumers behind a buffer may sit in any block at or after the
+  // producers'; the enumerator must not place them earlier.
+  const TaskGraph g = testing::buffer_split_example();
+  const OptimalPartitionResult best = optimal_partition_exhaustive(g, 2);
+  EXPECT_TRUE(best.exhausted);
+  EXPECT_TRUE(partition_is_valid(g, best.partition, 2));
+}
+
+TEST(OptimalPartition, Guards) {
+  EXPECT_THROW(optimal_partition_exhaustive(testing::figure8_graph(), 0),
+               std::invalid_argument);
+}
+
+TEST(AppendixTheoremA1, ElementwiseBrentBoundHolds) {
+  // Theorem A.1: for element-wise streaming graphs, T_P <= T1/P + T_s_inf.
+  for (const std::int64_t k : {16, 64}) {
+    for (const std::int64_t pes : {2, 3, 5}) {
+      TaskGraph g;
+      // Two parallel element-wise chains joined at the end.
+      const NodeId s = g.add_source(k, "s");
+      NodeId a = s, b = s;
+      for (int i = 0; i < 3; ++i) {
+        const NodeId na = g.add_compute("a" + std::to_string(i));
+        g.add_edge(a, na, k);
+        a = na;
+        const NodeId nb = g.add_compute("b" + std::to_string(i));
+        g.add_edge(b, nb, k);
+        b = nb;
+      }
+      const NodeId join = g.add_compute("join");
+      g.add_edge(a, join, k);
+      g.add_edge(b, join, k);
+      g.declare_output(join, k);
+
+      const WorkDepth wd = analyze_work_depth(g);
+      const auto r = schedule_streaming_graph(g, pes, PartitionVariant::kRLX);
+      const double bound = static_cast<double>(wd.work) / static_cast<double>(pes) +
+                           wd.streaming_depth.to_double();
+      EXPECT_LE(static_cast<double>(r.schedule.makespan), bound + 1.0)
+          << "k " << k << " pes " << pes;
+      // And the lower bound: T_P >= T_s_inf - L (depth bound tolerance).
+      EXPECT_GE(static_cast<double>(r.schedule.makespan),
+                static_cast<double>(k));
+    }
+  }
+}
+
+TEST(AppendixTheoremA2, WorkOrderedBoundHolds) {
+  // Theorem A.2 (elwise + downsampler graphs, Algorithm 2):
+  // T_P <= T1/P + T_s_inf + min(n-1, (x-1)(L-1)).
+  TaskGraph g;
+  const NodeId s = g.add_source(128, "s");
+  NodeId left = s, right = s;
+  for (int i = 0; i < 3; ++i) {
+    const NodeId l = g.add_compute("l" + std::to_string(i));
+    g.add_edge(left, l, g.output_volume(left));
+    g.declare_output(l, std::max<std::int64_t>(1, g.input_volume(l) / 2));
+    left = l;
+    const NodeId r = g.add_compute("r" + std::to_string(i));
+    g.add_edge(right, r, g.output_volume(right));
+    g.declare_output(r, g.input_volume(r));
+    right = r;
+  }
+  const WorkDepth wd = analyze_work_depth(g);
+  for (const std::int64_t pes : {2, 3}) {
+    const SpatialPartition p = partition_by_work(g, pes);
+    const StreamingSchedule sched = schedule_streaming(g, p);
+    const auto n = static_cast<double>(g.node_count());
+    const double levels = graph_level(g).to_double();
+    const double x = 2.0;  // at most two distinct works per level here
+    const double slack = std::min(n - 1.0, (x - 1.0) * (levels - 1.0));
+    const double bound = static_cast<double>(wd.work) / static_cast<double>(pes) +
+                         wd.streaming_depth.to_double() + slack;
+    EXPECT_LE(static_cast<double>(sched.makespan), bound + levels)
+        << "pes " << pes;
+  }
+}
+
+}  // namespace
+}  // namespace sts

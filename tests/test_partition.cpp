@@ -1,0 +1,185 @@
+#include "core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "paper_examples.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace sts {
+namespace {
+
+TEST(Partition, ChainStaysTogetherWithinCapacity) {
+  // Element-wise chains produce equal volumes: SB-LTS keeps them streaming.
+  TaskGraph g;
+  NodeId prev = g.add_source(16, "s");
+  for (int i = 1; i < 8; ++i) {
+    const NodeId next = g.add_compute("c" + std::to_string(i));
+    g.add_edge(prev, next, 16);
+    prev = next;
+  }
+  g.declare_output(prev, 16);
+  const SpatialPartition p = partition_spatial_blocks(g, 8, PartitionVariant::kLTS);
+  EXPECT_EQ(p.block_count(), 1u);
+  EXPECT_EQ(p.blocks[0].size(), 8u);
+}
+
+TEST(Partition, CapacityCutsBlocks) {
+  TaskGraph g;
+  NodeId prev = g.add_source(16, "s");
+  for (int i = 1; i < 8; ++i) {
+    const NodeId next = g.add_compute("c" + std::to_string(i));
+    g.add_edge(prev, next, 16);
+    prev = next;
+  }
+  g.declare_output(prev, 16);
+  const SpatialPartition p = partition_spatial_blocks(g, 3, PartitionVariant::kRLX);
+  EXPECT_EQ(p.block_count(), 3u);  // ceil(8/3)
+  EXPECT_EQ(p.blocks[0].size(), 3u);
+  EXPECT_EQ(p.blocks[1].size(), 3u);
+  EXPECT_EQ(p.blocks[2].size(), 2u);
+  EXPECT_TRUE(partition_is_valid(g, p, 3));
+}
+
+TEST(Partition, LtsRejectsFasterProducerThanSource) {
+  // source (4) -> upsampler (16): the upsampler would slow the source, so
+  // SB-LTS puts it into its own block; SB-RLX keeps them together.
+  TaskGraph g;
+  const NodeId s = g.add_source(4, "s");
+  const NodeId up = g.add_compute("up");
+  g.add_edge(s, up, 4);
+  g.declare_output(up, 16);
+  const SpatialPartition lts = partition_spatial_blocks(g, 2, PartitionVariant::kLTS);
+  EXPECT_EQ(lts.block_count(), 2u);
+  const SpatialPartition rlx = partition_spatial_blocks(g, 2, PartitionVariant::kRLX);
+  EXPECT_EQ(rlx.block_count(), 1u);
+  EXPECT_TRUE(partition_is_valid(g, lts, 2));
+  EXPECT_TRUE(partition_is_valid(g, rlx, 2));
+}
+
+TEST(Partition, DownsamplersAlwaysJoin) {
+  TaskGraph g;
+  const NodeId s = g.add_source(64, "s");
+  const NodeId d = g.add_compute("d");
+  g.add_edge(s, d, 64);
+  g.declare_output(d, 4);
+  const SpatialPartition p = partition_spatial_blocks(g, 2, PartitionVariant::kLTS);
+  EXPECT_EQ(p.block_count(), 1u);
+}
+
+TEST(Partition, RlxFillsBlocksToCapacity) {
+  // Paper Section 5.2: with SB-RLX all blocks except the last hold P tasks.
+  const TaskGraph g = make_fft(16, /*seed=*/7);
+  const std::int64_t pes = 16;
+  const SpatialPartition p = partition_spatial_blocks(g, pes, PartitionVariant::kRLX);
+  for (std::size_t b = 0; b + 1 < p.block_count(); ++b) {
+    EXPECT_EQ(p.blocks[b].size(), static_cast<std::size_t>(pes)) << "block " << b;
+  }
+  EXPECT_TRUE(partition_is_valid(g, p, pes));
+}
+
+TEST(Partition, LtsNeverExceedsRlxBlockCount) {
+  // SB-RLX partitions into at most as many blocks as SB-LTS.
+  for (const std::uint64_t seed : {1u, 4u, 9u, 16u}) {
+    const TaskGraph g = make_gaussian_elimination(8, seed);
+    const auto lts = partition_spatial_blocks(g, 8, PartitionVariant::kLTS);
+    const auto rlx = partition_spatial_blocks(g, 8, PartitionVariant::kRLX);
+    EXPECT_LE(rlx.block_count(), lts.block_count()) << "seed " << seed;
+  }
+}
+
+TEST(Partition, SingleBlockWhenPesCoverGraph) {
+  const TaskGraph g = make_cholesky(4, /*seed=*/3);
+  const auto tasks = static_cast<std::int64_t>(g.node_count());
+  const SpatialPartition p = partition_spatial_blocks(g, tasks, PartitionVariant::kRLX);
+  EXPECT_EQ(p.block_count(), 1u);
+}
+
+TEST(Partition, BufferNodesCarryNoBlockAndNoCapacity) {
+  const TaskGraph g = testing::buffer_split_example();
+  const SpatialPartition p = partition_spatial_blocks(g, 5, PartitionVariant::kRLX);
+  EXPECT_EQ(p.block_of[3], -1);  // the buffer
+  std::size_t placed = 0;
+  for (const auto& block : p.blocks) placed += block.size();
+  EXPECT_EQ(placed, 5u);  // 5 PE nodes
+  EXPECT_TRUE(partition_is_valid(g, p, 5));
+}
+
+TEST(Partition, DependenciesFlowForward) {
+  for (const std::uint64_t seed : {2u, 5u, 11u}) {
+    const TaskGraph g = make_fft(16, seed);
+    for (const auto variant : {PartitionVariant::kLTS, PartitionVariant::kRLX}) {
+      const SpatialPartition p = partition_spatial_blocks(g, 8, variant);
+      EXPECT_TRUE(partition_is_valid(g, p, 8))
+          << "seed " << seed << " variant " << to_string(variant);
+    }
+  }
+}
+
+TEST(Partition, ThrowsOnBadPeCount) {
+  const TaskGraph g = testing::figure8_graph();
+  EXPECT_THROW(partition_spatial_blocks(g, 0, PartitionVariant::kLTS), std::invalid_argument);
+}
+
+TEST(PartitionByWork, PicksHeaviestReadyFirst) {
+  // Algorithm 2 (Appendix A.2): ready node with the highest work first.
+  TaskGraph g;
+  const NodeId s = g.add_source(64, "s");
+  const NodeId d1 = g.add_compute("d1");  // work 64
+  const NodeId d2 = g.add_compute("d2");  // work 16
+  g.add_edge(s, d1, 64);
+  g.add_edge(d1, d2, 16);
+  g.declare_output(d2, 4);
+  const SpatialPartition p = partition_by_work(g, 2);
+  ASSERT_EQ(p.block_count(), 2u);
+  EXPECT_EQ(p.blocks[0], (std::vector<NodeId>{s, d1}));
+  EXPECT_EQ(p.blocks[1], (std::vector<NodeId>{d2}));
+}
+
+TEST(PartitionByWork, NonIncreasingBlockMaxima) {
+  // The proof of Theorem A.2 relies on work being non-increasing along the
+  // pick order for elwise+downsampler graphs.
+  TaskGraph g;
+  const NodeId s = g.add_source(64, "s");
+  NodeId left = s;
+  NodeId right = s;
+  for (int i = 0; i < 3; ++i) {
+    const NodeId l = g.add_compute("l" + std::to_string(i));
+    g.add_edge(left, l, g.output_volume(left));
+    g.declare_output(l, g.input_volume(l) / 2);
+    left = l;
+    const NodeId r = g.add_compute("r" + std::to_string(i));
+    g.add_edge(right, r, g.output_volume(right));
+    g.declare_output(r, g.input_volume(r));
+    right = r;
+  }
+  const SpatialPartition p = partition_by_work(g, 3);
+  std::int64_t prev_max = std::numeric_limits<std::int64_t>::max();
+  for (const auto& block : p.blocks) {
+    std::int64_t block_max = 0;
+    for (const NodeId v : block) block_max = std::max(block_max, g.work(v));
+    EXPECT_LE(block_max, prev_max);
+    prev_max = block_max;
+  }
+  EXPECT_TRUE(partition_is_valid(g, p, 3));
+}
+
+TEST(PartitionIsValid, DetectsCorruptAssignments) {
+  const TaskGraph g = testing::figure8_graph();
+  SpatialPartition p = partition_spatial_blocks(g, 8, PartitionVariant::kRLX);
+  ASSERT_TRUE(partition_is_valid(g, p, 8));
+  SpatialPartition broken = p;
+  broken.block_of[2] = 7;  // points outside any block
+  EXPECT_FALSE(partition_is_valid(g, broken, 8));
+  SpatialPartition backwards = p;
+  if (backwards.blocks.size() == 1) {
+    // Fabricate a backwards dependency: split node 0 into a later block.
+    backwards.blocks.push_back({0});
+    backwards.blocks[0].erase(
+        std::find(backwards.blocks[0].begin(), backwards.blocks[0].end(), 0));
+    backwards.block_of[0] = 1;
+    EXPECT_FALSE(partition_is_valid(g, backwards, 8));
+  }
+}
+
+}  // namespace
+}  // namespace sts

@@ -1,0 +1,146 @@
+#include "noc/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/streaming_scheduler.hpp"
+#include "noc/mesh.hpp"
+#include "paper_examples.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace sts {
+namespace {
+
+TEST(Mesh, CoordinateRoundTrip) {
+  const Mesh mesh(3, 4);
+  EXPECT_EQ(mesh.size(), 12);
+  for (std::int64_t pe = 0; pe < mesh.size(); ++pe) {
+    EXPECT_EQ(mesh.pe_of(mesh.coord_of(pe)), pe);
+  }
+  EXPECT_EQ(mesh.coord_of(5).x, 1);
+  EXPECT_EQ(mesh.coord_of(5).y, 1);
+}
+
+TEST(Mesh, ManhattanDistance) {
+  const Mesh mesh(4, 4);
+  EXPECT_EQ(mesh.distance(0, 0), 0);
+  EXPECT_EQ(mesh.distance(0, 3), 3);
+  EXPECT_EQ(mesh.distance(0, 15), 6);
+  EXPECT_EQ(mesh.distance(5, 10), 2);
+}
+
+TEST(Mesh, ForPesCoversRequest) {
+  for (const std::int64_t pes : {1, 2, 5, 16, 17, 100}) {
+    const Mesh mesh = Mesh::for_pes(pes);
+    EXPECT_GE(mesh.size(), pes) << pes;
+    EXPECT_LE(mesh.size(), 2 * pes + 2) << pes;  // near-square, no blowup
+  }
+  EXPECT_THROW((void)Mesh::for_pes(0), std::invalid_argument);
+}
+
+TEST(Mesh, LinkIdsAreUniqueAndInRange) {
+  const Mesh mesh(3, 3);
+  std::vector<bool> seen(static_cast<std::size_t>(mesh.link_count()), false);
+  for (std::int64_t pe = 0; pe < mesh.size(); ++pe) {
+    const MeshCoord c = mesh.coord_of(pe);
+    const MeshCoord steps[] = {{c.x + 1, c.y}, {c.x - 1, c.y}, {c.x, c.y + 1}, {c.x, c.y - 1}};
+    for (const MeshCoord& to : steps) {
+      if (to.x < 0 || to.x >= mesh.cols() || to.y < 0 || to.y >= mesh.rows()) continue;
+      const std::int64_t id = mesh.link_id(c, to);
+      ASSERT_GE(id, 0);
+      ASSERT_LT(id, mesh.link_count());
+      EXPECT_FALSE(seen[static_cast<std::size_t>(id)]) << "duplicate link id " << id;
+      seen[static_cast<std::size_t>(id)] = true;
+    }
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);  // every link reachable
+  EXPECT_THROW((void)mesh.link_id({0, 0}, {2, 0}), std::invalid_argument);
+}
+
+TEST(Placement, IdentityPlacesEveryPeTask) {
+  const TaskGraph g = testing::figure9_graph1();
+  const auto r = schedule_streaming_graph(g, 5, PartitionVariant::kRLX);
+  const Mesh mesh = Mesh::for_pes(5);
+  const Placement placement = place_identity(g, r.schedule, mesh);
+  for (NodeId v = 0; static_cast<std::size_t>(v) < g.node_count(); ++v) {
+    if (g.occupies_pe(v)) {
+      EXPECT_GE(placement.mesh_pe[static_cast<std::size_t>(v)], 0) << v;
+    } else {
+      EXPECT_EQ(placement.mesh_pe[static_cast<std::size_t>(v)], -1) << v;
+    }
+  }
+  EXPECT_EQ(placement.metrics.streaming_edges, 5);
+  EXPECT_GT(placement.metrics.weighted_hops, 0);
+}
+
+TEST(Placement, GreedyNeverWorseThanIdentityOnWeightedHops) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    const TaskGraph g = make_fft(16, seed);
+    const auto r = schedule_streaming_graph(g, 32, PartitionVariant::kRLX);
+    const Mesh mesh = Mesh::for_pes(32);
+    const Placement identity = place_identity(g, r.schedule, mesh);
+    const Placement greedy = place_greedy(g, r.schedule, mesh);
+    EXPECT_LE(greedy.metrics.weighted_hops, identity.metrics.weighted_hops) << "seed " << seed;
+  }
+}
+
+TEST(Placement, DistinctPesWithinBlock) {
+  const TaskGraph g = make_gaussian_elimination(8, 3);
+  const auto r = schedule_streaming_graph(g, 16, PartitionVariant::kRLX);
+  const Mesh mesh = Mesh::for_pes(16);
+  const Placement placement = place_greedy(g, r.schedule, mesh);
+  for (const auto& block : r.schedule.partition.blocks) {
+    std::set<std::int64_t> used;
+    for (const NodeId v : block) {
+      EXPECT_TRUE(used.insert(placement.mesh_pe[static_cast<std::size_t>(v)]).second);
+    }
+  }
+}
+
+TEST(Placement, ChainPlacedNearContiguously) {
+  // A streaming chain should end up mostly with unit-hop neighbors; the
+  // greedy heuristic grows from the center outward, so one long hop at a
+  // chain end is acceptable, but never worse than the naive layout.
+  TaskGraph g;
+  NodeId prev = g.add_source(16, "s");
+  for (int i = 1; i < 6; ++i) {
+    const NodeId next = g.add_compute("c" + std::to_string(i));
+    g.add_edge(prev, next, 16);
+    prev = next;
+  }
+  g.declare_output(prev, 16);
+  const auto r = schedule_streaming_graph(g, 6, PartitionVariant::kRLX);
+  const Mesh mesh(2, 3);
+  const Placement greedy = place_greedy(g, r.schedule, mesh);
+  const Placement identity = place_identity(g, r.schedule, mesh);
+  EXPECT_GE(greedy.metrics.weighted_hops, 5 * 16);  // optimum: all unit hops
+  EXPECT_LE(greedy.metrics.weighted_hops, identity.metrics.weighted_hops);
+  EXPECT_LE(greedy.metrics.mean_hops, 1.5);
+}
+
+TEST(Placement, LinkLoadReflectsRouting) {
+  // Two tasks at opposite mesh corners: every element crosses the hottest
+  // link once.
+  TaskGraph g;
+  const NodeId a = g.add_source(8, "a");
+  const NodeId b = g.add_compute("b");
+  g.add_edge(a, b, 8);
+  g.declare_output(b, 8);
+  const auto r = schedule_streaming_graph(g, 2, PartitionVariant::kRLX);
+  const Mesh mesh(2, 2);
+  std::vector<std::int64_t> pe_of(g.node_count(), -1);
+  pe_of[0] = 0;  // (0,0)
+  pe_of[1] = 3;  // (1,1)
+  const PlacementMetrics metrics = evaluate_placement(g, r.schedule, mesh, pe_of);
+  EXPECT_EQ(metrics.weighted_hops, 16);  // 2 hops * 8 elements
+  EXPECT_EQ(metrics.max_link_load, 8);
+}
+
+TEST(Placement, RejectsOversizedBlocks) {
+  const TaskGraph g = make_fft(16, 1);
+  const auto r = schedule_streaming_graph(g, 64, PartitionVariant::kRLX);
+  const Mesh tiny(2, 2);
+  EXPECT_THROW((void)place_greedy(g, r.schedule, tiny), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sts

@@ -1,0 +1,109 @@
+#include "support/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+namespace sts {
+namespace {
+
+TEST(Rational, DefaultsToZero) {
+  const Rational r;
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, NormalizesSignAndGcd) {
+  const Rational r(6, -8);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(Rational, ThrowsOnZeroDenominator) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+}
+
+TEST(Rational, ArithmeticStaysCanonical) {
+  const Rational a(1, 3);
+  const Rational b(1, 6);
+  EXPECT_EQ(a + b, Rational(1, 2));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 18));
+  EXPECT_EQ(a / b, Rational(2));
+}
+
+TEST(Rational, CompoundAssignment) {
+  Rational r(3, 4);
+  r += Rational(1, 4);
+  EXPECT_EQ(r, Rational(1));
+  r *= Rational(2, 3);
+  EXPECT_EQ(r, Rational(2, 3));
+  r -= Rational(2, 3);
+  EXPECT_EQ(r, Rational(0));
+}
+
+TEST(Rational, ComparisonTotalOrder) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(5, 2), Rational(2));
+  EXPECT_GE(Rational(-1, 2), Rational(-1));
+  EXPECT_NE(Rational(1, 3), Rational(1, 4));
+}
+
+TEST(Rational, FloorCeilPositive) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(8, 2).floor(), 4);
+  EXPECT_EQ(Rational(8, 2).ceil(), 4);
+}
+
+TEST(Rational, FloorCeilNegative) {
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(-8, 2).ceil(), -4);
+}
+
+TEST(Rational, ReciprocalAndDivisionByZero) {
+  EXPECT_EQ(Rational(3, 5).reciprocal(), Rational(5, 3));
+  EXPECT_THROW((void)Rational(0).reciprocal(), std::domain_error);
+  EXPECT_THROW((void)(Rational(1) / Rational(0)), std::domain_error);
+}
+
+TEST(Rational, CeilMulMatchesScheduleUse) {
+  // ceil((O-1) * S_o) terms from Section 5.1.
+  EXPECT_EQ(ceil_mul(15, Rational(2)), 30);
+  EXPECT_EQ(ceil_mul(3, Rational(8)), 24);
+  EXPECT_EQ(ceil_mul(3, Rational(3, 2)), 5);  // 4.5 -> 5
+  EXPECT_EQ(ceil_mul(0, Rational(7, 3)), 0);
+}
+
+TEST(Rational, ToStringForms) {
+  EXPECT_EQ(Rational(4, 2).to_string(), "2");
+  EXPECT_EQ(Rational(3, 2).to_string(), "3/2");
+  EXPECT_EQ((-Rational(3, 2)).to_string(), "-3/2");
+}
+
+TEST(Rational, IsIntegerAndToDouble) {
+  EXPECT_TRUE(Rational(10, 5).is_integer());
+  EXPECT_FALSE(Rational(1, 3).is_integer());
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+}
+
+class RationalRoundTrip : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RationalRoundTrip, MulDivRoundTrips) {
+  const auto [num, den] = GetParam();
+  const Rational r(num, den);
+  EXPECT_EQ(r * r.reciprocal(), Rational(1));
+  EXPECT_EQ(r + (-r), Rational(0));
+  EXPECT_EQ((r / Rational(7, 3)) * Rational(7, 3), r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RationalRoundTrip,
+                         ::testing::Values(std::make_tuple(1, 1), std::make_tuple(3, 7),
+                                           std::make_tuple(-5, 9), std::make_tuple(16, 4),
+                                           std::make_tuple(1024, 3), std::make_tuple(-7, 2)));
+
+}  // namespace
+}  // namespace sts

@@ -1,0 +1,97 @@
+#include "graph/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "paper_examples.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace sts {
+namespace {
+
+void expect_isomorphic(const TaskGraph& a, const TaskGraph& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (NodeId v = 0; static_cast<std::size_t>(v) < a.node_count(); ++v) {
+    EXPECT_EQ(a.kind(v), b.kind(v)) << v;
+    EXPECT_EQ(a.name(v), b.name(v)) << v;
+    EXPECT_EQ(a.output_volume(v), b.output_volume(v)) << v;
+    EXPECT_EQ(a.input_volume(v), b.input_volume(v)) << v;
+  }
+  for (EdgeId e = 0; static_cast<std::size_t>(e) < a.edge_count(); ++e) {
+    EXPECT_EQ(a.edge(e).src, b.edge(e).src) << e;
+    EXPECT_EQ(a.edge(e).dst, b.edge(e).dst) << e;
+    EXPECT_EQ(a.edge(e).volume, b.edge(e).volume) << e;
+  }
+}
+
+TEST(Serialization, RoundTripsPaperExamples) {
+  for (const TaskGraph& g :
+       {testing::figure8_graph(), testing::figure9_graph1(), testing::figure9_graph2(),
+        testing::buffer_split_example()}) {
+    const TaskGraph loaded = load_task_graph_from_string(save_task_graph_to_string(g));
+    expect_isomorphic(g, loaded);
+    EXPECT_TRUE(loaded.validate().empty());
+  }
+}
+
+TEST(Serialization, RoundTripsGeneratedWorkloads) {
+  for (const std::uint64_t seed : {1u, 5u}) {
+    const TaskGraph g = make_cholesky(5, seed);
+    expect_isomorphic(g, load_task_graph_from_string(save_task_graph_to_string(g)));
+  }
+}
+
+TEST(Serialization, ParsesCommentsAndBlankLines) {
+  const TaskGraph g = load_task_graph_from_string(R"(
+# a tiny pipeline
+node 0 source src
+output 0 16    # the input stream
+
+node 1 compute half
+output 1 8
+edge 0 1 16
+)");
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.output_volume(0), 16);
+  EXPECT_EQ(g.rate(1), Rational(1, 2));
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Serialization, BufferAndSinkNodes) {
+  const TaskGraph g = load_task_graph_from_string(R"(
+node 0 source s
+output 0 4
+node 1 buffer b
+output 1 8
+node 2 compute c
+node 3 sink t
+edge 0 1 4
+edge 1 2 8
+edge 2 3 8
+)");
+  EXPECT_EQ(g.kind(1), NodeKind::kBuffer);
+  EXPECT_EQ(g.kind(3), NodeKind::kSink);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Serialization, RejectsMalformedInput) {
+  EXPECT_THROW((void)load_task_graph_from_string("frobnicate 1 2"), std::invalid_argument);
+  EXPECT_THROW((void)load_task_graph_from_string("node 1 compute"),
+               std::invalid_argument);  // ids must start at 0
+  EXPECT_THROW((void)load_task_graph_from_string("node 0 gizmo"), std::invalid_argument);
+  EXPECT_THROW((void)load_task_graph_from_string("edge 0"), std::invalid_argument);
+  EXPECT_THROW((void)load_task_graph_from_string("node 0 source s"),
+               std::invalid_argument);  // source without output record
+  EXPECT_THROW((void)load_task_graph_from_string("node 0 compute c\noutput 5 4"),
+               std::invalid_argument);  // output for unknown node
+}
+
+TEST(Serialization, SavedFormIsStable) {
+  const TaskGraph g = testing::figure8_graph();
+  const std::string once = save_task_graph_to_string(g);
+  const std::string twice = save_task_graph_to_string(load_task_graph_from_string(once));
+  EXPECT_EQ(once, twice);
+}
+
+}  // namespace
+}  // namespace sts

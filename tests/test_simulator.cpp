@@ -1,0 +1,217 @@
+#include "sim/dataflow_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/streaming_scheduler.hpp"
+#include "paper_examples.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace sts {
+namespace {
+
+StreamingSchedulerResult run_scheduler(const TaskGraph& g, std::int64_t pes,
+                                       PartitionVariant variant = PartitionVariant::kRLX) {
+  return schedule_streaming_graph(g, pes, variant);
+}
+
+TEST(Simulator, ElementwiseChainRateOne) {
+  // A fully streaming chain must sustain one element per time unit with
+  // capacity-1 FIFOs: makespan = k + hops.
+  TaskGraph g;
+  const std::int64_t k = 64;
+  NodeId prev = g.add_source(k, "s");
+  const int chain = 5;
+  for (int i = 1; i < chain; ++i) {
+    const NodeId next = g.add_compute("c" + std::to_string(i));
+    g.add_edge(prev, next, k);
+    prev = next;
+  }
+  g.declare_output(prev, k);
+  const auto r = run_scheduler(g, 8);
+  const SimResult sim = simulate_streaming(g, r.schedule, r.buffers);
+  EXPECT_FALSE(sim.deadlocked);
+  EXPECT_EQ(sim.makespan, k + chain - 1);
+  EXPECT_EQ(sim.makespan, r.schedule.makespan);
+}
+
+TEST(Simulator, Figure6BackpressureThrottlesSource) {
+  const TaskGraph g = testing::figure6_graph();
+  const auto r = run_scheduler(g, 2);
+  const SimResult sim = simulate_streaming(g, r.schedule, r.buffers);
+  EXPECT_FALSE(sim.deadlocked);
+  // The upsampler emits 32 elements, one per unit, starting at tick 2.
+  EXPECT_EQ(sim.finish[1], r.schedule.at(1).last_out);
+  EXPECT_EQ(sim.makespan, r.schedule.makespan);
+}
+
+TEST(Simulator, Figure8MatchesAnalyticSchedule) {
+  const TaskGraph g = testing::figure8_graph();
+  const auto r = run_scheduler(g, 5);
+  const SimResult sim = simulate_streaming(g, r.schedule, r.buffers);
+  EXPECT_FALSE(sim.deadlocked);
+  EXPECT_EQ(sim.makespan, r.schedule.makespan);  // 34
+}
+
+TEST(Simulator, Figure9Graph1NoDeadlockWithComputedBuffers) {
+  const TaskGraph g = testing::figure9_graph1();
+  const auto r = run_scheduler(g, 5);
+  const SimResult sim = simulate_streaming(g, r.schedule, r.buffers);
+  EXPECT_FALSE(sim.deadlocked);
+  // Eq. 5 + credit slack reproduces the schedule exactly (51).
+  EXPECT_EQ(sim.makespan, r.schedule.makespan);
+}
+
+TEST(Simulator, Figure9Graph1DeadlocksWhenUnderProvisioned) {
+  // Shrinking the 18-slot FIFO on edge (0,4) to 1 slot must deadlock: task 0
+  // stalls on the full channel before the reducer chain gets enough data.
+  const TaskGraph g = testing::figure9_graph1();
+  const auto r = run_scheduler(g, 5);
+  BufferPlan starved = r.buffers;
+  for (ChannelPlan& c : starved.channels) c.capacity = 1;
+  const SimResult sim = simulate_streaming(g, r.schedule, starved);
+  EXPECT_TRUE(sim.deadlocked);
+  EXPECT_FALSE(sim.stuck.empty());
+}
+
+TEST(Simulator, Figure9Graph2DeadlocksWhenUnderProvisioned) {
+  const TaskGraph g = testing::figure9_graph2();
+  const auto r = run_scheduler(g, 6);
+  {
+    const SimResult ok = simulate_streaming(g, r.schedule, r.buffers);
+    EXPECT_FALSE(ok.deadlocked);
+    EXPECT_EQ(ok.makespan, r.schedule.makespan);  // 66
+  }
+  BufferPlan starved = r.buffers;
+  for (ChannelPlan& c : starved.channels) c.capacity = 1;
+  const SimResult sim = simulate_streaming(g, r.schedule, starved);
+  EXPECT_TRUE(sim.deadlocked);
+}
+
+TEST(Simulator, ExactBufferBoundaryIsTight) {
+  // 1 slot on the (0,4) channel deadlocks; the Eq. 5 value (18) completes
+  // within a one-unit credit stall; the allocated 19 slots are exact.
+  const TaskGraph g = testing::figure9_graph1();
+  const auto r = run_scheduler(g, 5);
+  BufferPlan plan = r.buffers;
+  for (ChannelPlan& c : plan.channels) {
+    if (g.edge(c.edge).src == 0 && g.edge(c.edge).dst == 4) c.capacity = 1;
+  }
+  const SimResult starved = simulate_streaming(g, r.schedule, plan);
+  EXPECT_TRUE(starved.deadlocked);
+  for (ChannelPlan& c : plan.channels) {
+    if (g.edge(c.edge).src == 0 && g.edge(c.edge).dst == 4) c.capacity = 18;
+  }
+  const SimResult tight = simulate_streaming(g, r.schedule, plan);
+  EXPECT_FALSE(tight.deadlocked);
+  EXPECT_NEAR(static_cast<double>(tight.makespan),
+              static_cast<double>(r.schedule.makespan), 1.0);
+  const SimResult exact = simulate_streaming(g, r.schedule, r.buffers);
+  EXPECT_FALSE(exact.deadlocked);
+  EXPECT_EQ(exact.makespan, r.schedule.makespan);
+}
+
+TEST(Simulator, BufferNodeDelaysConsumers) {
+  const TaskGraph g = testing::buffer_split_example();
+  const auto r = run_scheduler(g, 8);
+  const SimResult sim = simulate_streaming(g, r.schedule, r.buffers);
+  EXPECT_FALSE(sim.deadlocked);
+  EXPECT_EQ(sim.makespan, r.schedule.makespan);
+}
+
+TEST(Simulator, MultiBlockBarriersRespected) {
+  const TaskGraph g = testing::figure9_graph1();
+  SpatialPartition p;
+  p.block_of = {0, 0, 1, 1, 1};
+  p.blocks = {{0, 1}, {2, 3, 4}};
+  const StreamingSchedule sched = schedule_streaming(g, p);
+  const BufferPlan plan = compute_buffer_plan(g, sched);
+  const SimResult sim = simulate_streaming(g, sched, plan);
+  EXPECT_FALSE(sim.deadlocked);
+  // Block-1 tasks cannot act before block 0 completed.
+  EXPECT_GT(sim.finish[2], sim.finish[1]);
+  EXPECT_EQ(sim.makespan, sched.makespan);
+}
+
+TEST(Simulator, TickLimitReported) {
+  const TaskGraph g = testing::figure8_graph();
+  const auto r = run_scheduler(g, 5);
+  SimOptions opts;
+  opts.max_ticks = 3;
+  const SimResult sim = simulate_streaming(g, r.schedule, r.buffers, opts);
+  EXPECT_TRUE(sim.tick_limit_reached);
+  EXPECT_FALSE(sim.deadlocked);
+}
+
+class SimulatorAgreementSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::int64_t>> {};
+
+TEST_P(SimulatorAgreementSweep, AnalyticMakespanTracksSimulation) {
+  const auto [seed, pes] = GetParam();
+  const TaskGraph g = make_fft(8, seed);
+  for (const auto variant : {PartitionVariant::kLTS, PartitionVariant::kRLX}) {
+    const auto r = run_scheduler(g, pes, variant);
+    const SimResult sim = simulate_streaming(g, r.schedule, r.buffers);
+    ASSERT_FALSE(sim.deadlocked) << "seed " << seed << " pes " << pes;
+    ASSERT_FALSE(sim.tick_limit_reached);
+    const double err = std::abs(static_cast<double>(sim.makespan) -
+                                static_cast<double>(r.schedule.makespan)) /
+                       static_cast<double>(sim.makespan);
+    // Appendix B reports whiskers within a few percent; allow slack for the
+    // transients of tiny graphs.
+    EXPECT_LT(err, 0.2) << "analytic " << r.schedule.makespan << " simulated "
+                        << sim.makespan;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimulatorAgreementSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u),
+                       ::testing::Values<std::int64_t>(4, 16, 64)));
+
+TEST(SimulatorTrace, ObservedFirstOutMatchesAnalyticOnFigure8) {
+  const TaskGraph g = testing::figure8_graph();
+  const auto r = run_scheduler(g, 5);
+  const SimResult sim = simulate_streaming(g, r.schedule, r.buffers);
+  // The single-block Figure 8 schedule is exact: FO(0)=1, FO(3)=2, FO(4)=6.
+  EXPECT_EQ(sim.first_out[0], r.schedule.at(0).first_out);
+  EXPECT_EQ(sim.first_out[3], r.schedule.at(3).first_out);
+  EXPECT_EQ(sim.first_out[4], r.schedule.at(4).first_out);
+}
+
+TEST(SimulatorTrace, TraceDisabledByDefault) {
+  const TaskGraph g = testing::figure8_graph();
+  const auto r = run_scheduler(g, 5);
+  const SimResult sim = simulate_streaming(g, r.schedule, r.buffers);
+  EXPECT_TRUE(sim.trace.empty());
+}
+
+TEST(SimulatorTrace, TraceCountsAndOrderingAreConsistent) {
+  const TaskGraph g = testing::figure8_graph();
+  const auto r = run_scheduler(g, 5);
+  SimOptions opts;
+  opts.record_trace = true;
+  const SimResult sim = simulate_streaming(g, r.schedule, r.buffers, opts);
+  ASSERT_FALSE(sim.trace.empty());
+  // Tick-monotone trace.
+  for (std::size_t i = 1; i < sim.trace.size(); ++i) {
+    EXPECT_LE(sim.trace[i - 1].tick, sim.trace[i].tick);
+  }
+  // Event counts match the volumes: consumes = sum I(v), produces = sum O(v)
+  // over PE nodes (no buffers in Figure 8).
+  std::int64_t consumes = 0, produces = 0;
+  for (const SimEvent& e : sim.trace) {
+    if (e.kind == SimEvent::Kind::kConsume) ++consumes; else ++produces;
+  }
+  std::int64_t expect_c = 0, expect_p = 0;
+  for (NodeId v = 0; static_cast<std::size_t>(v) < g.node_count(); ++v) {
+    expect_c += g.input_volume(v);
+    expect_p += g.output_volume(v);
+  }
+  EXPECT_EQ(consumes, expect_c);
+  EXPECT_EQ(produces, expect_p);
+}
+
+}  // namespace
+}  // namespace sts

@@ -1,0 +1,114 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/prng.hpp"
+#include "support/table.hpp"
+
+namespace sts {
+namespace {
+
+TEST(BoxStats, EmptyInput) {
+  const BoxStats s = box_stats({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.median, 0.0);
+}
+
+TEST(BoxStats, SingleSample) {
+  const BoxStats s = box_stats({42.0});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.median, 42.0);
+  EXPECT_DOUBLE_EQ(s.q1, 42.0);
+  EXPECT_DOUBLE_EQ(s.q3, 42.0);
+}
+
+TEST(BoxStats, QuartilesType7) {
+  // numpy.percentile defaults (linear interpolation) on 1..5.
+  const BoxStats s = box_stats({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(BoxStats, InterpolatedQuartiles) {
+  const BoxStats s = box_stats({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.q1, 1.75);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.q3, 3.25);
+}
+
+TEST(BoxStats, OutlierDetection) {
+  // 100 is far beyond Q3 + 1.5 IQR of the rest.
+  const BoxStats s = box_stats({1, 2, 3, 4, 5, 100});
+  ASSERT_EQ(s.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.outliers.front(), 100.0);
+  EXPECT_DOUBLE_EQ(s.whisker_hi, 5.0);
+  EXPECT_DOUBLE_EQ(s.whisker_lo, 1.0);
+}
+
+TEST(BoxStats, UnsortedInputHandled) {
+  const BoxStats s = box_stats({5, 1, 4, 2, 3});
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(Stats, QuantileAndMedianHelpers) {
+  EXPECT_DOUBLE_EQ(median_of({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(quantile_of({0, 10}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_of({0, 10}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_of({0, 10}, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(mean_of({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+TEST(Prng, DeterministicPerSeed) {
+  Prng a(7);
+  Prng b(7);
+  Prng c(8);
+  bool all_equal = true;
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a();
+    all_equal = all_equal && (x == b());
+    any_diff = any_diff || (x != c());
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Prng, UniformIntStaysInRange) {
+  Prng rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniform_int(3, 9);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 9);
+  }
+}
+
+TEST(Prng, UniformIntCoversRange) {
+  Prng rng(99);
+  std::vector<int> hits(4, 0);
+  for (int i = 0; i < 4000; ++i) ++hits[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+  for (const int h : hits) EXPECT_GT(h, 500);  // roughly uniform
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"a", "column"});
+  t.add_row({"1", "x"});
+  t.add_row({"22", "yy"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| a  | column |"), std::string::npos);
+  EXPECT_NE(out.find("| 22 | yy     |"), std::string::npos);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 1), "2.0");
+}
+
+}  // namespace
+}  // namespace sts

@@ -1,0 +1,147 @@
+#include "workloads/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sts {
+namespace {
+
+TEST(Workloads, TaskCountFormulasMatchPaper) {
+  // Section 7.1 quotes exactly these sizes for the evaluated graphs.
+  EXPECT_EQ(chain_task_count(8), 8);
+  EXPECT_EQ(fft_task_count(32), 223);
+  EXPECT_EQ(gaussian_task_count(16), 135);
+  EXPECT_EQ(cholesky_task_count(8), 120);
+}
+
+TEST(Workloads, GeneratorsMatchFormulas) {
+  EXPECT_EQ(make_chain(8, 1).node_count(), 8u);
+  EXPECT_EQ(make_fft(32, 1).node_count(), 223u);
+  EXPECT_EQ(make_gaussian_elimination(16, 1).node_count(), 135u);
+  EXPECT_EQ(make_cholesky(8, 1).node_count(), 120u);
+}
+
+TEST(Workloads, AllGraphsValidateAsCanonical) {
+  for (const std::uint64_t seed : {1u, 7u, 42u}) {
+    EXPECT_TRUE(make_chain(8, seed).validate().empty()) << seed;
+    EXPECT_TRUE(make_fft(16, seed).validate().empty()) << seed;
+    EXPECT_TRUE(make_gaussian_elimination(8, seed).validate().empty()) << seed;
+    EXPECT_TRUE(make_cholesky(6, seed).validate().empty()) << seed;
+  }
+}
+
+TEST(Workloads, DeterministicPerSeed) {
+  const TaskGraph a = make_fft(16, 5);
+  const TaskGraph b = make_fft(16, 5);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (NodeId v = 0; static_cast<std::size_t>(v) < a.node_count(); ++v) {
+    EXPECT_EQ(a.output_volume(v), b.output_volume(v));
+  }
+  const TaskGraph c = make_fft(16, 6);
+  bool any_diff = false;
+  for (NodeId v = 0; static_cast<std::size_t>(v) < a.node_count(); ++v) {
+    any_diff = any_diff || (a.output_volume(v) != c.output_volume(v));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Workloads, SeedsProduceNodeTypeVariety) {
+  // "each task graph will have different data volumes and types of canonical
+  // nodes" (Section 7.1).
+  const TaskGraph g = make_gaussian_elimination(8, 3);
+  int up = 0, down = 0, elwise = 0;
+  for (NodeId v = 0; static_cast<std::size_t>(v) < g.node_count(); ++v) {
+    if (g.kind(v) != NodeKind::kCompute) continue;
+    if (g.is_upsampler(v)) ++up;
+    if (g.is_downsampler(v)) ++down;
+    if (g.is_elementwise(v)) ++elwise;
+  }
+  EXPECT_GT(up + down + elwise, 0);
+  EXPECT_GT(up, 0);
+  EXPECT_GT(down, 0);
+}
+
+TEST(Workloads, ChainIsALine) {
+  const TaskGraph g = make_chain(5, 2);
+  EXPECT_EQ(g.edge_count(), 4u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_LE(g.out_degree(v), 1u);
+    EXPECT_LE(g.in_degree(v), 1u);
+  }
+  EXPECT_EQ(g.kind(0), NodeKind::kSource);
+}
+
+TEST(Workloads, FftStructure) {
+  const int points = 8;
+  const TaskGraph g = make_fft(points, 1);
+  // 2N-1 tree nodes + N log N butterflies.
+  EXPECT_EQ(g.node_count(), 15u + 24u);
+  // Butterflies have exactly two predecessors.
+  for (NodeId v = 15; static_cast<std::size_t>(v) < g.node_count(); ++v) {
+    EXPECT_EQ(g.in_degree(v), 2u) << "butterfly " << v;
+  }
+  // Exactly one source: the tree root.
+  int sources = 0;
+  for (NodeId v = 0; static_cast<std::size_t>(v) < g.node_count(); ++v) {
+    if (g.in_degree(v) == 0) ++sources;
+  }
+  EXPECT_EQ(sources, 1);
+}
+
+TEST(Workloads, GaussianStructure) {
+  const TaskGraph g = make_gaussian_elimination(5, 1);
+  EXPECT_EQ(g.node_count(), static_cast<std::size_t>(gaussian_task_count(5)));
+  int sources = 0;
+  for (NodeId v = 0; static_cast<std::size_t>(v) < g.node_count(); ++v) {
+    if (g.in_degree(v) == 0) ++sources;
+  }
+  EXPECT_EQ(sources, 1);  // the first pivot
+}
+
+TEST(Workloads, CholeskyStructure) {
+  const TaskGraph g = make_cholesky(5, 1);
+  EXPECT_EQ(g.node_count(), static_cast<std::size_t>(cholesky_task_count(5)));
+  // POTRF(0) is the only entry.
+  int sources = 0;
+  for (NodeId v = 0; static_cast<std::size_t>(v) < g.node_count(); ++v) {
+    if (g.in_degree(v) == 0) ++sources;
+  }
+  EXPECT_EQ(sources, 1);
+}
+
+TEST(Workloads, CoPredecessorClassesShareVolumes) {
+  // Canonicity mechanics: all predecessors of any node emit equal volumes.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const TaskGraph g = make_fft(16, seed);
+    for (NodeId v = 0; static_cast<std::size_t>(v) < g.node_count(); ++v) {
+      const auto ins = g.in_edges(v);
+      for (const EdgeId e : ins) {
+        EXPECT_EQ(g.edge(e).volume, g.edge(ins.front()).volume) << "node " << v;
+      }
+    }
+  }
+}
+
+TEST(Workloads, VolumeDistributionRespected) {
+  VolumeDistribution dist;
+  dist.min_log2 = 2;
+  dist.max_log2 = 4;
+  const TaskGraph g = make_chain(20, 9, dist);
+  for (NodeId v = 0; v < 20; ++v) {
+    const auto vol = g.output_volume(v);
+    EXPECT_GE(vol, 4);
+    EXPECT_LE(vol, 16);
+    EXPECT_EQ(vol & (vol - 1), 0) << "power of two";
+  }
+}
+
+TEST(Workloads, InputGuards) {
+  EXPECT_THROW(make_chain(0, 1), std::invalid_argument);
+  EXPECT_THROW(make_fft(12, 1), std::invalid_argument);
+  EXPECT_THROW(make_gaussian_elimination(1, 1), std::invalid_argument);
+  EXPECT_THROW(make_cholesky(1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sts
