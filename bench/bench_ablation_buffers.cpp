@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/streaming_scheduler.hpp"
+#include "pipeline/registry.hpp"
 #include "sim/dataflow_sim.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -43,19 +43,21 @@ int main() {
     int dead_eq5 = 0, dead_min1 = 0, runs = 0;
     for (int seed = 0; seed < graphs; ++seed) {
       const TaskGraph g = topo.make(static_cast<std::uint64_t>(seed) + 1);
-      const auto pes = std::max<std::int64_t>(2, static_cast<std::int64_t>(g.node_count()) / 2);
-      const auto r = schedule_streaming_graph(g, pes, PartitionVariant::kRLX);
+      MachineConfig machine;
+      machine.num_pes =
+          std::max<std::int64_t>(2, static_cast<std::int64_t>(g.node_count()) / 2);
+      const ScheduleResult r = schedule_by_name("streaming-rlx", g, machine);
       ++runs;
 
-      space_eq5.push_back(static_cast<double>(r.buffers.total_capacity));
-      const BufferPlan naive = with_capacity(r.buffers, g, /*full_volume=*/true);
+      space_eq5.push_back(static_cast<double>(r.buffers->total_capacity));
+      const BufferPlan naive = with_capacity(*r.buffers, g, /*full_volume=*/true);
       space_naive.push_back(static_cast<double>(naive.total_capacity));
 
-      const SimResult eq5 = simulate_streaming(g, r.schedule, r.buffers);
+      const SimResult eq5 = simulate_streaming(g, *r.streaming, *r.buffers);
       if (eq5.deadlocked) ++dead_eq5;
 
-      const BufferPlan min1 = with_capacity(r.buffers, g, /*full_volume=*/false);
-      const SimResult starved = simulate_streaming(g, r.schedule, min1);
+      const BufferPlan min1 = with_capacity(*r.buffers, g, /*full_volume=*/false);
+      const SimResult starved = simulate_streaming(g, *r.streaming, min1);
       if (starved.deadlocked) {
         ++dead_min1;
       } else if (!eq5.deadlocked && eq5.makespan > 0) {

@@ -8,7 +8,7 @@
 
 #include "bench_common.hpp"
 #include "core/optimal_partition.hpp"
-#include "core/streaming_scheduler.hpp"
+#include "pipeline/registry.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
@@ -43,14 +43,16 @@ int main() {
         const OptimalPartitionResult best = optimal_partition_exhaustive(g, pes);
         if (!best.exhausted || best.makespan <= 0) continue;
         ++runs;
-        const auto lts = schedule_streaming_graph(g, pes, PartitionVariant::kLTS);
-        const auto rlx = schedule_streaming_graph(g, pes, PartitionVariant::kRLX);
-        lts_gap.push_back(static_cast<double>(lts.schedule.makespan) /
+        MachineConfig machine;
+        machine.num_pes = pes;
+        const ScheduleResult lts = schedule_by_name("streaming-lts", g, machine);
+        const ScheduleResult rlx = schedule_by_name("streaming-rlx", g, machine);
+        lts_gap.push_back(static_cast<double>(lts.makespan) /
                           static_cast<double>(best.makespan));
-        rlx_gap.push_back(static_cast<double>(rlx.schedule.makespan) /
+        rlx_gap.push_back(static_cast<double>(rlx.makespan) /
                           static_cast<double>(best.makespan));
-        if (lts.schedule.makespan == best.makespan) ++lts_hits;
-        if (rlx.schedule.makespan == best.makespan) ++rlx_hits;
+        if (lts.makespan == best.makespan) ++lts_hits;
+        if (rlx.makespan == best.makespan) ++rlx_hits;
       }
       table.add_row({family.name, std::to_string(pes), box_stats(lts_gap).summary(3),
                      box_stats(rlx_gap).summary(3),

@@ -8,8 +8,8 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/streaming_scheduler.hpp"
 #include "noc/placement.hpp"
+#include "pipeline/registry.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
@@ -29,9 +29,12 @@ int main() {
     std::vector<double> naive_hops, greedy_hops, naive_hot, greedy_hot, gain;
     for (int seed = 0; seed < graphs; ++seed) {
       const TaskGraph g = topo.make(static_cast<std::uint64_t>(seed) + 1);
-      const auto r = schedule_streaming_graph(g, mesh.size(), PartitionVariant::kRLX);
-      const Placement naive = place_identity(g, r.schedule, mesh);
-      const Placement greedy = place_greedy(g, r.schedule, mesh);
+      MachineConfig machine;
+      machine.num_pes = mesh.size();
+      machine.place_on_mesh = true;  // greedy placement runs as a pipeline pass
+      const ScheduleResult r = schedule_by_name("streaming-rlx", g, machine);
+      const Placement naive = place_identity(g, *r.streaming, mesh);
+      const Placement& greedy = *r.placement;
       if (naive.metrics.weighted_hops == 0) continue;
       naive_hops.push_back(static_cast<double>(naive.metrics.weighted_hops));
       greedy_hops.push_back(static_cast<double>(greedy.metrics.weighted_hops));

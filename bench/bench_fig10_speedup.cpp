@@ -2,15 +2,12 @@
 // for synthetic task graphs under streaming (STR-SCH-1 = SB-LTS,
 // STR-SCH-2 = SB-RLX) and non-streaming (NSTR-SCH) scheduling, with PE
 // utilization. 100 random canonical graphs per topology, PE sweep as in the
-// paper.
+// paper. All schedulers are resolved by name through SchedulerRegistry.
 
-#include <cstdio>
 #include <iostream>
 
-#include "baseline/list_scheduler.hpp"
 #include "bench_common.hpp"
-#include "core/streaming_scheduler.hpp"
-#include "metrics/metrics.hpp"
+#include "pipeline/registry.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
@@ -23,30 +20,26 @@ int main() {
             << "STR-SCH-1 = SB-LTS, STR-SCH-2 = SB-RLX, NSTR-SCH = buffered baseline\n"
             << graphs << " random graphs per configuration\n\n";
 
+  const char* schedulers[] = {"streaming-lts", "streaming-rlx", "list"};
+
   for (const Topology& topo : paper_topologies()) {
     Table table({"PEs", "STR-SCH-1", "STR-SCH-2", "NSTR-SCH", "util STR-1", "util STR-2",
                  "util NSTR"});
     for (const std::int64_t pes : topo.pe_sweep) {
-      std::vector<double> s_lts, s_rlx, s_nstr, u_lts, u_rlx, u_nstr;
+      MachineConfig machine;
+      machine.num_pes = pes;
+      std::vector<double> s[3], u[3];
       for (int seed = 0; seed < graphs; ++seed) {
         const TaskGraph g = topo.make(static_cast<std::uint64_t>(seed) + 1);
-        const std::int64_t t1 = g.total_work();
-
-        const auto lts = schedule_streaming_graph(g, pes, PartitionVariant::kLTS);
-        s_lts.push_back(speedup(t1, lts.schedule.makespan));
-        u_lts.push_back(streaming_utilization(g, lts.schedule, pes));
-
-        const auto rlx = schedule_streaming_graph(g, pes, PartitionVariant::kRLX);
-        s_rlx.push_back(speedup(t1, rlx.schedule.makespan));
-        u_rlx.push_back(streaming_utilization(g, rlx.schedule, pes));
-
-        const ListSchedule nstr = schedule_non_streaming(g, pes);
-        s_nstr.push_back(speedup(t1, nstr.makespan));
-        u_nstr.push_back(non_streaming_utilization(g, nstr, pes));
+        for (int i = 0; i < 3; ++i) {
+          const ScheduleResult r = schedule_by_name(schedulers[i], g, machine);
+          s[i].push_back(r.metrics.speedup);
+          u[i].push_back(r.metrics.utilization);
+        }
       }
-      table.add_row({std::to_string(pes), box_stats(s_lts).summary(), box_stats(s_rlx).summary(),
-                     box_stats(s_nstr).summary(), fmt(mean_of(u_lts)), fmt(mean_of(u_rlx)),
-                     fmt(mean_of(u_nstr))});
+      table.add_row({std::to_string(pes), box_stats(s[0]).summary(), box_stats(s[1]).summary(),
+                     box_stats(s[2]).summary(), fmt(mean_of(u[0])), fmt(mean_of(u[1])),
+                     fmt(mean_of(u[2]))});
     }
     std::cout << topo.name << " (#Tasks = " << topo.tasks << ")\n";
     table.print(std::cout);

@@ -1,14 +1,13 @@
 // Reproduces Figure 11: Streaming Scheduling Length Ratio (SSLR)
 // distributions for the two streaming heuristic variants. SSLR = makespan /
 // streaming depth T_s_inf; it approaches 1 when the schedule attains the
-// infinite-PE streaming execution.
+// infinite-PE streaming execution. Schedulers come from SchedulerRegistry;
+// the SSLR is the `slr` metric the pipeline's MetricsPass computes.
 
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/streaming_scheduler.hpp"
-#include "core/work_depth.hpp"
-#include "metrics/metrics.hpp"
+#include "pipeline/registry.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
@@ -23,14 +22,13 @@ int main() {
   for (const Topology& topo : paper_topologies()) {
     Table table({"PEs", "STR-SCH-1 (SB-LTS)", "STR-SCH-2 (SB-RLX)"});
     for (const std::int64_t pes : topo.pe_sweep) {
+      MachineConfig machine;
+      machine.num_pes = pes;
       std::vector<double> lts_sslr, rlx_sslr;
       for (int seed = 0; seed < graphs; ++seed) {
         const TaskGraph g = topo.make(static_cast<std::uint64_t>(seed) + 1);
-        const Rational depth = streaming_depth(g);
-        const auto lts = schedule_streaming_graph(g, pes, PartitionVariant::kLTS);
-        lts_sslr.push_back(streaming_slr(lts.schedule.makespan, depth));
-        const auto rlx = schedule_streaming_graph(g, pes, PartitionVariant::kRLX);
-        rlx_sslr.push_back(streaming_slr(rlx.schedule.makespan, depth));
+        lts_sslr.push_back(schedule_by_name("streaming-lts", g, machine).metrics.slr);
+        rlx_sslr.push_back(schedule_by_name("streaming-rlx", g, machine).metrics.slr);
       }
       table.add_row({std::to_string(pes), box_stats(lts_sslr).summary(),
                      box_stats(rlx_sslr).summary()});

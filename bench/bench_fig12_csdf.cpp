@@ -8,8 +8,8 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/streaming_scheduler.hpp"
 #include "csdf/csdf.hpp"
+#include "pipeline/registry.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
@@ -30,10 +30,11 @@ int main() {
     int timeouts = 0;
     for (int seed = 0; seed < graphs; ++seed) {
       const TaskGraph g = topo.make(static_cast<std::uint64_t>(seed) + 1);
-      const auto pes = static_cast<std::int64_t>(g.node_count());
+      MachineConfig machine;
+      machine.num_pes = static_cast<std::int64_t>(g.node_count());
 
       Stopwatch sched_clock;
-      const auto result = schedule_streaming_graph(g, pes, PartitionVariant::kRLX);
+      const ScheduleResult result = schedule_by_name("streaming-rlx", g, machine);
       sched_time.push_back(sched_clock.seconds());
 
       Stopwatch csdf_clock;
@@ -46,7 +47,7 @@ int main() {
         ++timeouts;
         continue;
       }
-      ratio.push_back(static_cast<double>(result.schedule.makespan) /
+      ratio.push_back(static_cast<double>(result.makespan) /
                       static_cast<double>(analysis.period));
     }
     const double med_sched = median_of(sched_time);

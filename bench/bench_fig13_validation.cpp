@@ -2,12 +2,13 @@
 // discrete-event simulation. For every scheduled graph the DES runs with the
 // Eq. 5 FIFO sizes; we report the relative error between the analytic
 // makespan and the simulated one (negative = analysis shorter than
-// simulation), and assert the absence of deadlocks.
+// simulation), and assert the absence of deadlocks. Schedulers are resolved
+// by name through SchedulerRegistry.
 
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/streaming_scheduler.hpp"
+#include "pipeline/registry.hpp"
 #include "sim/dataflow_sim.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -26,13 +27,15 @@ int main() {
   for (const Topology& topo : paper_topologies()) {
     Table table({"PEs", "STR-SCH-1 err%", "range", "STR-SCH-2 err%", "range", "deadlocks"});
     for (const std::int64_t pes : topo.pe_sweep) {
+      MachineConfig machine;
+      machine.num_pes = pes;
       std::vector<double> err_lts, err_rlx;
       int deadlocks = 0;
       for (int seed = 0; seed < graphs; ++seed) {
         const TaskGraph g = topo.make(static_cast<std::uint64_t>(seed) + 1);
-        for (const auto variant : {PartitionVariant::kLTS, PartitionVariant::kRLX}) {
-          const auto r = schedule_streaming_graph(g, pes, variant);
-          const SimResult sim = simulate_streaming(g, r.schedule, r.buffers);
+        for (const char* scheduler : {"streaming-lts", "streaming-rlx"}) {
+          const ScheduleResult r = schedule_by_name(scheduler, g, machine);
+          const SimResult sim = simulate_streaming(g, *r.streaming, *r.buffers);
           ++total_runs;
           if (sim.deadlocked || sim.tick_limit_reached) {
             ++deadlocks;
@@ -41,9 +44,9 @@ int main() {
           }
           const double err = 100.0 *
                              (static_cast<double>(sim.makespan) -
-                              static_cast<double>(r.schedule.makespan)) /
+                              static_cast<double>(r.makespan)) /
                              static_cast<double>(sim.makespan);
-          (variant == PartitionVariant::kLTS ? err_lts : err_rlx).push_back(err);
+          (scheduler == std::string_view("streaming-lts") ? err_lts : err_rlx).push_back(err);
         }
       }
       const BoxStats lts = box_stats(err_lts);

@@ -13,6 +13,8 @@
 #include "core/streaming_scheduler.hpp"
 #include "core/work_depth.hpp"
 #include "csdf/csdf.hpp"
+#include "pipeline/registry.hpp"
+#include "pipeline/schedule_cache.hpp"
 #include "workloads/synthetic.hpp"
 
 namespace {
@@ -72,6 +74,34 @@ void BM_NonStreamingBaseline(benchmark::State& state) {
   state.SetComplexityN(static_cast<std::int64_t>(g.node_count()));
 }
 BENCHMARK(BM_NonStreamingBaseline)->Arg(4)->Arg(8)->Arg(16)->Arg(24)->Complexity();
+
+void BM_RegistrySchedule(benchmark::State& state) {
+  // Full pipeline through the SchedulerRegistry: name lookup + factory +
+  // pass assembly on top of BM_FullStreamingPipeline's work.
+  const sts::TaskGraph g = graph_for(state.range(0));
+  sts::MachineConfig machine;
+  machine.num_pes = static_cast<std::int64_t>(g.node_count()) / 4 + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sts::schedule_by_name("streaming-rlx", g, machine));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_RegistrySchedule)->Arg(4)->Arg(8)->Arg(16)->Arg(24)->Complexity();
+
+void BM_CachedSchedule(benchmark::State& state) {
+  // Steady-state cache hit: key construction (graph serialization + hash)
+  // only; scheduling is skipped entirely.
+  const sts::TaskGraph g = graph_for(state.range(0));
+  sts::MachineConfig machine;
+  machine.num_pes = static_cast<std::int64_t>(g.node_count()) / 4 + 1;
+  sts::ScheduleCache cache;
+  benchmark::DoNotOptimize(cache.get_or_schedule(g, "streaming-rlx", machine));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get_or_schedule(g, "streaming-rlx", machine));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_CachedSchedule)->Arg(4)->Arg(8)->Arg(16)->Arg(24)->Complexity();
 
 void BM_CsdfSelfTimed(benchmark::State& state) {
   const sts::TaskGraph g = graph_for(state.range(0));

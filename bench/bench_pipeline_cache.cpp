@@ -1,0 +1,82 @@
+// Micro-benchmark: cached vs uncached scheduling throughput on repeated
+// synthetic workloads — the serving scenario the ScheduleCache exists for
+// (many queries over a small working set of distinct graphs). For each
+// topology we schedule the same ~100-node graph `kRepeats` times cold
+// (straight through SchedulerRegistry) and through the global-style cache,
+// and report queries/second plus the speedup of the hit path. The cache-hit
+// path still pays for the canonical key (graph serialization + FNV-1a), so
+// the speedup measures memoization, not a no-op loop.
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pipeline/registry.hpp"
+#include "pipeline/schedule_cache.hpp"
+#include "support/table.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace {
+
+constexpr int kRepeats = 200;
+
+struct Workload {
+  std::string name;
+  sts::TaskGraph graph;
+  std::int64_t pes;
+};
+
+}  // namespace
+
+int main() {
+  using namespace sts;
+  using namespace sts::bench;
+
+  std::cout << "Pipeline cache: cached vs uncached scheduling throughput\n"
+            << kRepeats << " repeated queries per workload; scheduler = streaming-rlx\n\n";
+
+  LayeredSpec layered;
+  layered.layers = 16;
+  layered.width = 12;  // widths are sampled, so this lands near 100 nodes
+  std::vector<Workload> workloads;
+  workloads.push_back({"Layered(16x12)", make_random_layered(layered, 1), 25});
+  workloads.push_back({"FFT(16)", make_fft(16, 1), 24});
+  workloads.push_back({"Cholesky(8)", make_cholesky(8, 1), 30});
+
+  Table table({"workload", "#nodes", "cold q/s", "cached q/s", "speedup", "hits", "misses"});
+  bool all_fast = true;
+  for (const Workload& w : workloads) {
+    MachineConfig machine;
+    machine.num_pes = w.pes;
+
+    // Cold path: every query runs the full pipeline.
+    Stopwatch cold_clock;
+    for (int i = 0; i < kRepeats; ++i) {
+      const ScheduleResult r = schedule_by_name("streaming-rlx", w.graph, machine);
+      if (r.makespan <= 0) return 1;
+    }
+    const double cold_seconds = cold_clock.seconds();
+
+    // Cached path: first query computes, the rest hit.
+    ScheduleCache cache;
+    Stopwatch cached_clock;
+    for (int i = 0; i < kRepeats; ++i) {
+      const auto r = cache.get_or_schedule(w.graph, "streaming-rlx", machine);
+      if (r->makespan <= 0) return 1;
+    }
+    const double cached_seconds = cached_clock.seconds();
+
+    const double speedup = cold_seconds / cached_seconds;
+    all_fast = all_fast && speedup >= 10.0;
+    const ScheduleCache::Stats stats = cache.stats();
+    table.add_row({w.name, std::to_string(w.graph.node_count()),
+                   fmt(kRepeats / cold_seconds, 0), fmt(kRepeats / cached_seconds, 0),
+                   fmt(speedup, 1) + "x", std::to_string(stats.hits),
+                   std::to_string(stats.misses)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: cache-hit scheduling >= 10x faster than cold scheduling\n"
+            << (all_fast ? "RESULT: PASS" : "RESULT: BELOW TARGET") << "\n";
+  return all_fast ? 0 : 1;
+}

@@ -2,15 +2,13 @@
 // inference workloads — ResNet-50 and one transformer encoder layer — over
 // the paper's PE sweeps, reporting speedups and the streaming gain G.
 // As in the paper, the SB-LTS variant is reported (the two variants do not
-// differ noticeably here).
+// differ noticeably here). Both schedulers come from SchedulerRegistry.
 
 #include <iostream>
 
-#include "baseline/list_scheduler.hpp"
 #include "bench_common.hpp"
-#include "core/streaming_scheduler.hpp"
-#include "metrics/metrics.hpp"
 #include "ml/models.hpp"
+#include "pipeline/registry.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -23,16 +21,13 @@ void run_model(const char* title, const sts::TaskGraph& graph,
             << " buffers), " << stats.edges << " edges, T1 = " << stats.total_work << "\n";
 
   Table table({"#PEs", "STR-SCH speedup", "NSTR-SCH speedup", "G"});
-  const std::int64_t t1 = graph.total_work();
   for (const std::int64_t pes : pe_sweep) {
-    sts::bench::Stopwatch clock;
-    const auto str = schedule_streaming_graph(graph, pes, PartitionVariant::kLTS);
-    const ListSchedule nstr = schedule_non_streaming(graph, pes);
-    const double s_str = speedup(t1, str.schedule.makespan);
-    const double s_nstr = speedup(t1, nstr.makespan);
+    MachineConfig machine;
+    machine.num_pes = pes;
+    const double s_str = schedule_by_name("streaming-lts", graph, machine).metrics.speedup;
+    const double s_nstr = schedule_by_name("list", graph, machine).metrics.speedup;
     table.add_row({std::to_string(pes), fmt(s_str, 1), fmt(s_nstr, 1),
                    fmt(s_str / s_nstr, 1)});
-    (void)clock;
   }
   table.print(std::cout);
   std::cout << "\n";

@@ -1,10 +1,17 @@
-// Command-line front end to the full scheduling pipeline: read a canonical
-// task graph from a text file (see graph/serialization.hpp for the format),
-// schedule it, and emit the result in a choice of formats.
+// Command-line front end to the pass-based scheduling pipeline: read a
+// canonical task graph from a text file (see graph/serialization.hpp for the
+// format), schedule it with any scheduler registered in SchedulerRegistry,
+// and emit the result in a choice of formats.
 //
 // Usage:
-//   sts_schedule_cli <graph-file|-> [--pes N] [--variant lts|rlx|work]
-//                    [--format table|gantt|json|dot] [--simulate]
+//   sts_schedule_cli <graph-file|-> [--pes N] [--scheduler <name>]
+//                    [--variant lts|rlx|work] [--format table|gantt|json|dot]
+//                    [--simulate] [--timings] [--cached]
+//   sts_schedule_cli --list-schedulers
+//
+// `--variant X` is shorthand for `--scheduler streaming-X`. `--cached` routes
+// the query through the global ScheduleCache (useful with repeated
+// invocations in one process; here it demonstrates the serving path).
 //
 // Example graph file:
 //   node 0 source src
@@ -18,10 +25,10 @@
 #include <string>
 
 #include "core/schedule_export.hpp"
-#include "core/streaming_scheduler.hpp"
 #include "graph/dot_export.hpp"
 #include "graph/serialization.hpp"
-#include "metrics/metrics.hpp"
+#include "pipeline/registry.hpp"
+#include "pipeline/schedule_cache.hpp"
 #include "sim/dataflow_sim.hpp"
 #include "support/table.hpp"
 
@@ -29,9 +36,50 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " <graph-file|-> [--pes N] [--variant lts|rlx|work]"
-               " [--format table|gantt|json|dot] [--simulate]\n";
+            << " <graph-file|-> [--pes N] [--scheduler <name>] [--variant lts|rlx|work]"
+               " [--format table|gantt|json|dot] [--simulate] [--timings] [--cached]\n"
+               "       "
+            << argv0 << " --list-schedulers\n";
   return 2;
+}
+
+int list_schedulers() {
+  const auto& registry = sts::SchedulerRegistry::instance();
+  sts::Table table({"name", "description"});
+  for (const std::string& name : registry.names()) {
+    table.add_row({name, std::string(registry.create(name)->description())});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+void print_streaming_table(const sts::TaskGraph& graph, const sts::ScheduleResult& result) {
+  using namespace sts;
+  Table table({"task", "kind", "block", "PE", "ST", "FO", "LO"});
+  for (NodeId v = 0; static_cast<std::size_t>(v) < graph.node_count(); ++v) {
+    const TaskTiming& t = result.streaming->at(v);
+    table.add_row({graph.name(v).empty() ? "n" + std::to_string(v) : graph.name(v),
+                   to_string(graph.kind(v)), std::to_string(t.block), std::to_string(t.pe),
+                   std::to_string(t.start), std::to_string(t.first_out),
+                   std::to_string(t.last_out)});
+  }
+  table.print(std::cout);
+  std::cout << "makespan " << result.makespan << ", speedup " << fmt(result.metrics.speedup, 2)
+            << ", FIFO space " << result.buffers->total_capacity << "\n";
+}
+
+void print_list_table(const sts::TaskGraph& graph, const sts::ScheduleResult& result) {
+  using namespace sts;
+  Table table({"task", "kind", "PE", "start", "finish"});
+  for (NodeId v = 0; static_cast<std::size_t>(v) < graph.node_count(); ++v) {
+    const ListScheduleEntry& e = result.list->at(v);
+    table.add_row({graph.name(v).empty() ? "n" + std::to_string(v) : graph.name(v),
+                   to_string(graph.kind(v)), std::to_string(e.pe), std::to_string(e.start),
+                   std::to_string(e.finish)});
+  }
+  table.print(std::cout);
+  std::cout << "makespan " << result.makespan << ", speedup " << fmt(result.metrics.speedup, 2)
+            << "\n";
 }
 
 }  // namespace
@@ -39,12 +87,15 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace sts;
   if (argc < 2) return usage(argv[0]);
+  if (std::string(argv[1]) == "--list-schedulers") return list_schedulers();
 
   std::string path = argv[1];
+  std::string scheduler = "streaming-rlx";
   std::int64_t pes = 8;
-  std::string variant = "rlx";
   std::string format = "table";
   bool simulate = false;
+  bool timings = false;
+  bool cached = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
@@ -54,12 +105,20 @@ int main(int argc, char** argv) {
     try {
       if (arg == "--pes") {
         pes = std::stoll(next());
+      } else if (arg == "--scheduler") {
+        scheduler = next();
       } else if (arg == "--variant") {
-        variant = next();
+        scheduler = "streaming-" + next();
       } else if (arg == "--format") {
         format = next();
       } else if (arg == "--simulate") {
         simulate = true;
+      } else if (arg == "--timings") {
+        timings = true;
+      } else if (arg == "--cached") {
+        cached = true;
+      } else if (arg == "--list-schedulers") {
+        return list_schedulers();
       } else {
         return usage(argv[0]);
       }
@@ -92,42 +151,56 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  StreamingSchedulerResult result;
+  MachineConfig machine;
+  machine.num_pes = pes;
+  ScheduleResult result;
   try {
-    if (variant == "work") {
-      result.schedule = schedule_streaming(graph, partition_by_work(graph, pes));
-      result.buffers = compute_buffer_plan(graph, result.schedule);
+    if (cached) {
+      result = *ScheduleCache::global().get_or_schedule(graph, scheduler, machine);
     } else {
-      const PartitionVariant v =
-          variant == "lts" ? PartitionVariant::kLTS : PartitionVariant::kRLX;
-      result = schedule_streaming_graph(graph, pes, v);
+      result = schedule_by_name(scheduler, graph, machine);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
 
-  if (format == "json") {
-    write_schedule_json(std::cout, graph, result.schedule, &result.buffers);
-  } else if (format == "gantt") {
-    write_gantt(std::cout, graph, result.schedule);
+  if (result.is_streaming()) {
+    if (format == "json") {
+      write_schedule_json(std::cout, graph, *result.streaming,
+                          result.buffers ? &*result.buffers : nullptr);
+    } else if (format == "gantt") {
+      write_gantt(std::cout, graph, *result.streaming);
+    } else {
+      print_streaming_table(graph, result);
+    }
   } else {
-    Table table({"task", "kind", "block", "PE", "ST", "FO", "LO"});
-    for (NodeId v = 0; static_cast<std::size_t>(v) < graph.node_count(); ++v) {
-      const TaskTiming& t = result.schedule.at(v);
-      table.add_row({graph.name(v).empty() ? "n" + std::to_string(v) : graph.name(v),
-                     to_string(graph.kind(v)), std::to_string(t.block), std::to_string(t.pe),
-                     std::to_string(t.start), std::to_string(t.first_out),
-                     std::to_string(t.last_out)});
+    if (format != "table") {
+      std::cerr << "error: format " << format << " is only available for streaming schedulers\n";
+      return 2;
+    }
+    if (result.list) {
+      print_list_table(graph, result);
+    } else if (result.csdf) {
+      std::cout << "csdf: makespan " << result.csdf->makespan << ", firings "
+                << result.csdf->firings << "\n";
+    }
+  }
+
+  if (timings) {
+    Table table({"pass", "seconds"});
+    for (const PassTiming& t : result.timings) {
+      table.add_row({t.pass, fmt(t.seconds * 1e6, 1) + " us"});
     }
     table.print(std::cout);
-    std::cout << "makespan " << result.schedule.makespan << ", speedup "
-              << fmt(speedup(graph.total_work(), result.schedule.makespan), 2)
-              << ", FIFO space " << result.buffers.total_capacity << "\n";
   }
 
   if (simulate) {
-    const SimResult sim = simulate_streaming(graph, result.schedule, result.buffers);
+    if (!result.is_streaming()) {
+      std::cerr << "error: --simulate requires a streaming scheduler\n";
+      return 2;
+    }
+    const SimResult sim = simulate_streaming(graph, *result.streaming, *result.buffers);
     std::cout << "simulation: makespan " << sim.makespan
               << (sim.deadlocked ? " DEADLOCK" : " (no deadlock)") << "\n";
     return sim.deadlocked ? 1 : 0;

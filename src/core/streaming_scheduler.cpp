@@ -1,13 +1,18 @@
 #include "core/streaming_scheduler.hpp"
 
+#include <utility>
+
+#include "pipeline/registry.hpp"
+
 namespace sts {
 
 StreamingSchedulerResult schedule_streaming_graph(const TaskGraph& graph, std::int64_t num_pes,
                                                   PartitionVariant variant) {
-  StreamingSchedulerResult result;
-  result.schedule = schedule_streaming(graph, partition_spatial_blocks(graph, num_pes, variant));
-  result.buffers = compute_buffer_plan(graph, result.schedule);
-  return result;
+  MachineConfig machine;
+  machine.num_pes = num_pes;
+  ScheduleResult result = schedule_by_name(
+      variant == PartitionVariant::kLTS ? "streaming-lts" : "streaming-rlx", graph, machine);
+  return StreamingSchedulerResult{std::move(*result.streaming), std::move(*result.buffers)};
 }
 
 }  // namespace sts

@@ -12,13 +12,22 @@ namespace sts {
 /// One-call driver for the full streaming scheduling pipeline of the paper:
 /// spatial-block partitioning (Section 5.2), within-block scheduling
 /// (Section 5.1), and deadlock-free FIFO sizing (Section 6).
+///
+/// This is a thin convenience wrapper over the pass-based pipeline API
+/// (pipeline/registry.hpp): it resolves the `streaming-lts` /
+/// `streaming-rlx` scheduler from the SchedulerRegistry and unwraps the
+/// streaming artifacts. Use the registry directly for the other schedulers
+/// (work-ordered partitioning, HEFT, list, CSDF), pass timings, metrics,
+/// placement, or memoization through ScheduleCache.
 struct StreamingSchedulerResult {
   StreamingSchedule schedule;
   BufferPlan buffers;
 };
 
 /// Schedules `graph` on `num_pes` homogeneous PEs with the given Algorithm 1
-/// variant. The graph must validate as a canonical task graph.
+/// variant. Validates its inputs: throws std::invalid_argument listing every
+/// canonicity violation when the graph does not validate, or when
+/// `num_pes <= 0`.
 [[nodiscard]] StreamingSchedulerResult schedule_streaming_graph(const TaskGraph& graph,
                                                                 std::int64_t num_pes,
                                                                 PartitionVariant variant);

@@ -1,9 +1,12 @@
 #include "graph/serialization.hpp"
 
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "support/text.hpp"
 
 namespace sts {
 
@@ -120,30 +123,78 @@ TaskGraph load_task_graph_from_string(const std::string& text) {
 }
 
 void save_task_graph(std::ostream& output, const TaskGraph& graph) {
-  output << "# canonical task graph: " << graph.node_count() << " nodes, "
-         << graph.edge_count() << " edges\n";
+  output << save_task_graph_to_string(graph);
+}
+
+std::string save_task_graph_to_string(const TaskGraph& graph) {
+  // Built with plain string appends + to_chars rather than iostreams: this
+  // serialization doubles as the ScheduleCache key, so it sits on the
+  // cache-hit path and must stay much cheaper than scheduling itself.
+  std::string out;
+  out.reserve(64 + 28 * graph.node_count() + 32 * graph.edge_count());
+  out += "# canonical task graph: ";
+  append_number(out, static_cast<std::int64_t>(graph.node_count()));
+  out += " nodes, ";
+  append_number(out, static_cast<std::int64_t>(graph.edge_count()));
+  out += " edges\n";
   for (NodeId v = 0; static_cast<std::size_t>(v) < graph.node_count(); ++v) {
-    output << "node " << v << " " << to_string(graph.kind(v));
-    if (!graph.name(v).empty()) output << " " << graph.name(v);
-    output << "\n";
+    out += "node ";
+    append_number(out, v);
+    out += ' ';
+    out += to_string(graph.kind(v));
+    if (!graph.name(v).empty()) {
+      out += ' ';
+      out += graph.name(v);
+    }
+    out += '\n';
     const bool is_exit = graph.out_degree(v) == 0 && graph.kind(v) != NodeKind::kSink;
     if (graph.kind(v) == NodeKind::kSource || is_exit ||
         (graph.kind(v) == NodeKind::kBuffer && graph.output_volume(v) > 0)) {
       if (graph.output_volume(v) > 0) {
-        output << "output " << v << " " << graph.output_volume(v) << "\n";
+        out += "output ";
+        append_number(out, v);
+        out += ' ';
+        append_number(out, graph.output_volume(v));
+        out += '\n';
       }
     }
   }
   for (EdgeId e = 0; static_cast<std::size_t>(e) < graph.edge_count(); ++e) {
     const Edge& edge = graph.edge(e);
-    output << "edge " << edge.src << " " << edge.dst << " " << edge.volume << "\n";
+    out += "edge ";
+    append_number(out, edge.src);
+    out += ' ';
+    append_number(out, edge.dst);
+    out += ' ';
+    append_number(out, edge.volume);
+    out += '\n';
   }
+  return out;
 }
 
-std::string save_task_graph_to_string(const TaskGraph& graph) {
-  std::ostringstream os;
-  save_task_graph(os, graph);
-  return os.str();
+std::string canonical_fingerprint(const TaskGraph& graph) {
+  const std::size_t nodes = graph.node_count();
+  const std::size_t edges = graph.edge_count();
+  std::string out;
+  out.resize(16 + nodes * 9 + edges * 24);
+  char* p = out.data();
+  const auto put64 = [&p](std::int64_t value) {
+    std::memcpy(p, &value, 8);
+    p += 8;
+  };
+  put64(static_cast<std::int64_t>(nodes));
+  put64(static_cast<std::int64_t>(edges));
+  for (NodeId v = 0; static_cast<std::size_t>(v) < nodes; ++v) {
+    *p++ = static_cast<char>(graph.kind(v));
+    put64(graph.output_volume(v));
+  }
+  for (EdgeId e = 0; static_cast<std::size_t>(e) < edges; ++e) {
+    const Edge& edge = graph.edge(e);
+    put64(edge.src);
+    put64(edge.dst);
+    put64(edge.volume);
+  }
+  return out;
 }
 
 }  // namespace sts

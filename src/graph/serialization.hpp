@@ -25,4 +25,14 @@ namespace sts {
 void save_task_graph(std::ostream& output, const TaskGraph& graph);
 [[nodiscard]] std::string save_task_graph_to_string(const TaskGraph& graph);
 
+/// Compact binary encoding of the scheduling-relevant canonical structure:
+/// node/edge counts, per-node kind + output volume, per-edge (src, dst,
+/// volume). Node names are excluded — they never influence a schedule, so
+/// graphs differing only in names encode identically. Two graphs produce the
+/// same fingerprint iff their text serializations (minus names) match; a
+/// single pre-sized buffer keeps it an order of magnitude cheaper than
+/// `save_task_graph_to_string`, which matters because this is the
+/// ScheduleCache key built on every (including cache-hit) scheduling query.
+[[nodiscard]] std::string canonical_fingerprint(const TaskGraph& graph);
+
 }  // namespace sts

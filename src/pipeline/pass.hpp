@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string_view>
+
+#include "pipeline/schedule_context.hpp"
+
+namespace sts {
+
+/// One stage of the scheduling pipeline (paper Sections 5-6 plus the
+/// evaluation passes). A pass reads upstream artifacts from the
+/// ScheduleContext and deposits its own; `validate` is the between-stage
+/// consistency hook Pipeline::run invokes after each pass and should throw
+/// std::runtime_error on inconsistent output.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  virtual void run(ScheduleContext& ctx) const = 0;
+
+  /// Post-pass validation; default accepts everything.
+  virtual void validate(const ScheduleContext& ctx) const { (void)ctx; }
+};
+
+}  // namespace sts

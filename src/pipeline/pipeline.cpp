@@ -1,0 +1,24 @@
+#include "pipeline/pipeline.hpp"
+
+#include <chrono>
+
+namespace sts {
+
+std::vector<std::string> Pipeline::pass_names() const {
+  std::vector<std::string> names;
+  names.reserve(passes_.size());
+  for (const auto& pass : passes_) names.emplace_back(pass->name());
+  return names;
+}
+
+void Pipeline::run(ScheduleContext& ctx) const {
+  for (const auto& pass : passes_) {
+    const auto begin = std::chrono::steady_clock::now();
+    pass->run(ctx);
+    pass->validate(ctx);
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - begin;
+    ctx.timings.push_back(PassTiming{std::string(pass->name()), elapsed.count()});
+  }
+}
+
+}  // namespace sts

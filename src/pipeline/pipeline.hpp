@@ -1,0 +1,41 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pipeline/pass.hpp"
+
+namespace sts {
+
+/// An ordered sequence of passes over one ScheduleContext. `run` times every
+/// pass (timings land in ctx.timings) and invokes each pass's `validate`
+/// hook right after it, so a stage that produces inconsistent artifacts
+/// aborts the run before downstream stages consume them.
+class Pipeline {
+ public:
+  Pipeline() = default;
+  Pipeline(Pipeline&&) = default;
+  Pipeline& operator=(Pipeline&&) = default;
+
+  Pipeline& add(std::unique_ptr<Pass> pass) {
+    passes_.push_back(std::move(pass));
+    return *this;
+  }
+
+  template <typename PassT, typename... Args>
+  Pipeline& emplace(Args&&... args) {
+    return add(std::make_unique<PassT>(std::forward<Args>(args)...));
+  }
+
+  [[nodiscard]] std::size_t pass_count() const noexcept { return passes_.size(); }
+  [[nodiscard]] std::vector<std::string> pass_names() const;
+
+  void run(ScheduleContext& ctx) const;
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+}  // namespace sts

@@ -1,0 +1,146 @@
+#include "pipeline/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "pipeline/passes.hpp"
+
+namespace sts {
+namespace {
+
+/// The paper's full streaming pipeline: partition -> within-block schedule
+/// -> FIFO sizing (-> placement) -> metrics, parameterized by the
+/// partitioning strategy.
+class StreamingPipelineScheduler final : public Scheduler {
+ public:
+  StreamingPipelineScheduler(std::string name, std::string description,
+                             PartitionStrategy strategy)
+      : name_(std::move(name)), description_(std::move(description)), strategy_(strategy) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] std::string_view description() const noexcept override { return description_; }
+
+  [[nodiscard]] Pipeline build_pipeline(const MachineConfig& machine) const override {
+    Pipeline pipeline;
+    pipeline.emplace<PartitionPass>(strategy_)
+        .emplace<StreamingSchedulePass>()
+        .emplace<BufferSizingPass>();
+    if (machine.place_on_mesh) pipeline.emplace<PlacementPass>();
+    pipeline.emplace<MetricsPass>();
+    return pipeline;
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+  PartitionStrategy strategy_;
+};
+
+/// A baseline realized by a single scheduling pass followed by metrics.
+template <typename PassT>
+class SinglePassScheduler final : public Scheduler {
+ public:
+  SinglePassScheduler(std::string name, std::string description)
+      : name_(std::move(name)), description_(std::move(description)) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] std::string_view description() const noexcept override { return description_; }
+
+  [[nodiscard]] Pipeline build_pipeline(const MachineConfig&) const override {
+    Pipeline pipeline;
+    pipeline.emplace<PassT>().template emplace<MetricsPass>();
+    return pipeline;
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+};
+
+void register_builtins(SchedulerRegistry& registry) {
+  registry.add("streaming-lts", [] {
+    return std::make_unique<StreamingPipelineScheduler>(
+        "streaming-lts", "streaming pipeline with SB-LTS spatial-block partitioning (Alg. 1)",
+        PartitionStrategy::kLTS);
+  });
+  registry.add("streaming-rlx", [] {
+    return std::make_unique<StreamingPipelineScheduler>(
+        "streaming-rlx", "streaming pipeline with SB-RLX spatial-block partitioning (Alg. 1)",
+        PartitionStrategy::kRLX);
+  });
+  registry.add("streaming-work", [] {
+    return std::make_unique<StreamingPipelineScheduler>(
+        "streaming-work", "streaming pipeline with work-ordered partitioning (Alg. 2)",
+        PartitionStrategy::kWork);
+  });
+  registry.add("list", [] {
+    return std::make_unique<SinglePassScheduler<ListSchedulePass>>(
+        "list", "non-streaming critical-path list scheduling (NSTR-SCH baseline)");
+  });
+  registry.add("heft", [] {
+    return std::make_unique<SinglePassScheduler<HeftPass>>(
+        "heft", "HEFT insertion-based list scheduling (heterogeneous baseline)");
+  });
+  registry.add("csdf", [] {
+    return std::make_unique<SinglePassScheduler<CsdfPass>>(
+        "csdf", "cyclo-static dataflow conversion + self-timed execution (Sec. 7.2)");
+  });
+}
+
+}  // namespace
+
+SchedulerRegistry& SchedulerRegistry::instance() {
+  static SchedulerRegistry* registry = [] {
+    auto* r = new SchedulerRegistry();
+    register_builtins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void SchedulerRegistry::add(std::string name, Factory factory) {
+  if (name.empty()) throw std::invalid_argument("SchedulerRegistry: empty scheduler name");
+  if (!factory) throw std::invalid_argument("SchedulerRegistry: null factory for " + name);
+  const auto [it, inserted] = factories_.emplace(std::move(name), std::move(factory));
+  if (!inserted) {
+    throw std::invalid_argument("SchedulerRegistry: duplicate scheduler name " + it->first);
+  }
+}
+
+void SchedulerRegistry::remove(std::string_view name) {
+  const auto it = factories_.find(name);
+  if (it != factories_.end()) factories_.erase(it);
+}
+
+bool SchedulerRegistry::contains(std::string_view name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::unique_ptr<Scheduler> SchedulerRegistry::create(std::string_view name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string message = "SchedulerRegistry: unknown scheduler \"";
+    message += name;
+    message += "\"; registered:";
+    for (const auto& [known, factory] : factories_) {
+      message += ' ';
+      message += known;
+    }
+    throw std::invalid_argument(message);
+  }
+  return it->second();
+}
+
+std::vector<std::string> SchedulerRegistry::names() const {
+  std::vector<std::string> result;
+  result.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) result.push_back(name);
+  return result;
+}
+
+ScheduleResult schedule_by_name(std::string_view name, const TaskGraph& graph,
+                                const MachineConfig& machine) {
+  return SchedulerRegistry::instance().create(name)->schedule(graph, machine);
+}
+
+}  // namespace sts

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pipeline/scheduler.hpp"
+
+namespace sts {
+
+/// Name -> factory registry of every scheduler in the system. The process
+/// singleton (`instance()`) comes pre-loaded with the built-ins:
+///
+///   streaming-lts   Algorithm 1 SB-LTS partitioning + streaming pipeline
+///   streaming-rlx   Algorithm 1 SB-RLX partitioning + streaming pipeline
+///   streaming-work  Algorithm 2 work-ordered partitioning + streaming pipeline
+///   list            non-streaming critical-path list scheduling (NSTR-SCH)
+///   heft            HEFT on homogeneous/heterogeneous PEs
+///   csdf            CSDF conversion + self-timed execution (Section 7.2)
+///
+/// Additional schedulers (experiments, downstream extensions) register at
+/// load time or in test set-up via `add`.
+class SchedulerRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Scheduler>()>;
+
+  /// The process-wide registry, built-ins included.
+  [[nodiscard]] static SchedulerRegistry& instance();
+
+  /// Registers a factory; throws std::invalid_argument on duplicate names.
+  void add(std::string name, Factory factory);
+
+  /// Removes a scheduler (mainly for test teardown). No-op if absent.
+  void remove(std::string_view name);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Instantiates a scheduler; throws std::invalid_argument naming the
+  /// unknown scheduler and listing the registered ones.
+  [[nodiscard]] std::unique_ptr<Scheduler> create(std::string_view name) const;
+
+  /// Registered names in sorted order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  SchedulerRegistry() = default;
+
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+/// Convenience: look up `name` in the global registry and schedule `graph`.
+[[nodiscard]] ScheduleResult schedule_by_name(std::string_view name, const TaskGraph& graph,
+                                              const MachineConfig& machine);
+
+}  // namespace sts

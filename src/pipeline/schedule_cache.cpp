@@ -1,0 +1,103 @@
+#include "pipeline/schedule_cache.hpp"
+
+#include <cstring>
+
+#include "graph/serialization.hpp"
+#include "pipeline/registry.hpp"
+
+namespace sts {
+
+std::string canonical_cache_key(const TaskGraph& graph, std::string_view scheduler,
+                                const MachineConfig& machine) {
+  std::string key;
+  key.reserve(80 + 16 + 9 * graph.node_count() + 24 * graph.edge_count());
+  key += "scheduler=";
+  key += scheduler;
+  key += '\n';
+  key += machine.cache_key();
+  key += '\n';
+  key += canonical_fingerprint(graph);
+  return key;
+}
+
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+  // FNV-1a over 8-byte words with a final avalanche. Word-at-a-time keeps
+  // the multiply dependency chain off the cache-hit critical path (the
+  // byte-serial variant costs ~3 cycles per byte, which dominates hits on
+  // multi-kilobyte keys); the avalanche restores diffusion across the word.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  const char* p = text.data();
+  std::size_t n = text.size();
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    hash = (hash ^ word) * 0x100000001b3ULL;
+    p += 8;
+    n -= 8;
+  }
+  std::uint64_t tail = 0;
+  if (n > 0) std::memcpy(&tail, p, n);
+  hash = (hash ^ (tail + n)) * 0x100000001b3ULL;
+  hash ^= hash >> 32;
+  hash *= 0xd6e8feb86659fd93ULL;
+  hash ^= hash >> 32;
+  return hash;
+}
+
+std::shared_ptr<const ScheduleResult> ScheduleCache::get_or_schedule(
+    const TaskGraph& graph, std::string_view scheduler, const MachineConfig& machine) {
+  std::string key = canonical_cache_key(graph, scheduler, machine);
+  const std::uint64_t hash = fnv1a64(key);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = buckets_.find(hash);
+    if (it != buckets_.end()) {
+      for (const Entry& entry : it->second) {
+        if (entry.key == key) {
+          ++stats_.hits;
+          return entry.result;
+        }
+      }
+    }
+    ++stats_.misses;
+  }
+
+  // Compute outside the lock: scheduling dominates, and concurrent misses on
+  // distinct keys must not serialize behind each other.
+  auto result =
+      std::make_shared<const ScheduleResult>(schedule_by_name(scheduler, graph, machine));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry>& bucket = buckets_[hash];
+  for (const Entry& entry : bucket) {
+    if (entry.key == key) return entry.result;  // another thread won the race
+  }
+  bucket.push_back(Entry{std::move(key), result});
+  return result;
+}
+
+ScheduleCache::Stats ScheduleCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ScheduleCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [hash, bucket] : buckets_) total += bucket.size();
+  return total;
+}
+
+void ScheduleCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buckets_.clear();
+  stats_ = Stats{};
+}
+
+ScheduleCache& ScheduleCache::global() {
+  static ScheduleCache* cache = new ScheduleCache();
+  return *cache;
+}
+
+}  // namespace sts

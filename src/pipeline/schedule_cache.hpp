@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "pipeline/scheduler.hpp"
+
+namespace sts {
+
+/// Canonical cache key of a scheduling query: the scheduler name, the
+/// machine config, and the graph's canonical_fingerprint (the binary normal
+/// form of graph/serialization.cpp — identical structure and volumes produce
+/// identical keys regardless of node names).
+[[nodiscard]] std::string canonical_cache_key(const TaskGraph& graph,
+                                              std::string_view scheduler,
+                                              const MachineConfig& machine);
+
+/// 64-bit key hash (the bucket index of ScheduleCache entries): FNV-1a over
+/// 8-byte words with a final avalanche mix.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view text) noexcept;
+
+/// Memoizes full pipeline results keyed by the canonical graph+config hash,
+/// in the spirit of the program caches of dataflow runtimes: repeated
+/// queries on identical workloads skip partitioning, scheduling, and FIFO
+/// sizing entirely and return a shared immutable result. Hash collisions are
+/// disambiguated with the full key, so a hit is always exact. Thread-safe;
+/// on concurrent misses for the same key the first completed result wins.
+class ScheduleCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// Returns the cached result for (graph, scheduler, machine), computing
+  /// and inserting it through the global SchedulerRegistry on a miss.
+  [[nodiscard]] std::shared_ptr<const ScheduleResult> get_or_schedule(
+      const TaskGraph& graph, std::string_view scheduler, const MachineConfig& machine);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// The process-wide cache used by cached convenience entry points.
+  [[nodiscard]] static ScheduleCache& global();
+
+ private:
+  struct Entry {
+    std::string key;  ///< full canonical key, checked on every probe
+    std::shared_ptr<const ScheduleResult> result;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
+  Stats stats_;
+};
+
+}  // namespace sts

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <charconv>
+#include <string>
+
+namespace sts {
+
+/// Appends an integer or floating-point number to `out` via std::to_chars.
+/// Shared by graph serialization and cache-key construction, which sit on
+/// the ScheduleCache hit path and must avoid iostream overhead.
+template <typename T>
+void append_number(std::string& out, T value) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  out.append(buf, end);
+}
+
+}  // namespace sts

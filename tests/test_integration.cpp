@@ -9,6 +9,7 @@
 #include "core/work_depth.hpp"
 #include "metrics/metrics.hpp"
 #include "ml/models.hpp"
+#include "pipeline/registry.hpp"
 #include "sim/dataflow_sim.hpp"
 #include "workloads/synthetic.hpp"
 
@@ -22,31 +23,36 @@ TaskGraph make_topology(const std::string& name, std::uint64_t seed) {
   return make_cholesky(5, seed);
 }
 
-/// End-to-end pipeline sweep: generate -> validate -> partition -> schedule
-/// -> size buffers -> simulate; the DES must terminate without deadlock and
+/// End-to-end pipeline sweep through the SchedulerRegistry: generate ->
+/// validate -> schedule by name (partition + within-block schedule + FIFO
+/// sizing passes) -> simulate; the DES must terminate without deadlock and
 /// agree with the analytic makespan (Appendix B).
 class PipelineSweep
     : public ::testing::TestWithParam<
-          std::tuple<std::string, std::uint64_t, std::int64_t, PartitionVariant>> {};
+          std::tuple<std::string, std::uint64_t, std::int64_t, std::string>> {};
 
 TEST_P(PipelineSweep, SchedulesSimulateDeadlockFree) {
-  const auto& [topology, seed, pes, variant] = GetParam();
+  const auto& [topology, seed, pes, scheduler] = GetParam();
   const TaskGraph g = make_topology(topology, seed);
   ASSERT_TRUE(g.validate().empty());
 
-  const StreamingSchedulerResult r = schedule_streaming_graph(g, pes, variant);
-  ASSERT_TRUE(partition_is_valid(g, r.schedule.partition, pes));
-  EXPECT_GT(r.schedule.makespan, 0);
+  MachineConfig machine;
+  machine.num_pes = pes;
+  const ScheduleResult r = schedule_by_name(scheduler, g, machine);
+  ASSERT_TRUE(r.is_streaming());
+  ASSERT_TRUE(partition_is_valid(g, r.streaming->partition, pes));
+  EXPECT_GT(r.makespan, 0);
+  EXPECT_FALSE(r.timings.empty());
 
-  const SimResult sim = simulate_streaming(g, r.schedule, r.buffers);
+  const SimResult sim = simulate_streaming(g, *r.streaming, *r.buffers);
   ASSERT_FALSE(sim.deadlocked) << "computed buffers must prevent deadlock";
   ASSERT_FALSE(sim.tick_limit_reached);
 
-  const double rel_err = (static_cast<double>(r.schedule.makespan) -
+  const double rel_err = (static_cast<double>(r.makespan) -
                           static_cast<double>(sim.makespan)) /
                          static_cast<double>(sim.makespan);
   EXPECT_LT(std::abs(rel_err), 0.35)
-      << "analytic " << r.schedule.makespan << " vs simulated " << sim.makespan;
+      << "analytic " << r.makespan << " vs simulated " << sim.makespan;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -54,11 +60,12 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("chain", "fft", "gaussian", "cholesky"),
                        ::testing::Values(1u, 2u, 3u),
                        ::testing::Values<std::int64_t>(4, 16),
-                       ::testing::Values(PartitionVariant::kLTS, PartitionVariant::kRLX)),
+                       ::testing::Values("streaming-lts", "streaming-rlx")),
     [](const auto& info) {
+      const std::string& scheduler = std::get<3>(info.param);
       return std::get<0>(info.param) + "_s" + std::to_string(std::get<1>(info.param)) + "_p" +
              std::to_string(std::get<2>(info.param)) + "_" +
-             (std::get<3>(info.param) == PartitionVariant::kLTS ? "lts" : "rlx");
+             scheduler.substr(scheduler.rfind('-') + 1);
     });
 
 TEST(Integration, StreamingNeverLosesToSequential) {
@@ -103,10 +110,11 @@ TEST(Integration, TransformerSchedulesAtScale) {
   cfg.d_ff = 128;
   const TaskGraph g = build_transformer_encoder(cfg);
   ASSERT_TRUE(g.validate().empty());
-  const std::int64_t t1 = g.total_work();
-  const auto str = schedule_streaming_graph(g, 128, PartitionVariant::kLTS);
-  const ListSchedule nstr = schedule_non_streaming(g, 128);
-  const double gain = speedup(t1, str.schedule.makespan) / speedup(t1, nstr.makespan);
+  MachineConfig machine;
+  machine.num_pes = 128;
+  const ScheduleResult str = schedule_by_name("streaming-lts", g, machine);
+  const ScheduleResult nstr = schedule_by_name("list", g, machine);
+  const double gain = str.metrics.speedup / nstr.metrics.speedup;
   // Table 2: streaming outperforms non-streaming on the encoder.
   EXPECT_GT(gain, 1.0);
 }
