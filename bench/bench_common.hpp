@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
@@ -55,7 +57,8 @@ class Stopwatch {
 };
 
 /// Number of random graphs per configuration, as in the paper ("100 randomly
-/// generated task graphs"). Override with STS_BENCH_GRAPHS for quick runs.
+/// generated task graphs"). Override with STS_BENCH_GRAPHS for quick runs
+/// (CI smoke mode uses STS_BENCH_GRAPHS=2).
 inline int graphs_per_config() {
   if (const char* env = std::getenv("STS_BENCH_GRAPHS")) {
     const int n = std::atoi(env);
@@ -63,5 +66,56 @@ inline int graphs_per_config() {
   }
   return 100;
 }
+
+/// Machine-readable benchmark results: collects (key, value) metrics and
+/// writes them as flat JSON to BENCH_<name>.json in the working directory,
+/// including the wall time since construction. CI archives these files and
+/// perf gates read them, so keys should stay stable across runs.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    entries_.push_back({key, buf});
+  }
+  void add(const std::string& key, std::int64_t value) {
+    entries_.push_back({key, std::to_string(value)});
+  }
+  void add(const std::string& key, int value) { add(key, static_cast<std::int64_t>(value)); }
+  void add(const std::string& key, const std::string& value) {
+    entries_.push_back({key, '"' + value + '"'});
+  }
+
+  /// Writes BENCH_<name>.json; returns false (and prints to stderr) on I/O
+  /// failure so benches can keep going.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"wall_seconds\": ";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", watch_.seconds());
+    out << buf;
+    for (const Entry& e : entries_) {
+      out << ",\n  \"" << e.key << "\": " << e.value;
+    }
+    out << "\n}\n";
+    return out.good();
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;  // pre-rendered JSON literal
+  };
+  std::string name_;
+  Stopwatch watch_;
+  std::vector<Entry> entries_;
+};
 
 }  // namespace sts::bench

@@ -20,6 +20,8 @@ int main() {
             << "STR-SCH-1 = SB-LTS, STR-SCH-2 = SB-RLX, NSTR-SCH = buffered baseline\n"
             << graphs << " random graphs per configuration\n\n";
 
+  BenchReport report("fig10_speedup");
+  report.add("graphs", graphs);
   const char* schedulers[] = {"streaming-lts", "streaming-rlx", "list"};
 
   for (const Topology& topo : paper_topologies()) {
@@ -45,5 +47,6 @@ int main() {
     table.print(std::cout);
     std::cout << "\n";
   }
+  report.write();
   return 0;
 }

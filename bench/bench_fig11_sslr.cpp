@@ -19,6 +19,8 @@ int main() {
   std::cout << "Figure 11: Streaming SLR distributions (median [Q1, Q3])\n"
             << graphs << " random graphs per configuration\n\n";
 
+  BenchReport report("fig11_sslr");
+  report.add("graphs", graphs);
   for (const Topology& topo : paper_topologies()) {
     Table table({"PEs", "STR-SCH-1 (SB-LTS)", "STR-SCH-2 (SB-RLX)"});
     for (const std::int64_t pes : topo.pe_sweep) {
@@ -37,5 +39,6 @@ int main() {
     table.print(std::cout);
     std::cout << "\n";
   }
+  report.write();
   return 0;
 }

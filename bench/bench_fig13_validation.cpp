@@ -22,6 +22,8 @@ int main() {
             << "(median [Q1, Q3]; whiskers = min/max); error = (sim - analytic)/sim\n"
             << graphs << " random graphs per configuration\n\n";
 
+  BenchReport report("fig13_validation");
+  report.add("graphs", graphs);
   int total_deadlocks = 0;
   std::int64_t total_runs = 0;
   for (const Topology& topo : paper_topologies()) {
@@ -62,5 +64,8 @@ int main() {
   }
   std::cout << "Total deadlocks: " << total_deadlocks << " / " << total_runs
             << " simulated schedules (paper + this reproduction: must be 0)\n";
+  report.add("simulated_schedules", total_runs);
+  report.add("deadlocks", static_cast<std::int64_t>(total_deadlocks));
+  report.write();
   return total_deadlocks == 0 ? 0 : 1;
 }

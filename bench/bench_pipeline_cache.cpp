@@ -45,6 +45,7 @@ int main() {
   workloads.push_back({"Cholesky(8)", make_cholesky(8, 1), 30});
 
   Table table({"workload", "#nodes", "cold q/s", "cached q/s", "speedup", "hits", "misses"});
+  BenchReport report("pipeline_cache");
   bool all_fast = true;
   for (const Workload& w : workloads) {
     MachineConfig machine;
@@ -74,9 +75,15 @@ int main() {
                    fmt(kRepeats / cold_seconds, 0), fmt(kRepeats / cached_seconds, 0),
                    fmt(speedup, 1) + "x", std::to_string(stats.hits),
                    std::to_string(stats.misses)});
+    std::string key = w.name.substr(0, w.name.find('('));
+    report.add(key + "_speedup", speedup);
+    report.add(key + "_cold_qps", kRepeats / cold_seconds);
+    report.add(key + "_cached_qps", kRepeats / cached_seconds);
   }
   table.print(std::cout);
   std::cout << "\nExpected: cache-hit scheduling >= 10x faster than cold scheduling\n"
             << (all_fast ? "RESULT: PASS" : "RESULT: BELOW TARGET") << "\n";
+  report.add("gate", std::string(all_fast ? "pass" : "fail"));
+  report.write();
   return all_fast ? 0 : 1;
 }

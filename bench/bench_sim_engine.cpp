@@ -1,0 +1,142 @@
+// Simulation-engine benchmark and acceptance gate: the bulk-advance engine
+// must be >= 20x faster than the tick-accurate reference on FFT-32 at
+// paper-scale stream volumes (4Ki-64Ki elements per edge) while returning
+// identical results. Also reports Cholesky-8 and the default-volume FFT-32
+// for context, and emits BENCH_sim_engine.json for CI.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pipeline/registry.hpp"
+#include "sim/dataflow_sim.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+constexpr double kRequiredSpeedup = 20.0;
+
+struct EngineRow {
+  double tick_seconds = 0.0;
+  double bulk_seconds = 0.0;
+  std::int64_t total_ticks = 0;
+  std::int64_t live_ticks = 0;
+  std::int64_t jumps = 0;
+  int mismatches = 0;
+
+  [[nodiscard]] double speedup() const {
+    return bulk_seconds > 0.0 ? tick_seconds / bulk_seconds : 0.0;
+  }
+};
+
+EngineRow run_config(const sts::TaskGraph& g, std::int64_t pes) {
+  using namespace sts;
+  EngineRow row;
+  MachineConfig machine;
+  machine.num_pes = pes;
+  const ScheduleResult r = schedule_by_name("streaming-rlx", g, machine);
+
+  SimOptions tick_opts;
+  tick_opts.engine = SimEngine::kTickAccurate;
+  tick_opts.max_ticks = 500'000'000;
+  SimOptions bulk_opts = tick_opts;
+  bulk_opts.engine = SimEngine::kBulkAdvance;
+
+  const bench::Stopwatch tick_watch;
+  const SimResult tick = simulate_streaming(g, *r.streaming, *r.buffers, tick_opts);
+  row.tick_seconds = tick_watch.seconds();
+
+  const bench::Stopwatch bulk_watch;
+  const SimResult bulk = simulate_streaming(g, *r.streaming, *r.buffers, bulk_opts);
+  row.bulk_seconds = bulk_watch.seconds();
+
+  row.total_ticks = tick.ticks_executed;
+  row.live_ticks = bulk.live_ticks;
+  row.jumps = bulk.bulk_jumps;
+  if (bulk.makespan != tick.makespan || bulk.deadlocked != tick.deadlocked ||
+      bulk.finish != tick.finish || bulk.first_out != tick.first_out) {
+    ++row.mismatches;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sts;
+  using namespace sts::bench;
+  const int graphs = std::clamp(graphs_per_config(), 1, 5);
+
+  // Paper-scale streams: 2^12 .. 2^16 elements per edge, as in the paper's
+  // full-size validation runs (the default 2^4 .. 2^10 distribution keeps
+  // unit tests fast but underrepresents simulation cost).
+  VolumeDistribution paper_scale;
+  paper_scale.min_log2 = 12;
+  paper_scale.max_log2 = 16;
+
+  struct Config {
+    std::string name;
+    std::function<TaskGraph(std::uint64_t)> make;
+    std::int64_t pes;
+    bool gate;
+  };
+  const std::vector<Config> configs = {
+      {"FFT-32 paper-scale",
+       [&](std::uint64_t s) { return make_fft(32, s, paper_scale); }, 64, true},
+      {"Cholesky-8 paper-scale",
+       [&](std::uint64_t s) { return make_cholesky(8, s, paper_scale); }, 64, false},
+      {"FFT-32 default-volumes", [](std::uint64_t s) { return make_fft(32, s); }, 64, false},
+  };
+
+  std::cout << "Simulation engines: bulk-advance vs tick-accurate reference\n"
+            << graphs << " random graphs per configuration, identical results required\n\n";
+
+  Table table({"Topology", "tick s", "bulk s", "speedup", "sim ticks", "live ticks", "jumps",
+               "mismatches"});
+  BenchReport report("sim_engine");
+  report.add("graphs", graphs);
+
+  double gate_speedup = 0.0;
+  int total_mismatches = 0;
+  for (const Config& config : configs) {
+    EngineRow total;
+    for (int seed = 0; seed < graphs; ++seed) {
+      const TaskGraph g = config.make(static_cast<std::uint64_t>(seed) + 1);
+      const EngineRow row = run_config(g, config.pes);
+      total.tick_seconds += row.tick_seconds;
+      total.bulk_seconds += row.bulk_seconds;
+      total.total_ticks += row.total_ticks;
+      total.live_ticks += row.live_ticks;
+      total.jumps += row.jumps;
+      total.mismatches += row.mismatches;
+    }
+    if (config.gate) gate_speedup = total.speedup();
+    total_mismatches += total.mismatches;
+    table.add_row({config.name, fmt(total.tick_seconds, 3), fmt(total.bulk_seconds, 4),
+                   fmt(total.speedup(), 1) + "x", std::to_string(total.total_ticks),
+                   std::to_string(total.live_ticks), std::to_string(total.jumps),
+                   std::to_string(total.mismatches)});
+
+    std::string key = config.name;
+    for (char& c : key) {
+      if (c == ' ' || c == '-') c = '_';
+    }
+    report.add(key + "_tick_seconds", total.tick_seconds);
+    report.add(key + "_bulk_seconds", total.bulk_seconds);
+    report.add(key + "_speedup", total.speedup());
+    report.add(key + "_live_ticks", total.live_ticks);
+    report.add(key + "_sim_ticks", total.total_ticks);
+  }
+  table.print(std::cout);
+
+  const bool pass = gate_speedup >= kRequiredSpeedup && total_mismatches == 0;
+  std::cout << "\nGate: bulk-advance speedup on FFT-32 paper-scale = " << fmt(gate_speedup, 1)
+            << "x (required >= " << fmt(kRequiredSpeedup, 0) << "x), engine mismatches = "
+            << total_mismatches << (pass ? "  [PASS]\n" : "  [FAIL]\n");
+  report.add("gate_speedup", gate_speedup);
+  report.add("gate_required", kRequiredSpeedup);
+  report.add("mismatches", static_cast<std::int64_t>(total_mismatches));
+  report.add("gate", std::string(pass ? "pass" : "fail"));
+  report.write();
+  return pass ? 0 : 1;
+}

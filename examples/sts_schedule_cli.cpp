@@ -6,7 +6,7 @@
 // Usage:
 //   sts_schedule_cli <graph-file|-> [--pes N] [--scheduler <name>]
 //                    [--variant lts|rlx|work] [--format table|gantt|json|dot]
-//                    [--simulate] [--timings] [--cached]
+//                    [--simulate] [--sim-engine bulk|tick] [--timings] [--cached]
 //   sts_schedule_cli --list-schedulers
 //
 // `--variant X` is shorthand for `--scheduler streaming-X`. `--cached` routes
@@ -37,7 +37,8 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <graph-file|-> [--pes N] [--scheduler <name>] [--variant lts|rlx|work]"
-               " [--format table|gantt|json|dot] [--simulate] [--timings] [--cached]\n"
+               " [--format table|gantt|json|dot] [--simulate] [--sim-engine bulk|tick]"
+               " [--timings] [--cached]\n"
                "       "
             << argv0 << " --list-schedulers\n";
   return 2;
@@ -96,6 +97,7 @@ int main(int argc, char** argv) {
   bool simulate = false;
   bool timings = false;
   bool cached = false;
+  SimEngine sim_engine = SimEngine::kAuto;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
@@ -112,6 +114,16 @@ int main(int argc, char** argv) {
       } else if (arg == "--format") {
         format = next();
       } else if (arg == "--simulate") {
+        simulate = true;
+      } else if (arg == "--sim-engine") {
+        const std::string which = next();
+        if (which == "bulk") {
+          sim_engine = SimEngine::kBulkAdvance;
+        } else if (which == "tick") {
+          sim_engine = SimEngine::kTickAccurate;
+        } else {
+          throw std::invalid_argument("unknown simulation engine " + which);
+        }
         simulate = true;
       } else if (arg == "--timings") {
         timings = true;
@@ -200,9 +212,12 @@ int main(int argc, char** argv) {
       std::cerr << "error: --simulate requires a streaming scheduler\n";
       return 2;
     }
-    const SimResult sim = simulate_streaming(graph, *result.streaming, *result.buffers);
-    std::cout << "simulation: makespan " << sim.makespan
-              << (sim.deadlocked ? " DEADLOCK" : " (no deadlock)") << "\n";
+    SimOptions opts;
+    opts.engine = sim_engine;
+    const SimResult sim = simulate_streaming(graph, *result.streaming, *result.buffers, opts);
+    std::cout << "simulation [" << to_string(sim.engine_used) << "]: makespan " << sim.makespan
+              << (sim.deadlocked ? " DEADLOCK" : " (no deadlock)") << ", " << sim.live_ticks
+              << " live ticks, " << sim.bulk_jumps << " bulk jumps\n";
     return sim.deadlocked ? 1 : 0;
   }
   return 0;

@@ -18,7 +18,8 @@ constexpr std::int64_t kNoConstraint = std::numeric_limits<std::int64_t>::max();
 class PartitionBuilder {
  public:
   PartitionBuilder(const TaskGraph& graph, std::int64_t num_pes)
-      : graph_(graph), num_pes_(num_pes), pending_in_(graph.node_count()) {
+      : graph_(graph), num_pes_(num_pes), pending_in_(graph.node_count()),
+        ready_pos_(graph.node_count(), -1) {
     if (num_pes <= 0) throw std::invalid_argument("partition: num_pes must be > 0");
     partition_.block_of.assign(graph.node_count(), -1);
     for (NodeId v = 0; static_cast<std::size_t>(v) < graph.node_count(); ++v) {
@@ -91,6 +92,7 @@ class PartitionBuilder {
       // all producers are placed; they never consume a PE slot.
       release_successors(v);
     } else {
+      ready_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(ready_.size());
       ready_.push_back(v);
     }
   }
@@ -102,18 +104,23 @@ class PartitionBuilder {
     }
   }
 
+  // O(1) swap-remove via the node -> ready-index map (the former linear
+  // std::find scan dominated partitioning time on wide graphs).
   void remove_ready(NodeId v) {
-    const auto it = std::find(ready_.begin(), ready_.end(), v);
-    if (it != ready_.end()) {
-      *it = ready_.back();
-      ready_.pop_back();
-    }
+    const std::int32_t pos = ready_pos_[static_cast<std::size_t>(v)];
+    if (pos < 0) return;
+    const NodeId moved = ready_.back();
+    ready_[static_cast<std::size_t>(pos)] = moved;
+    ready_pos_[static_cast<std::size_t>(moved)] = pos;
+    ready_.pop_back();
+    ready_pos_[static_cast<std::size_t>(v)] = -1;
   }
 
   const TaskGraph& graph_;
   std::int64_t num_pes_;
   SpatialPartition partition_;
   std::vector<std::size_t> pending_in_;
+  std::vector<std::int32_t> ready_pos_;  ///< node -> index in ready_; -1 if absent
   std::vector<NodeId> ready_;
   std::vector<std::int64_t> chain_min_ =
       std::vector<std::int64_t>(graph_.node_count(), kNoConstraint);

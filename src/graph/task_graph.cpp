@@ -1,5 +1,8 @@
 #include "graph/task_graph.hpp"
 
+#include <algorithm>
+#include <mutex>
+#include <numeric>
 #include <sstream>
 #include <stdexcept>
 
@@ -20,8 +23,7 @@ const char* to_string(NodeKind kind) noexcept {
 NodeId TaskGraph::add_node(NodeKind kind, std::string name) {
   const auto id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(NodeRec{kind, std::move(name), 0});
-  in_.emplace_back();
-  out_.emplace_back();
+  csr_ready_.store(false, std::memory_order_relaxed);
   return id;
 }
 
@@ -46,6 +48,7 @@ void TaskGraph::declare_output(NodeId v, std::int64_t output_volume) {
   check_node(v);
   if (output_volume <= 0) throw std::invalid_argument("declare_output: volume must be > 0");
   nodes_[static_cast<std::size_t>(v)].declared_output = output_volume;
+  csr_ready_.store(false, std::memory_order_relaxed);
 }
 
 EdgeId TaskGraph::add_edge(NodeId src, NodeId dst, std::int64_t volume) {
@@ -55,8 +58,7 @@ EdgeId TaskGraph::add_edge(NodeId src, NodeId dst, std::int64_t volume) {
   if (src == dst) throw std::invalid_argument("add_edge: self loop");
   const auto id = static_cast<EdgeId>(edges_.size());
   edges_.push_back(Edge{src, dst, volume});
-  out_[static_cast<std::size_t>(src)].push_back(id);
-  in_[static_cast<std::size_t>(dst)].push_back(id);
+  csr_ready_.store(false, std::memory_order_relaxed);
   return id;
 }
 
@@ -66,39 +68,100 @@ void TaskGraph::check_node(NodeId v) const {
   }
 }
 
+void TaskGraph::rebuild_csr() const {
+  // Serialize the rare rebuild so threads sharing a const graph (e.g. the
+  // ScheduleCache scheduling path) cannot race on the cache vectors; the
+  // release store below publishes the built arrays to acquire loads in
+  // ensure_csr().
+  const std::scoped_lock lock(rebuild_mutex_);
+  if (csr_ready_.load(std::memory_order_relaxed)) return;  // lost the race
+
+  const std::size_t n = nodes_.size();
+  const std::size_t m = edges_.size();
+
+  // Counting sort of edge ids into flat per-node spans. Iterating edges in
+  // id order keeps each span in edge-insertion order.
+  in_off_.assign(n + 1, 0);
+  out_off_.assign(n + 1, 0);
+  for (const Edge& e : edges_) {
+    ++in_off_[static_cast<std::size_t>(e.dst) + 1];
+    ++out_off_[static_cast<std::size_t>(e.src) + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    in_off_[i + 1] += in_off_[i];
+    out_off_[i + 1] += out_off_[i];
+  }
+  in_csr_.resize(m);
+  out_csr_.resize(m);
+  std::vector<std::int32_t> in_cursor(in_off_.begin(), in_off_.end() - 1);
+  std::vector<std::int32_t> out_cursor(out_off_.begin(), out_off_.end() - 1);
+  for (EdgeId e = 0; static_cast<std::size_t>(e) < m; ++e) {
+    const Edge& edge = edges_[static_cast<std::size_t>(e)];
+    in_csr_[static_cast<std::size_t>(in_cursor[static_cast<std::size_t>(edge.dst)]++)] = e;
+    out_csr_[static_cast<std::size_t>(out_cursor[static_cast<std::size_t>(edge.src)]++)] = e;
+  }
+
+  // Per-node profiles: I/O volumes, work, reduced production rate.
+  profile_.assign(n, NodeProfile{});
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    NodeProfile& p = profile_[idx];
+    const NodeRec& rec = nodes_[idx];
+    if (in_off_[idx + 1] > in_off_[idx]) {
+      p.in_volume = edges_[static_cast<std::size_t>(in_csr_[static_cast<std::size_t>(in_off_[idx])])]
+                        .volume;
+    }
+    if (rec.kind != NodeKind::kSink) {
+      if (out_off_[idx + 1] > out_off_[idx]) {
+        p.out_volume =
+            edges_[static_cast<std::size_t>(out_csr_[static_cast<std::size_t>(out_off_[idx])])]
+                .volume;
+      } else {
+        p.out_volume = rec.declared_output;
+      }
+    }
+    p.work = rec.kind == NodeKind::kBuffer ? 0 : std::max(p.in_volume, p.out_volume);
+    if (p.in_volume > 0) {
+      const std::int64_t g = std::gcd(p.out_volume, p.in_volume);
+      p.rate_num = g == 0 ? 0 : p.out_volume / g;
+      p.rate_den = g == 0 ? 1 : p.in_volume / g;
+    }
+  }
+  csr_ready_.store(true, std::memory_order_release);
+}
+
 std::int64_t TaskGraph::input_volume(NodeId v) const {
   check_node(v);
-  const auto ins = in_edges(v);
-  if (ins.empty()) return 0;
-  return edge(ins.front()).volume;
+  ensure_csr();
+  return profile_[static_cast<std::size_t>(v)].in_volume;
 }
 
 std::int64_t TaskGraph::output_volume(NodeId v) const {
   check_node(v);
-  if (kind(v) == NodeKind::kSink) return 0;
-  const auto outs = out_edges(v);
-  if (!outs.empty()) return edge(outs.front()).volume;
-  return nodes_[static_cast<std::size_t>(v)].declared_output;
+  ensure_csr();
+  return profile_[static_cast<std::size_t>(v)].out_volume;
 }
 
 Rational TaskGraph::rate(NodeId v) const {
-  const std::int64_t in = input_volume(v);
-  const std::int64_t out = output_volume(v);
-  if (in == 0) {
+  check_node(v);
+  ensure_csr();
+  const NodeProfile& p = profile_[static_cast<std::size_t>(v)];
+  if (p.in_volume == 0) {
     throw std::logic_error("rate(): node " + std::to_string(v) + " has no inputs (source?)");
   }
-  return Rational(out, in);
+  return Rational(p.rate_num, p.rate_den);
 }
 
 std::int64_t TaskGraph::work(NodeId v) const {
-  if (kind(v) == NodeKind::kBuffer) return 0;
-  return std::max(input_volume(v), output_volume(v));
+  check_node(v);
+  ensure_csr();
+  return profile_[static_cast<std::size_t>(v)].work;
 }
 
 std::int64_t TaskGraph::total_work() const {
+  ensure_csr();
   std::int64_t sum = 0;
-  for (NodeId v = 0; static_cast<std::size_t>(v) < nodes_.size(); ++v) {
-    if (occupies_pe(v)) sum += work(v);
+  for (std::size_t idx = 0; idx < nodes_.size(); ++idx) {
+    if (nodes_[idx].kind != NodeKind::kBuffer) sum += profile_[idx].work;
   }
   return sum;
 }

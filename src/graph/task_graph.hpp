@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -31,6 +33,17 @@ struct Edge {
   std::int64_t volume = 0;
 };
 
+/// Precomputed per-node streaming profile, materialized together with the
+/// CSR adjacency so hot loops (partitioner, scheduler, buffer sizing, both
+/// simulator engines) read one cache line instead of chasing edge lists.
+struct NodeProfile {
+  std::int64_t in_volume = 0;   ///< I(v): per-edge input element count
+  std::int64_t out_volume = 0;  ///< O(v): per-edge output element count
+  std::int64_t work = 0;        ///< W(v) = max(I, O); 0 for buffer nodes
+  std::int64_t rate_num = 1;    ///< reduced numerator of R(v) = O/I (1 if I==0)
+  std::int64_t rate_den = 1;    ///< reduced denominator of R(v)
+};
+
 /// A canonical task graph (paper Sections 2-3): a DAG of canonical nodes.
 ///
 /// Volumes are per-edge element counts. A canonical node receives the same
@@ -39,12 +52,61 @@ struct Edge {
 /// output volume explicitly via `declare_output` / `add_source`, modelling
 /// the stream they write to / read from global memory.
 ///
+/// Adjacency is stored in CSR form (flat edge-id arrays plus per-node
+/// offsets), rebuilt lazily after mutation: `in_edges`/`out_edges` return
+/// spans over contiguous storage and volume/rate/work queries are O(1)
+/// lookups into the precomputed NodeProfile table. Mutating the graph
+/// invalidates the CSR; the next (const) accessor rebuilds it in O(N + E).
+/// The rebuild is guarded (atomic flag + serialized build), so concurrent
+/// const access to a shared graph stays safe — the contract ScheduleCache's
+/// lock-free scheduling path relies on. Mutation still requires exclusive
+/// ownership, like any standard container.
+///
 /// The class enforces structural rules lazily: construction never throws on
 /// semantic violations; `validate()` reports them all so tests can assert on
 /// specific diagnostics.
 class TaskGraph {
  public:
   TaskGraph() = default;
+
+  // Copies carry only the graph itself; the copy rebuilds its CSR caches on
+  // demand (copying them from a concurrently-building source would race).
+  TaskGraph(const TaskGraph& other) : nodes_(other.nodes_), edges_(other.edges_) {}
+  TaskGraph& operator=(const TaskGraph& other) {
+    if (this != &other) {
+      nodes_ = other.nodes_;
+      edges_ = other.edges_;
+      csr_ready_.store(false, std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  // Moves require exclusive ownership of the source and keep its caches.
+  TaskGraph(TaskGraph&& other) noexcept
+      : nodes_(std::move(other.nodes_)),
+        edges_(std::move(other.edges_)),
+        in_off_(std::move(other.in_off_)),
+        out_off_(std::move(other.out_off_)),
+        in_csr_(std::move(other.in_csr_)),
+        out_csr_(std::move(other.out_csr_)),
+        profile_(std::move(other.profile_)),
+        csr_ready_(other.csr_ready_.load(std::memory_order_relaxed)) {
+    other.csr_ready_.store(false, std::memory_order_relaxed);
+  }
+  TaskGraph& operator=(TaskGraph&& other) noexcept {
+    if (this != &other) {
+      nodes_ = std::move(other.nodes_);
+      edges_ = std::move(other.edges_);
+      in_off_ = std::move(other.in_off_);
+      out_off_ = std::move(other.out_off_);
+      in_csr_ = std::move(other.in_csr_);
+      out_csr_ = std::move(other.out_csr_);
+      profile_ = std::move(other.profile_);
+      csr_ready_.store(other.csr_ready_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      other.csr_ready_.store(false, std::memory_order_relaxed);
+    }
+    return *this;
+  }
 
   /// Creates a source streaming `output_volume` elements out of global memory.
   NodeId add_source(std::int64_t output_volume, std::string name = {});
@@ -75,20 +137,34 @@ class TaskGraph {
   }
   [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[static_cast<std::size_t>(e)]; }
 
+  /// All edges in insertion (id) order, contiguous.
+  [[nodiscard]] std::span<const Edge> edges() const noexcept { return edges_; }
+
   [[nodiscard]] std::span<const EdgeId> in_edges(NodeId v) const {
-    return in_[static_cast<std::size_t>(v)];
+    ensure_csr();
+    const auto idx = static_cast<std::size_t>(v);
+    return {in_csr_.data() + in_off_[idx], in_csr_.data() + in_off_[idx + 1]};
   }
   [[nodiscard]] std::span<const EdgeId> out_edges(NodeId v) const {
-    return out_[static_cast<std::size_t>(v)];
+    ensure_csr();
+    const auto idx = static_cast<std::size_t>(v);
+    return {out_csr_.data() + out_off_[idx], out_csr_.data() + out_off_[idx + 1]};
   }
   [[nodiscard]] std::size_t in_degree(NodeId v) const { return in_edges(v).size(); }
   [[nodiscard]] std::size_t out_degree(NodeId v) const { return out_edges(v).size(); }
 
+  /// Precomputed per-node profiles, indexed by NodeId (valid until the next
+  /// mutation). Prefer this in hot loops over repeated volume/rate calls.
+  [[nodiscard]] std::span<const NodeProfile> profiles() const {
+    ensure_csr();
+    return profile_;
+  }
+
   /// I(v): per-edge input element count; 0 for sources.
   [[nodiscard]] std::int64_t input_volume(NodeId v) const;
 
-  /// O(v): per-edge output element count; the declared volume for exit nodes
-  /// and sources, otherwise the (common) out-edge volume. 0 for sinks.
+  /// O(v): the declared volume for exit nodes and sources, otherwise the
+  /// (common) out-edge volume. 0 for sinks.
   [[nodiscard]] std::int64_t output_volume(NodeId v) const;
 
   /// R(v) = O(v)/I(v); only defined for compute and buffer nodes.
@@ -127,11 +203,26 @@ class TaskGraph {
 
   NodeId add_node(NodeKind kind, std::string name);
   void check_node(NodeId v) const;
+  void ensure_csr() const {
+    if (!csr_ready_.load(std::memory_order_acquire)) rebuild_csr();
+  }
+  void rebuild_csr() const;
 
   std::vector<NodeRec> nodes_;
   std::vector<Edge> edges_;
-  std::vector<std::vector<EdgeId>> in_;
-  std::vector<std::vector<EdgeId>> out_;
+
+  // CSR adjacency + profile caches; rebuilt lazily after mutation. Edge ids
+  // within each node's span appear in edge-insertion order, matching the
+  // historical vector-of-vectors layout exactly.
+  mutable std::vector<std::int32_t> in_off_;   // size N+1
+  mutable std::vector<std::int32_t> out_off_;  // size N+1
+  mutable std::vector<EdgeId> in_csr_;         // size E
+  mutable std::vector<EdgeId> out_csr_;        // size E
+  mutable std::vector<NodeProfile> profile_;   // size N
+  mutable std::atomic<bool> csr_ready_{false};
+  // Per-instance rebuild guard (never copied/moved: each graph owns its own,
+  // and copy/move require exclusive access anyway).
+  mutable std::mutex rebuild_mutex_;
 };
 
 }  // namespace sts

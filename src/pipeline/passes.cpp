@@ -122,4 +122,27 @@ void MetricsPass::run(ScheduleContext& ctx) const {
   ctx.metrics = m;
 }
 
+void SimulationPass::run(ScheduleContext& ctx) const {
+  if (!ctx.buffers) {
+    throw std::logic_error("SimulationPass: buffers missing (run buffer-sizing first)");
+  }
+  ctx.sim = simulate_streaming(ctx.require_graph(), ctx.require_streaming(), *ctx.buffers,
+                               options_);
+}
+
+void SimulationPass::validate(const ScheduleContext& ctx) const {
+  if (!ctx.sim) throw std::logic_error("SimulationPass: sim result missing after run");
+  if (ctx.sim->deadlocked) {
+    std::string stuck;
+    for (const NodeId v : ctx.sim->stuck) {
+      if (!stuck.empty()) stuck += ',';
+      stuck += std::to_string(v);
+    }
+    throw std::runtime_error("SimulationPass: schedule deadlocked (stuck tasks: " + stuck + ")");
+  }
+  if (ctx.sim->tick_limit_reached) {
+    throw std::runtime_error("SimulationPass: tick limit reached before completion");
+  }
+}
+
 }  // namespace sts

@@ -2,6 +2,7 @@
 
 #include "core/partition.hpp"
 #include "pipeline/pass.hpp"
+#include "sim/dataflow_sim.hpp"
 
 namespace sts {
 
@@ -81,6 +82,21 @@ class MetricsPass final : public Pass {
  public:
   [[nodiscard]] std::string_view name() const noexcept override { return "metrics"; }
   void run(ScheduleContext& ctx) const override;
+};
+
+/// Validation-by-simulation (paper Appendix B) -> ctx.sim. Replays the
+/// streaming schedule through the dataflow simulator (bulk-advance engine by
+/// default); validate() rejects schedules that deadlock or exceed the tick
+/// limit. Requires ctx.streaming and ctx.buffers.
+class SimulationPass final : public Pass {
+ public:
+  explicit SimulationPass(SimOptions options = {}) : options_(options) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "simulation"; }
+  void run(ScheduleContext& ctx) const override;
+  void validate(const ScheduleContext& ctx) const override;
+
+ private:
+  SimOptions options_;
 };
 
 }  // namespace sts

@@ -12,6 +12,7 @@
 #include "csdf/csdf.hpp"
 #include "graph/task_graph.hpp"
 #include "noc/placement.hpp"
+#include "sim/dataflow_sim.hpp"
 
 namespace sts {
 
@@ -68,6 +69,7 @@ struct ScheduleContext {
   std::optional<CsdfAnalysis> csdf;            ///< CsdfPass
   std::optional<Placement> placement;          ///< PlacementPass
   std::optional<ScheduleMetrics> metrics;      ///< MetricsPass
+  std::optional<SimResult> sim;                ///< SimulationPass
 
   /// Makespan of whichever schedule the pipeline produced.
   std::int64_t makespan = 0;

@@ -1,88 +1,64 @@
 #include "sim/dataflow_sim.hpp"
 
 #include <algorithm>
-#include <limits>
-#include <numeric>
 #include <queue>
-#include <stdexcept>
+
+#include "sim/sim_internal.hpp"
 
 namespace sts {
 
-namespace {
-
-constexpr std::int64_t kUnbounded = -1;
-constexpr std::int64_t kNeverReleased = std::numeric_limits<std::int64_t>::max();
-
-/// Static per-task execution profile derived from the canonical node.
-struct TaskProfile {
-  std::int64_t total_consume = 0;  ///< I(v): consume steps (one per input edge each)
-  std::int64_t total_produce = 0;  ///< O(v): produce steps (one per output edge each)
-  // Production rate R = rate_num / rate_den (reduced). Output j needs
-  // ceil(j * rate_den / rate_num) consume steps completed.
-  std::int64_t rate_num = 1;
-  std::int64_t rate_den = 1;
-  bool is_buffer = false;
-
-  [[nodiscard]] std::int64_t consumes_needed(std::int64_t produce_step) const {
-    if (is_buffer) return total_consume;
-    if (total_consume == 0) return 0;  // source
-    return (produce_step * rate_den + rate_num - 1) / rate_num;
+const char* to_string(SimEngine engine) noexcept {
+  switch (engine) {
+    case SimEngine::kAuto: return "auto";
+    case SimEngine::kBulkAdvance: return "bulk-advance";
+    case SimEngine::kTickAccurate: return "tick-accurate";
   }
-
-  /// Constant-space bound: inputs a task may ingest before emitting output
-  /// `produced + 1` (it must not hoard elements of later outputs).
-  [[nodiscard]] std::int64_t consume_cap(std::int64_t produced) const {
-    if (is_buffer || total_produce == 0) return total_consume;
-    if (produced >= total_produce) return total_consume;
-    return std::min(total_consume, consumes_needed(produced + 1));
-  }
-};
-
-}  // namespace
+  return "?";
+}
 
 SimResult simulate_streaming(const TaskGraph& graph, const StreamingSchedule& schedule,
                              const BufferPlan& buffers, SimOptions options) {
+  SimEngine engine = options.engine;
+  if (engine == SimEngine::kAuto) {
+    engine = options.record_trace ? SimEngine::kTickAccurate : SimEngine::kBulkAdvance;
+  } else if (engine == SimEngine::kBulkAdvance && options.record_trace) {
+    // The per-element trace requires the element-accurate engine.
+    engine = SimEngine::kTickAccurate;
+  }
+  return engine == SimEngine::kBulkAdvance
+             ? sim_detail::simulate_bulk_advance(graph, schedule, buffers, options)
+             : sim_detail::simulate_tick_accurate(graph, schedule, buffers, options);
+}
+
+namespace sim_detail {
+
+SimResult simulate_tick_accurate(const TaskGraph& graph, const StreamingSchedule& schedule,
+                                 const BufferPlan& buffers, const SimOptions& options) {
   const std::size_t n = graph.node_count();
+  SimSetup setup(graph, schedule, buffers);
   SimResult result;
+  result.engine_used = SimEngine::kTickAccurate;
   result.finish.assign(n, 0);
   result.first_out.assign(n, 0);
-
-  // --- Channel capacities -------------------------------------------------
-  std::vector<std::int64_t> capacity(graph.edge_count(), kUnbounded);
-  for (const ChannelPlan& plan : buffers.channels) {
-    capacity[static_cast<std::size_t>(plan.edge)] = plan.capacity;
+  if (options.record_trace) {
+    // A complete run logs one event per consume/produce step: sum of
+    // I(v) + O(v). Cap the pre-reserve so early-terminating runs (deadlock,
+    // tick limit) don't pay for the whole hypothetical trace up front.
+    std::int64_t events = 0;
+    for (const TaskProfile& p : setup.profile) events += p.total_consume + p.total_produce;
+    result.trace.reserve(static_cast<std::size_t>(
+        std::min<std::int64_t>(events, std::int64_t{1} << 20)));
   }
-  std::vector<std::int64_t> occupancy(graph.edge_count(), 0);
 
-  // --- Task profiles and block release bookkeeping ------------------------
-  std::vector<TaskProfile> profile(n);
+  std::vector<std::int64_t> occupancy(graph.edge_count(), 0);
+  const std::vector<TaskProfile>& profile = setup.profile;
   std::vector<std::int64_t> consumed(n, 0);
   std::vector<std::int64_t> produced(n, 0);
-  std::vector<std::int64_t> release(n, 0);
+  std::vector<std::int64_t> release = setup.release;
   std::vector<bool> complete(n, false);
   const auto& blocks = schedule.partition.blocks;
-  std::vector<std::int64_t> block_pending(blocks.size(), 0);
-
-  for (NodeId v = 0; static_cast<std::size_t>(v) < n; ++v) {
-    const auto idx = static_cast<std::size_t>(v);
-    TaskProfile& p = profile[idx];
-    p.total_consume = graph.input_volume(v);
-    p.total_produce = graph.output_volume(v);
-    p.is_buffer = graph.kind(v) == NodeKind::kBuffer;
-    if (graph.kind(v) == NodeKind::kCompute && p.total_consume > 0 && p.total_produce > 0) {
-      const Rational r = graph.rate(v);
-      p.rate_num = r.num();
-      p.rate_den = r.den();
-    }
-    if (graph.occupies_pe(v)) {
-      const auto block = schedule.partition.block_of[idx];
-      if (block < 0) throw std::invalid_argument("simulate_streaming: PE node without block");
-      ++block_pending[static_cast<std::size_t>(block)];
-      release[idx] = block == 0 ? 0 : kNeverReleased;
-    } else {
-      release[idx] = 0;  // buffers are passive memory, always live
-    }
-  }
+  std::vector<std::int64_t> block_pending = setup.block_pending;
+  std::size_t incomplete_pe_tasks = setup.incomplete_pe_tasks;
 
   // --- Event queue ---------------------------------------------------------
   using Event = std::pair<std::int64_t, NodeId>;  // (tick, task)
@@ -98,13 +74,10 @@ SimResult simulate_streaming(const TaskGraph& graph, const StreamingSchedule& sc
     if (release[static_cast<std::size_t>(v)] == 0) wake(v, 1);
   }
 
-  std::size_t incomplete_pe_tasks = 0;
-  for (NodeId v = 0; static_cast<std::size_t>(v) < n; ++v) {
-    if (graph.occupies_pe(v)) ++incomplete_pe_tasks;
-  }
   std::size_t next_block_to_release = blocks.empty() ? 0 : 1;
 
   std::vector<NodeId> batch;
+  std::vector<NodeId> acted;  // hoisted: reused across ticks
   while (!queue.empty() && incomplete_pe_tasks > 0) {
     const std::int64_t now = queue.top().first;
     if (now > options.max_ticks) {
@@ -112,7 +85,9 @@ SimResult simulate_streaming(const TaskGraph& graph, const StreamingSchedule& sc
       break;
     }
     result.ticks_executed = now;
+    ++result.live_ticks;
     batch.clear();
+    acted.clear();
     while (!queue.empty() && queue.top().first == now) {
       batch.push_back(queue.top().second);
       queue.pop();
@@ -121,7 +96,6 @@ SimResult simulate_streaming(const TaskGraph& graph, const StreamingSchedule& sc
     // Phase C: consume steps. Reads run before writes within a time unit, so
     // a full FIFO drained now can be refilled now (rate-1 with capacity 1);
     // producers blocked on the freed channel re-enter this tick's phase P.
-    std::vector<NodeId> acted;
     const auto join_phase_p = [&](NodeId u) {
       if (queued_at[static_cast<std::size_t>(u)] != now) {
         queued_at[static_cast<std::size_t>(u)] = now;
@@ -134,20 +108,21 @@ SimResult simulate_streaming(const TaskGraph& graph, const StreamingSchedule& sc
       if (now <= release[idx] || complete[idx]) continue;
       const TaskProfile& p = profile[idx];
       if (consumed[idx] >= p.consume_cap(produced[idx])) continue;
-      bool inputs_ready = !graph.in_edges(v).empty();
-      for (const EdgeId e : graph.in_edges(v)) {
+      const auto ins = graph.in_edges(v);
+      bool inputs_ready = !ins.empty();
+      for (const EdgeId e : ins) {
         if (occupancy[static_cast<std::size_t>(e)] < 1) {
           inputs_ready = false;
           break;
         }
       }
       if (!inputs_ready) continue;
-      for (const EdgeId e : graph.in_edges(v)) {
+      for (const EdgeId e : ins) {
         --occupancy[static_cast<std::size_t>(e)];
         join_phase_p(graph.edge(e).src);  // space freed: producer may write now
       }
       ++consumed[idx];
-      if (graph.kind(v) == NodeKind::kSink) result.finish[idx] = now;
+      if (p.is_sink) result.finish[idx] = now;
       if (options.record_trace) {
         result.trace.push_back(SimEvent{now, v, SimEvent::Kind::kConsume});
       }
@@ -162,16 +137,17 @@ SimResult simulate_streaming(const TaskGraph& graph, const StreamingSchedule& sc
       const TaskProfile& p = profile[idx];
       if (produced[idx] >= p.total_produce) continue;
       if (p.consumes_needed(produced[idx] + 1) > consumed[idx]) continue;
+      const auto outs = graph.out_edges(v);
       bool space = true;
-      for (const EdgeId e : graph.out_edges(v)) {
+      for (const EdgeId e : outs) {
         const auto eidx = static_cast<std::size_t>(e);
-        if (capacity[eidx] != kUnbounded && occupancy[eidx] >= capacity[eidx]) {
+        if (setup.capacity[eidx] != kUnbounded && occupancy[eidx] >= setup.capacity[eidx]) {
           space = false;
           break;
         }
       }
       if (!space) continue;
-      for (const EdgeId e : graph.out_edges(v)) {
+      for (const EdgeId e : outs) {
         ++occupancy[static_cast<std::size_t>(e)];
         wake(graph.edge(e).dst, now + 1);
       }
@@ -222,4 +198,5 @@ SimResult simulate_streaming(const TaskGraph& graph, const StreamingSchedule& sc
   return result;
 }
 
+}  // namespace sim_detail
 }  // namespace sts

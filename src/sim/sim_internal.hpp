@@ -1,0 +1,98 @@
+#pragma once
+
+// Shared machinery of the two simulation engines (tick-accurate reference and
+// bulk-advance). Internal to src/sim; not part of the public API.
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/dataflow_sim.hpp"
+
+namespace sts::sim_detail {
+
+inline constexpr std::int64_t kUnbounded = -1;
+inline constexpr std::int64_t kNeverReleased = std::numeric_limits<std::int64_t>::max();
+
+/// Static per-task execution profile derived from the canonical node.
+struct TaskProfile {
+  std::int64_t total_consume = 0;  ///< I(v): consume steps (one per input edge each)
+  std::int64_t total_produce = 0;  ///< O(v): produce steps (one per output edge each)
+  // Production rate R = rate_num / rate_den (reduced). Output j needs
+  // ceil(j * rate_den / rate_num) consume steps completed.
+  std::int64_t rate_num = 1;
+  std::int64_t rate_den = 1;
+  bool is_buffer = false;
+  bool is_sink = false;
+
+  [[nodiscard]] std::int64_t consumes_needed(std::int64_t produce_step) const {
+    if (is_buffer) return total_consume;
+    if (total_consume == 0) return 0;  // source
+    return (produce_step * rate_den + rate_num - 1) / rate_num;
+  }
+
+  /// Constant-space bound: inputs a task may ingest before emitting output
+  /// `produced + 1` (it must not hoard elements of later outputs).
+  [[nodiscard]] std::int64_t consume_cap(std::int64_t produced) const {
+    if (is_buffer || total_produce == 0) return total_consume;
+    if (produced >= total_produce) return total_consume;
+    return std::min(total_consume, consumes_needed(produced + 1));
+  }
+};
+
+/// Immutable simulation inputs shared by both engines: channel capacities,
+/// task profiles, initial release times, and block bookkeeping.
+struct SimSetup {
+  std::vector<std::int64_t> capacity;       ///< per edge; kUnbounded for memory edges
+  std::vector<TaskProfile> profile;         ///< per node
+  std::vector<std::int64_t> release;        ///< per node; kNeverReleased for later blocks
+  std::vector<std::int64_t> block_pending;  ///< incomplete PE tasks per block
+  std::size_t incomplete_pe_tasks = 0;
+
+  SimSetup(const TaskGraph& graph, const StreamingSchedule& schedule, const BufferPlan& buffers) {
+    const std::size_t n = graph.node_count();
+    capacity.assign(graph.edge_count(), kUnbounded);
+    for (const ChannelPlan& plan : buffers.channels) {
+      capacity[static_cast<std::size_t>(plan.edge)] = plan.capacity;
+    }
+    profile.assign(n, TaskProfile{});
+    release.assign(n, 0);
+    block_pending.assign(schedule.partition.blocks.size(), 0);
+    const auto profiles = graph.profiles();
+    for (NodeId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+      const auto idx = static_cast<std::size_t>(v);
+      const NodeKind kind = graph.kind(v);
+      TaskProfile& p = profile[idx];
+      p.total_consume = profiles[idx].in_volume;
+      p.total_produce = kind == NodeKind::kSink ? 0 : profiles[idx].out_volume;
+      p.is_buffer = kind == NodeKind::kBuffer;
+      p.is_sink = kind == NodeKind::kSink;
+      if (kind == NodeKind::kCompute && p.total_consume > 0 && p.total_produce > 0) {
+        p.rate_num = profiles[idx].rate_num;
+        p.rate_den = profiles[idx].rate_den;
+      }
+      if (graph.occupies_pe(v)) {
+        ++incomplete_pe_tasks;
+        const auto block = schedule.partition.block_of[idx];
+        if (block < 0) throw std::invalid_argument("simulate_streaming: PE node without block");
+        ++block_pending[static_cast<std::size_t>(block)];
+        release[idx] = block == 0 ? 0 : kNeverReleased;
+      } else {
+        release[idx] = 0;  // buffers are passive memory, always live
+      }
+    }
+  }
+};
+
+[[nodiscard]] SimResult simulate_tick_accurate(const TaskGraph& graph,
+                                               const StreamingSchedule& schedule,
+                                               const BufferPlan& buffers,
+                                               const SimOptions& options);
+
+[[nodiscard]] SimResult simulate_bulk_advance(const TaskGraph& graph,
+                                              const StreamingSchedule& schedule,
+                                              const BufferPlan& buffers,
+                                              const SimOptions& options);
+
+}  // namespace sts::sim_detail

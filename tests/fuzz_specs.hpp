@@ -1,0 +1,36 @@
+#pragma once
+
+// Shared random-topology shapes for the property/fuzz suites
+// (test_fuzz.cpp, test_sim_engines.cpp): layered DAGs exercising corner
+// shapes the hand-built workloads do not (diamonds, wide joins, deep skips).
+
+#include "workloads/synthetic.hpp"
+
+namespace sts::testing {
+
+inline LayeredSpec fuzz_spec_for(int shape) {
+  LayeredSpec spec;
+  switch (shape) {
+    case 0:  // deep and narrow
+      spec.layers = 12;
+      spec.width = 3;
+      spec.edge_probability = 0.2;
+      break;
+    case 1:  // shallow and wide
+      spec.layers = 4;
+      spec.width = 12;
+      spec.edge_probability = 0.15;
+      break;
+    case 2:  // dense with long skips
+      spec.layers = 7;
+      spec.width = 6;
+      spec.edge_probability = 0.4;
+      spec.max_skip = 4;
+      break;
+    default:  // sparse default
+      break;
+  }
+  return spec;
+}
+
+}  // namespace sts::testing

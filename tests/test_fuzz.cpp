@@ -13,42 +13,20 @@
 #include "core/streaming_scheduler.hpp"
 #include "core/work_depth.hpp"
 #include "csdf/csdf.hpp"
+#include "fuzz_specs.hpp"
 #include "sim/dataflow_sim.hpp"
 #include "workloads/synthetic.hpp"
 
 namespace sts {
 namespace {
 
-LayeredSpec spec_for(int shape) {
-  LayeredSpec spec;
-  switch (shape) {
-    case 0:  // deep and narrow
-      spec.layers = 12;
-      spec.width = 3;
-      spec.edge_probability = 0.2;
-      break;
-    case 1:  // shallow and wide
-      spec.layers = 4;
-      spec.width = 12;
-      spec.edge_probability = 0.15;
-      break;
-    case 2:  // dense with long skips
-      spec.layers = 7;
-      spec.width = 6;
-      spec.edge_probability = 0.4;
-      spec.max_skip = 4;
-      break;
-    default:  // sparse default
-      break;
-  }
-  return spec;
-}
+using testing::fuzz_spec_for;
 
 class FuzzPipeline : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
 
 TEST_P(FuzzPipeline, EndToEndInvariantsHold) {
   const auto [shape, seed] = GetParam();
-  const TaskGraph g = make_random_layered(spec_for(shape), seed);
+  const TaskGraph g = make_random_layered(fuzz_spec_for(shape), seed);
   ASSERT_TRUE(g.validate().empty());
 
   const auto tasks = static_cast<std::int64_t>(g.node_count());

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
+#include <thread>
 
 #include "paper_examples.hpp"
+#include "workloads/synthetic.hpp"
 
 namespace sts {
 namespace {
@@ -180,6 +183,45 @@ TEST(TaskGraph, ApiGuards) {
   EXPECT_THROW(g.add_edge(a, b, 0), std::invalid_argument);
   EXPECT_THROW(g.declare_output(b, -1), std::invalid_argument);
   EXPECT_THROW((void)g.rate(a), std::logic_error);  // sources have no production rate
+}
+
+TEST(TaskGraph, CopyRebuildsCsrAndMovePreservesIt) {
+  TaskGraph g;
+  const NodeId s = g.add_source(8, "s");
+  const NodeId c = g.add_compute("c");
+  g.add_edge(s, c, 8);
+  g.declare_output(c, 8);
+  ASSERT_EQ(g.work(c), 8);  // forces the CSR build
+
+  const TaskGraph copy = g;  // copies the graph, rebuilds caches on demand
+  EXPECT_EQ(copy.in_degree(c), 1u);
+  EXPECT_EQ(copy.work(c), 8);
+
+  const TaskGraph moved = std::move(g);
+  EXPECT_EQ(moved.out_degree(s), 1u);
+  EXPECT_EQ(moved.work(c), 8);
+}
+
+TEST(TaskGraph, ConcurrentFirstAccessIsSafe) {
+  // The lazy CSR rebuild must be safe for threads sharing a const graph --
+  // the ScheduleCache schedules on shared graphs outside its lock.
+  for (int round = 0; round < 20; ++round) {
+    const TaskGraph g = make_fft(8, static_cast<std::uint64_t>(round) + 1);
+    std::vector<std::thread> threads;
+    std::array<std::int64_t, 8> sums{};
+    for (std::size_t t = 0; t < sums.size(); ++t) {
+      threads.emplace_back([&g, &sums, t] {
+        std::int64_t sum = 0;
+        for (NodeId v = 0; static_cast<std::size_t>(v) < g.node_count(); ++v) {
+          sum += g.work(v) + static_cast<std::int64_t>(g.in_degree(v));
+          for (const EdgeId e : g.out_edges(v)) sum += g.edge(e).volume;
+        }
+        sums[t] = sum;
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    for (const std::int64_t sum : sums) EXPECT_EQ(sum, sums[0]);
+  }
 }
 
 }  // namespace

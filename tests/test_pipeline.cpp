@@ -211,6 +211,57 @@ TEST(Pipeline, CsdfSchedulerAnalyzesBufferFreeGraphs) {
   EXPECT_FALSE(r.csdf->deadlocked);
 }
 
+TEST(Pipeline, SimulationPassValidatesSchedules) {
+  const TaskGraph g = testing::figure9_graph1();
+  ScheduleContext ctx;
+  ctx.graph = &g;
+  ctx.machine = machine_with(5);
+
+  Pipeline pipeline;
+  pipeline.emplace<PartitionPass>(PartitionStrategy::kRLX)
+      .emplace<StreamingSchedulePass>()
+      .emplace<BufferSizingPass>()
+      .emplace<SimulationPass>();
+  pipeline.run(ctx);
+
+  ASSERT_TRUE(ctx.sim.has_value());
+  EXPECT_FALSE(ctx.sim->deadlocked);
+  EXPECT_EQ(ctx.sim->engine_used, SimEngine::kBulkAdvance);
+  EXPECT_EQ(ctx.sim->makespan, ctx.streaming->makespan);
+}
+
+TEST(Pipeline, SimulationPassRejectsStarvedBuffers) {
+  const TaskGraph g = testing::figure9_graph1();
+  ScheduleContext ctx;
+  ctx.graph = &g;
+  ctx.machine = machine_with(5);
+
+  Pipeline pipeline;
+  pipeline.emplace<PartitionPass>(PartitionStrategy::kRLX)
+      .emplace<StreamingSchedulePass>()
+      .emplace<BufferSizingPass>();
+  pipeline.run(ctx);
+  for (ChannelPlan& c : ctx.buffers->channels) c.capacity = 1;  // starve the FIFOs
+
+  Pipeline sim_only;
+  sim_only.emplace<SimulationPass>();
+  EXPECT_THROW(sim_only.run(ctx), std::runtime_error);
+  ASSERT_TRUE(ctx.sim.has_value());
+  EXPECT_TRUE(ctx.sim->deadlocked);
+}
+
+TEST(Pipeline, SimulationPassWithoutBuffersFailsLoudly) {
+  const TaskGraph g = testing::figure8_graph();
+  ScheduleContext ctx;
+  ctx.graph = &g;
+  ctx.machine = machine_with(8);
+  Pipeline pipeline;
+  pipeline.emplace<PartitionPass>(PartitionStrategy::kRLX)
+      .emplace<StreamingSchedulePass>()
+      .emplace<SimulationPass>();  // buffer-sizing pass missing
+  EXPECT_THROW(pipeline.run(ctx), std::logic_error);
+}
+
 TEST(Pipeline, PlacementPassRunsWhenRequested) {
   const TaskGraph g = make_fft(8, 1);
   MachineConfig machine = machine_with(16);
