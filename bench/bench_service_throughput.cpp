@@ -1,0 +1,188 @@
+// Throughput bench + acceptance gates for the concurrent ScheduleService on
+// paper_topologies sweeps (topology x PE-count x seed — the shape of the
+// paper's Section 7 evaluation, run as one batch):
+//
+//   1. scaling:  cold sweep wall-clock with 1 worker vs 4 workers; gate
+//      >= 3x throughput at 4 workers (enforced when the host actually has
+//      >= 4 hardware threads — on smaller hosts the ratio is reported but
+//      cannot gate, and the correctness gates below still must pass).
+//   2. dedup:    every scenario submitted kDuplicates times; single-flight
+//      must keep cache misses == unique scenarios (duplicate submissions do
+//      not multiply schedule computations).
+//   3. bounded:  a service with a cache capacity far below the scenario
+//      count must end with size() <= capacity and a positive eviction count.
+//
+// STS_BENCH_GRAPHS overrides seeds per configuration (CI smoke uses 2).
+
+#include <cstdint>
+#include <cstdlib>
+#include <future>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/schedule_service.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+constexpr int kDuplicates = 4;
+
+struct Scenario {
+  std::string label;
+  sts::TaskGraph graph;
+  std::int64_t pes;
+};
+
+std::vector<Scenario> build_scenarios(int seeds_per_config) {
+  std::vector<Scenario> scenarios;
+  for (const sts::bench::Topology& topo : sts::bench::paper_topologies()) {
+    for (int seed = 0; seed < seeds_per_config; ++seed) {
+      const sts::TaskGraph graph = topo.make(static_cast<std::uint64_t>(seed) + 1);
+      for (const std::int64_t pes : topo.pe_sweep) {
+        scenarios.push_back({topo.name + "/" + std::to_string(pes) + "/" + std::to_string(seed),
+                             graph, pes});
+      }
+    }
+  }
+  return scenarios;
+}
+
+/// Submits every scenario `copies` times to a fresh service and waits; the
+/// returned wall time covers submission through completion of all jobs.
+double run_sweep(sts::ScheduleService& service, const std::vector<Scenario>& scenarios,
+                 int copies) {
+  const sts::bench::Stopwatch clock;
+  std::vector<std::future<sts::ScheduleService::ResultPtr>> futures;
+  futures.reserve(scenarios.size() * static_cast<std::size_t>(copies));
+  for (int copy = 0; copy < copies; ++copy) {
+    for (const Scenario& s : scenarios) {
+      sts::MachineConfig machine;
+      machine.num_pes = s.pes;
+      futures.push_back(service.submit(s.graph, "streaming-rlx", machine));
+    }
+  }
+  for (auto& f : futures) {
+    if (f.get()->makespan <= 0) throw std::runtime_error("scenario produced empty schedule");
+  }
+  return clock.seconds();
+}
+
+}  // namespace
+
+int main() {
+  using namespace sts;
+  using namespace sts::bench;
+
+  const int seeds = graphs_per_config();
+  const std::vector<Scenario> scenarios = build_scenarios(seeds);
+  const std::size_t unique = scenarios.size();
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  std::cout << "Service throughput: paper_topologies sweep, " << unique
+            << " unique scenarios (" << seeds << " seeds/config), scheduler = streaming-rlx, "
+            << cores << " hardware threads\n\n";
+
+  BenchReport report("service_throughput");
+  report.add("scenarios", static_cast<std::int64_t>(unique));
+  report.add("hardware_threads", static_cast<std::int64_t>(cores));
+
+  // 1. Cold sweep scaling: 1 worker vs 4 workers, distinct caches. The
+  // scaling phase gets a floor of 16 seeds regardless of smoke mode — a
+  // handful of sub-millisecond jobs is all noise, not a throughput signal.
+  const std::vector<Scenario> scaling_scenarios =
+      seeds >= 16 ? scenarios : build_scenarios(16);
+  ServiceConfig one;
+  one.num_workers = 1;
+  double t1 = 0.0;
+  {
+    ScheduleService service(one);
+    t1 = run_sweep(service, scaling_scenarios, 1);
+  }
+  ServiceConfig four;
+  four.num_workers = 4;
+  double t4 = 0.0;
+  {
+    ScheduleService service(four);
+    t4 = run_sweep(service, scaling_scenarios, 1);
+  }
+  const double scaling = t1 / t4;
+
+  // 2. Single-flight dedup: kDuplicates copies of every scenario; the
+  // scheduling pipeline must run exactly `unique` times.
+  ScheduleService dedup_service(four);
+  const double t_dedup = run_sweep(dedup_service, scenarios, kDuplicates);
+  const ScheduleService::Stats dedup_stats = dedup_service.stats();
+  const bool dedup_ok = dedup_stats.cache.misses == unique &&
+                        dedup_stats.cache.hits + dedup_stats.cache.races ==
+                            unique * (kDuplicates - 1) &&
+                        dedup_stats.failed == 0;
+
+  // 3. Bounded memory: capacity far below the scenario count must evict, not
+  // grow.
+  ServiceConfig bounded_config = four;
+  bounded_config.cache_capacity = unique >= 16 ? unique / 4 : 4;
+  ScheduleService bounded_service(bounded_config);
+  (void)run_sweep(bounded_service, scenarios, 1);
+  const std::size_t bounded_size = bounded_service.cache().size();
+  const std::uint64_t evictions = bounded_service.stats().cache.evictions;
+  const bool bounded_ok =
+      bounded_size <= bounded_config.cache_capacity && evictions > 0;
+
+  Table table({"phase", "workers", "jobs", "seconds", "jobs/s"});
+  const auto row = [&](const char* phase, std::size_t workers, std::size_t jobs, double sec) {
+    table.add_row({phase, std::to_string(workers), std::to_string(jobs), fmt(sec, 3),
+                   fmt(jobs / sec, 0)});
+  };
+  row("cold", 1, scaling_scenarios.size(), t1);
+  row("cold", 4, scaling_scenarios.size(), t4);
+  row("dedup x4", 4, unique * kDuplicates, t_dedup);
+  table.print(std::cout);
+  std::cout << "\nscaling 4w/1w: " << fmt(scaling, 2) << "x\n"
+            << "dedup: " << dedup_stats.cache.misses << " schedules computed for "
+            << unique * kDuplicates << " submissions (" << dedup_stats.cache.hits << " hits, "
+            << dedup_stats.cache.races << " races) -> " << (dedup_ok ? "OK" : "FAIL") << "\n"
+            << "bounded: size " << bounded_size << " <= capacity "
+            << bounded_config.cache_capacity << ", " << evictions << " evictions -> "
+            << (bounded_ok ? "OK" : "FAIL") << "\n";
+
+  // STS_SCALING_MIN overrides the 3x bar: shared CI runners advertise 4
+  // vCPUs that are really 2 SMT cores plus noisy neighbors, where 3x is
+  // physically out of reach; real 4-core hosts keep the full gate.
+  double scaling_min = 3.0;
+  if (const char* env = std::getenv("STS_SCALING_MIN")) {
+    const double v = std::atof(env);
+    if (v > 0) scaling_min = v;
+  }
+  const bool enforce_scaling = cores >= 4;
+  const bool scaling_ok = scaling >= scaling_min;
+  bool pass = dedup_ok && bounded_ok;
+  if (enforce_scaling) {
+    pass = pass && scaling_ok;
+    std::cout << "Expected: >= " << fmt(scaling_min, 1) << "x throughput at 4 workers vs 1\n";
+  } else {
+    std::cout << "NOTE: only " << cores << " hardware threads; the >= 3x scaling gate needs 4 "
+              << "and is reported but not enforced on this host\n";
+  }
+  std::cout << (pass ? "RESULT: PASS" : "RESULT: BELOW TARGET") << "\n";
+
+  report.add("scaling_scenarios", static_cast<std::int64_t>(scaling_scenarios.size()));
+  report.add("cold_seconds_1w", t1);
+  report.add("cold_seconds_4w", t4);
+  report.add("qps_1w", scaling_scenarios.size() / t1);
+  report.add("qps_4w", scaling_scenarios.size() / t4);
+  report.add("scaling_4w_over_1w", scaling);
+  report.add("scaling_min", scaling_min);
+  report.add("scaling_gate_enforced", std::string(enforce_scaling ? "yes" : "no"));
+  report.add("dedup_submissions", static_cast<std::int64_t>(unique * kDuplicates));
+  report.add("dedup_schedules_computed", static_cast<std::int64_t>(dedup_stats.cache.misses));
+  report.add("dedup_ok", std::string(dedup_ok ? "yes" : "no"));
+  report.add("bounded_capacity", static_cast<std::int64_t>(bounded_config.cache_capacity));
+  report.add("bounded_size", static_cast<std::int64_t>(bounded_size));
+  report.add("bounded_evictions", static_cast<std::int64_t>(evictions));
+  report.add("bounded_ok", std::string(bounded_ok ? "yes" : "no"));
+  report.add("gate", std::string(pass ? "pass" : "fail"));
+  report.write();
+  return pass ? 0 : 1;
+}

@@ -7,11 +7,25 @@
 //   sts_schedule_cli <graph-file|-> [--pes N] [--scheduler <name>]
 //                    [--variant lts|rlx|work] [--format table|gantt|json|dot]
 //                    [--simulate] [--sim-engine bulk|tick] [--timings] [--cached]
+//   sts_schedule_cli sweep <scenario-file|-> [--threads N] [--cache-capacity N]
+//                    [--repeat K]
 //   sts_schedule_cli --list-schedulers
 //
 // `--variant X` is shorthand for `--scheduler streaming-X`. `--cached` routes
 // the query through the global ScheduleCache (useful with repeated
 // invocations in one process; here it demonstrates the serving path).
+//
+// `sweep` schedules a whole scenario list in parallel through a
+// ScheduleService and emits a JSON array of results on stdout (throughput and
+// cache statistics go to stderr). Scenario lines (# comments and blank lines
+// skipped):
+//   chain    <tasks>  <seed> <scheduler> <pes>
+//   fft      <points> <seed> <scheduler> <pes>
+//   gaussian <size>   <seed> <scheduler> <pes>
+//   cholesky <tiles>  <seed> <scheduler> <pes>
+//   file     <path>          <scheduler> <pes>
+// `--repeat K` submits the list K times (duplicates deduplicate against the
+// service cache, demonstrating single-flight); results are emitted once.
 //
 // Example graph file:
 //   node 0 source src
@@ -20,17 +34,24 @@
 //   output 1 8
 //   edge 0 1 16
 
+#include <chrono>
 #include <fstream>
+#include <future>
 #include <iostream>
+#include <limits>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/schedule_export.hpp"
 #include "graph/dot_export.hpp"
 #include "graph/serialization.hpp"
 #include "pipeline/registry.hpp"
 #include "pipeline/schedule_cache.hpp"
+#include "service/schedule_service.hpp"
 #include "sim/dataflow_sim.hpp"
 #include "support/table.hpp"
+#include "workloads/synthetic.hpp"
 
 namespace {
 
@@ -39,6 +60,9 @@ int usage(const char* argv0) {
             << " <graph-file|-> [--pes N] [--scheduler <name>] [--variant lts|rlx|work]"
                " [--format table|gantt|json|dot] [--simulate] [--sim-engine bulk|tick]"
                " [--timings] [--cached]\n"
+               "       "
+            << argv0
+            << " sweep <scenario-file|-> [--threads N] [--cache-capacity N] [--repeat K]\n"
                "       "
             << argv0 << " --list-schedulers\n";
   return 2;
@@ -83,12 +107,202 @@ void print_list_table(const sts::TaskGraph& graph, const sts::ScheduleResult& re
             << "\n";
 }
 
+// ------------------------------------------------------------------- sweep
+
+struct SweepScenario {
+  std::string label;
+  sts::TaskGraph graph;
+  std::string scheduler;
+  std::int64_t pes = 8;
+  std::string error;  ///< non-empty: scenario failed to parse/build
+};
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::vector<SweepScenario> parse_scenarios(std::istream& in) {
+  std::vector<SweepScenario> scenarios;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind) || kind[0] == '#') continue;
+
+    SweepScenario s;
+    try {
+      if (kind == "file") {
+        std::string path;
+        if (!(fields >> path >> s.scheduler >> s.pes)) {
+          throw std::invalid_argument("expected: file <path> <scheduler> <pes>");
+        }
+        s.label = kind + " " + path;
+        std::ifstream file(path);
+        if (!file) throw std::invalid_argument("cannot open " + path);
+        s.graph = sts::load_task_graph(file);
+      } else {
+        std::int64_t param = 0;
+        std::uint64_t seed = 0;
+        if (!(fields >> param >> seed >> s.scheduler >> s.pes)) {
+          throw std::invalid_argument("expected: " + kind +
+                                      " <param> <seed> <scheduler> <pes>");
+        }
+        s.label = kind + " " + std::to_string(param) + " " + std::to_string(seed);
+        if (param < 0 || param > std::numeric_limits<int>::max()) {
+          throw std::invalid_argument("parameter " + std::to_string(param) +
+                                      " out of range for " + kind);
+        }
+        const int p = static_cast<int>(param);
+        if (kind == "chain") {
+          s.graph = sts::make_chain(p, seed);
+        } else if (kind == "fft") {
+          s.graph = sts::make_fft(p, seed);
+        } else if (kind == "gaussian") {
+          s.graph = sts::make_gaussian_elimination(p, seed);
+        } else if (kind == "cholesky") {
+          s.graph = sts::make_cholesky(p, seed);
+        } else {
+          throw std::invalid_argument("unknown scenario kind " + kind);
+        }
+      }
+    } catch (const std::exception& e) {
+      s.error = "line " + std::to_string(line_no) + ": " + e.what();
+      if (s.label.empty()) s.label = kind;
+    }
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+int run_sweep(int argc, char** argv) {
+  using namespace sts;
+  if (argc < 3) return usage(argv[0]);
+  const std::string path = argv[2];
+  std::size_t threads = 0;
+  std::size_t cache_capacity = ScheduleCache::kDefaultCapacity;
+  int repeat = 1;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::invalid_argument("missing value for " + arg);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--threads") {
+        threads = static_cast<std::size_t>(std::stoull(next()));
+      } else if (arg == "--cache-capacity") {
+        cache_capacity = static_cast<std::size_t>(std::stoull(next()));
+      } else if (arg == "--repeat") {
+        repeat = std::stoi(next());
+        if (repeat < 1) throw std::invalid_argument("--repeat must be >= 1");
+      } else {
+        return usage(argv[0]);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<SweepScenario> scenarios;
+  if (path == "-") {
+    scenarios = parse_scenarios(std::cin);
+  } else {
+    std::ifstream file(path);
+    if (!file) {
+      std::cerr << "error: cannot open " << path << "\n";
+      return 1;
+    }
+    scenarios = parse_scenarios(file);
+  }
+  if (scenarios.empty()) {
+    std::cerr << "error: no scenarios in " << path << "\n";
+    return 1;
+  }
+
+  ServiceConfig config;
+  config.num_workers = threads;
+  config.cache_capacity = cache_capacity;
+  ScheduleService service(config);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<ScheduleService::ResultPtr>> futures(scenarios.size());
+  for (int round = 0; round < repeat; ++round) {
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      if (!scenarios[i].error.empty()) continue;
+      MachineConfig machine;
+      machine.num_pes = scenarios[i].pes;
+      auto f = service.submit(scenarios[i].graph, scenarios[i].scheduler, machine);
+      if (round == 0) futures[i] = std::move(f);
+    }
+  }
+  service.wait_idle();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  // Counted before the output loop: future.get() failures below also set
+  // s.error, but those scenarios *were* submitted.
+  std::size_t parsed_ok = 0;
+  for (const SweepScenario& s : scenarios) {
+    if (s.error.empty()) ++parsed_ok;
+  }
+
+  bool any_failed = false;
+  std::cout << "[\n";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    SweepScenario& s = scenarios[i];
+    std::cout << "  {\"scenario\": \"" << json_escape(s.label) << "\", \"scheduler\": \""
+              << json_escape(s.scheduler) << "\", \"pes\": " << s.pes;
+    if (s.error.empty()) {
+      try {
+        const auto result = futures[i].get();
+        std::cout << ", \"status\": \"ok\", \"makespan\": " << result->makespan
+                  << ", \"speedup\": " << fmt(result->metrics.speedup, 4)
+                  << ", \"fifo_capacity\": " << result->metrics.fifo_capacity;
+      } catch (const std::exception& e) {
+        s.error = e.what();
+      }
+    }
+    if (!s.error.empty()) {
+      any_failed = true;
+      std::cout << ", \"status\": \"error\", \"error\": \"" << json_escape(s.error) << "\"";
+    }
+    std::cout << "}" << (i + 1 < scenarios.size() ? "," : "") << "\n";
+  }
+  std::cout << "]\n";
+
+  const ScheduleService::Stats stats = service.stats();
+  std::cerr << "sweep: " << stats.submitted << " jobs (" << parsed_ok << " schedulable of "
+            << scenarios.size() << " scenarios x " << repeat << " rounds) on "
+            << service.worker_count() << " workers in " << fmt(seconds, 3) << "s ("
+            << fmt(stats.submitted / seconds, 1) << " jobs/s)\n"
+            << "cache: " << stats.cache.hits << " hits, " << stats.cache.misses << " misses, "
+            << stats.cache.races << " races, " << stats.cache.evictions << " evictions, size "
+            << service.cache().size() << "/" << service.cache().capacity() << "\n";
+  return any_failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace sts;
   if (argc < 2) return usage(argv[0]);
   if (std::string(argv[1]) == "--list-schedulers") return list_schedulers();
+  if (std::string(argv[1]) == "sweep") return run_sweep(argc, argv);
 
   std::string path = argv[1];
   std::string scheduler = "streaming-rlx";

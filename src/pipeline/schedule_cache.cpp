@@ -1,6 +1,9 @@
 #include "pipeline/schedule_cache.hpp"
 
 #include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <utility>
 
 #include "graph/serialization.hpp"
 #include "pipeline/registry.hpp"
@@ -44,37 +47,103 @@ std::uint64_t fnv1a64(std::string_view text) noexcept {
   return hash;
 }
 
-std::shared_ptr<const ScheduleResult> ScheduleCache::get_or_schedule(
-    const TaskGraph& graph, std::string_view scheduler, const MachineConfig& machine) {
-  std::string key = canonical_cache_key(graph, scheduler, machine);
+ScheduleCache::ScheduleCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) throw std::invalid_argument("ScheduleCache: capacity must be >= 1");
+}
+
+ScheduleCache::Lru::const_iterator ScheduleCache::find_entry(std::uint64_t hash,
+                                                             std::string_view key) const {
+  const auto bucket = buckets_.find(hash);
+  if (bucket == buckets_.end()) return lru_.end();
+  for (const Lru::const_iterator it : bucket->second) {
+    if (it->key == key) return it;
+  }
+  return lru_.end();
+}
+
+void ScheduleCache::evict_to_capacity() {
+  while (lru_.size() > capacity_) {
+    const Lru::const_iterator victim = std::prev(lru_.cend());
+    auto& bucket = buckets_[victim->hash];
+    std::erase(bucket, victim);
+    if (bucket.empty()) buckets_.erase(victim->hash);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+ScheduleCache::ResultPtr ScheduleCache::get_or_schedule(const TaskGraph& graph,
+                                                        std::string_view scheduler,
+                                                        const MachineConfig& machine) {
+  return get_or_compute(canonical_cache_key(graph, scheduler, machine),
+                        [&] { return schedule_by_name(scheduler, graph, machine); });
+}
+
+ScheduleCache::ResultPtr ScheduleCache::get_or_compute(
+    std::string key, const std::function<ScheduleResult()>& compute) {
   const std::uint64_t hash = fnv1a64(key);
 
+  std::shared_future<ResultPtr> pending;
+  // Constructed only on the miss path: a promise allocates shared state,
+  // which the hit path (the whole point of the cache) must not pay for.
+  std::optional<std::promise<ResultPtr>> promise;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = buckets_.find(hash);
-    if (it != buckets_.end()) {
-      for (const Entry& entry : it->second) {
-        if (entry.key == key) {
-          ++stats_.hits;
-          return entry.result;
-        }
-      }
+    if (const Lru::const_iterator it = find_entry(hash, key); it != lru_.cend()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it);
+      return it->result;
     }
-    ++stats_.misses;
+    if (const auto flight = in_flight_.find(key); flight != in_flight_.end()) {
+      ++stats_.races;
+      pending = flight->second;
+    } else {
+      ++stats_.misses;
+      promise.emplace();
+      in_flight_.emplace(key, promise->get_future().share());
+    }
   }
+  // Race loser: share the in-flight computation (and its exception, if any).
+  if (pending.valid()) return pending.get();
 
-  // Compute outside the lock: scheduling dominates, and concurrent misses on
-  // distinct keys must not serialize behind each other.
-  auto result =
-      std::make_shared<const ScheduleResult>(schedule_by_name(scheduler, graph, machine));
-
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<Entry>& bucket = buckets_[hash];
-  for (const Entry& entry : bucket) {
-    if (entry.key == key) return entry.result;  // another thread won the race
+  // Miss: compute outside the lock — scheduling dominates, and concurrent
+  // misses on distinct keys must not serialize behind each other.
+  ResultPtr result;
+  try {
+    result = std::make_shared<const ScheduleResult>(compute());
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_.erase(key);  // next request for this key retries
+    }
+    promise->set_exception(std::current_exception());
+    throw;
   }
-  bucket.push_back(Entry{std::move(key), result});
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    in_flight_.erase(key);
+    lru_.push_front(Entry{hash, std::move(key), result});
+    buckets_[hash].push_back(lru_.begin());
+    evict_to_capacity();
+  }
+  promise->set_value(result);
   return result;
+}
+
+ScheduleCache::ResultPtr ScheduleCache::try_get(std::string_view key) {
+  const std::uint64_t hash = fnv1a64(key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Lru::const_iterator it = find_entry(hash, key);
+  if (it == lru_.cend()) return nullptr;
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it);
+  return it->result;
+}
+
+bool ScheduleCache::contains(std::string_view key) const {
+  const std::uint64_t hash = fnv1a64(key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_entry(hash, key) != lru_.cend();
 }
 
 ScheduleCache::Stats ScheduleCache::stats() const {
@@ -84,13 +153,24 @@ ScheduleCache::Stats ScheduleCache::stats() const {
 
 std::size_t ScheduleCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::size_t total = 0;
-  for (const auto& [hash, bucket] : buckets_) total += bucket.size();
-  return total;
+  return lru_.size();
+}
+
+std::size_t ScheduleCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void ScheduleCache::set_capacity(std::size_t capacity) {
+  if (capacity == 0) throw std::invalid_argument("ScheduleCache: capacity must be >= 1");
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  evict_to_capacity();
 }
 
 void ScheduleCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
   buckets_.clear();
   stats_ = Stats{};
 }

@@ -1,6 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -28,22 +31,69 @@ namespace sts {
 /// in the spirit of the program caches of dataflow runtimes: repeated
 /// queries on identical workloads skip partitioning, scheduling, and FIFO
 /// sizing entirely and return a shared immutable result. Hash collisions are
-/// disambiguated with the full key, so a hit is always exact. Thread-safe;
-/// on concurrent misses for the same key the first completed result wins.
+/// disambiguated with the full key, so a hit is always exact.
+///
+/// Bounded: entries live on an LRU list capped at `capacity()`; inserting
+/// past the cap evicts the least-recently-used entry (counted in
+/// `Stats::evictions`), so memory stays bounded under sustained traffic with
+/// an unbounded key universe.
+///
+/// Single-flight: concurrent requests for the same missing key compute the
+/// result exactly once. The first thread computes (a `miss`); every thread
+/// that arrives while that computation is in flight blocks on it and shares
+/// the result (a `race`). A compute that throws propagates the exception to
+/// all waiters and leaves the key uncached, so the next request retries.
+/// Consequently `Stats::misses` equals the number of schedules actually
+/// computed, and hits + misses + races equals the number of lookups.
+///
+/// The compute callable must not re-enter the cache with the same key (it
+/// would wait on its own in-flight marker).
 class ScheduleCache {
  public:
+  using ResultPtr = std::shared_ptr<const ScheduleResult>;
+
   struct Stats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
+    std::uint64_t hits = 0;       ///< completed entry found in the cache
+    std::uint64_t misses = 0;     ///< caller computed the result (== schedules run)
+    std::uint64_t races = 0;      ///< joined another thread's in-flight computation
+    std::uint64_t evictions = 0;  ///< entries dropped by the LRU bound
   };
+
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// Throws std::invalid_argument on zero capacity.
+  explicit ScheduleCache(std::size_t capacity = kDefaultCapacity);
 
   /// Returns the cached result for (graph, scheduler, machine), computing
   /// and inserting it through the global SchedulerRegistry on a miss.
-  [[nodiscard]] std::shared_ptr<const ScheduleResult> get_or_schedule(
-      const TaskGraph& graph, std::string_view scheduler, const MachineConfig& machine);
+  [[nodiscard]] ResultPtr get_or_schedule(const TaskGraph& graph, std::string_view scheduler,
+                                          const MachineConfig& machine);
+
+  /// Core single-flight lookup under an arbitrary precomputed key: returns
+  /// the cached result, or runs `compute` (outside the cache lock, exactly
+  /// once per key across all concurrent callers) and caches it.
+  [[nodiscard]] ResultPtr get_or_compute(std::string key,
+                                         const std::function<ScheduleResult()>& compute);
+
+  /// Non-blocking probe: the completed entry for `key` (bumping its recency
+  /// and counting a hit), or nullptr. Absence is not counted as a miss —
+  /// callers fall through to get_or_compute, which classifies the lookup.
+  [[nodiscard]] ResultPtr try_get(std::string_view key);
+
+  /// True if a completed entry for `key` is cached. No recency bump, no
+  /// stats: this is an inspection hook (tests, monitoring).
+  [[nodiscard]] bool contains(std::string_view key) const;
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const;
+
+  /// Re-bounds the cache, evicting LRU entries if shrinking below the
+  /// current size. Throws std::invalid_argument on zero.
+  void set_capacity(std::size_t capacity);
+
+  /// Drops all completed entries and resets stats. In-flight computations
+  /// are unaffected and will insert their results afterwards.
   void clear();
 
   /// The process-wide cache used by cached convenience entry points.
@@ -51,12 +101,21 @@ class ScheduleCache {
 
  private:
   struct Entry {
+    std::uint64_t hash = 0;
     std::string key;  ///< full canonical key, checked on every probe
-    std::shared_ptr<const ScheduleResult> result;
+    ResultPtr result;
   };
+  using Lru = std::list<Entry>;
+
+  // Both require mutex_ held.
+  [[nodiscard]] Lru::const_iterator find_entry(std::uint64_t hash, std::string_view key) const;
+  void evict_to_capacity();
 
   mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
+  Lru lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::vector<Lru::const_iterator>> buckets_;
+  std::unordered_map<std::string, std::shared_future<ResultPtr>> in_flight_;
+  std::size_t capacity_;
   Stats stats_;
 };
 

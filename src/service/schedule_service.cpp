@@ -1,0 +1,141 @@
+#include "service/schedule_service.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "pipeline/registry.hpp"
+
+namespace sts {
+
+ScheduleService::ScheduleService(ServiceConfig config) : cache_(config.cache_capacity) {
+  std::size_t n = config.num_workers;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(*shards_[i]); });
+  }
+}
+
+ScheduleService::~ScheduleService() { shutdown(); }
+
+std::future<ScheduleService::ResultPtr> ScheduleService::submit(const TaskGraph& graph,
+                                                                std::string scheduler,
+                                                                MachineConfig machine) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("ScheduleService: submit after shutdown");
+  }
+  std::string key = canonical_cache_key(graph, scheduler, machine);
+  std::promise<ResultPtr> promise;
+  std::future<ResultPtr> future = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++counters_.submitted;
+  }
+
+  // Fast path: an already-completed result resolves synchronously without a
+  // queue round trip.
+  if (ResultPtr hit = cache_.try_get(key)) {
+    promise.set_value(std::move(hit));
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++counters_.completed;
+      ++counters_.fast_path_hits;
+    }
+    idle_cv_.notify_all();
+    return future;
+  }
+
+  // Shard by cache-key hash: identical scenarios serialize on one worker (in
+  // submission order), distinct ones spread across the pool.
+  Shard& shard = *shards_[fnv1a64(key) % shards_.size()];
+  try {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    // Re-check under the shard lock: a shutdown() racing with this submit
+    // may already have drained and joined the workers, and a job pushed now
+    // would leave its future forever pending.
+    if (stopping_.load(std::memory_order_acquire)) {
+      throw std::runtime_error("ScheduleService: submit after shutdown");
+    }
+    shard.queue.push_back(
+        Job{std::move(key), graph, std::move(scheduler), std::move(machine), std::move(promise)});
+  } catch (...) {
+    // Nothing was enqueued (shutdown race, or the Job copy threw): roll the
+    // submission count back so wait_idle can still balance.
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    --counters_.submitted;
+    throw;
+  }
+  shard.cv.notify_one();
+  return future;
+}
+
+void ScheduleService::worker_loop(Shard& shard) {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(shard.mutex);
+      shard.cv.wait(lock, [&] {
+        return stopping_.load(std::memory_order_acquire) || !shard.queue.empty();
+      });
+      if (shard.queue.empty()) return;  // stopping, and fully drained
+      job = std::move(shard.queue.front());
+      shard.queue.pop_front();
+    }
+    bool failed = false;
+    try {
+      ResultPtr result = cache_.get_or_compute(std::move(job.key), [&job] {
+        return schedule_by_name(job.scheduler, job.graph, job.machine);
+      });
+      job.promise.set_value(std::move(result));
+    } catch (...) {
+      failed = true;
+      job.promise.set_exception(std::current_exception());
+    }
+    finish_one(failed);
+  }
+}
+
+void ScheduleService::finish_one(bool failed) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++counters_.completed;
+    if (failed) ++counters_.failed;
+  }
+  idle_cv_.notify_all();
+}
+
+void ScheduleService::wait_idle() {
+  std::unique_lock<std::mutex> lock(stats_mutex_);
+  idle_cv_.wait(lock, [&] { return counters_.completed == counters_.submitted; });
+}
+
+void ScheduleService::shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  for (const auto& shard : shards_) {
+    // Acquire/release each shard mutex so a worker between its predicate
+    // check and cv.wait cannot miss the stop signal.
+    std::lock_guard<std::mutex> lock(shard->mutex);
+  }
+  for (const auto& shard : shards_) shard->cv.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+ScheduleService::Stats ScheduleService::stats() const {
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = counters_;
+  }
+  out.cache = cache_.stats();
+  return out;
+}
+
+}  // namespace sts

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "pipeline/schedule_cache.hpp"
+
+namespace sts {
+
+/// Sizing knobs of a ScheduleService.
+struct ServiceConfig {
+  /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).
+  std::size_t num_workers = 0;
+
+  /// Capacity of the service-owned bounded LRU ScheduleCache.
+  std::size_t cache_capacity = ScheduleCache::kDefaultCapacity;
+};
+
+/// Concurrent scheduling front end: a worker thread pool serving
+/// `submit(graph, scheduler, machine)` jobs through a bounded LRU
+/// ScheduleCache.
+///
+/// Each submission is keyed by its canonical cache key and sharded to the
+/// worker `fnv1a64(key) % num_workers`, so identical scenarios land on the
+/// same queue in order; together with the cache's single-flight miss path
+/// this guarantees that N concurrent submissions of the same scenario run
+/// the scheduling pipeline exactly once and share one immutable result.
+/// Distinct scenarios spread across workers and schedule in parallel.
+///
+/// Submissions whose result is already cached complete synchronously inside
+/// `submit` (the returned future is immediately ready) without touching a
+/// worker queue.
+///
+/// Scheduling errors (unknown scheduler name, invalid graph) surface as the
+/// exception of the returned future; the service itself stays healthy.
+/// Destruction (or `shutdown()`) drains every queued job before joining the
+/// workers, so no future is ever abandoned.
+class ScheduleService {
+ public:
+  using ResultPtr = ScheduleCache::ResultPtr;
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;       ///< finished jobs, failures included
+    std::uint64_t failed = 0;          ///< jobs whose future holds an exception
+    std::uint64_t fast_path_hits = 0;  ///< completed synchronously in submit()
+    ScheduleCache::Stats cache;
+  };
+
+  explicit ScheduleService(ServiceConfig config = {});
+  ~ScheduleService();
+
+  ScheduleService(const ScheduleService&) = delete;
+  ScheduleService& operator=(const ScheduleService&) = delete;
+
+  /// Enqueues one scheduling job (the graph is copied into the job) and
+  /// returns the future result. Throws std::runtime_error after shutdown().
+  [[nodiscard]] std::future<ResultPtr> submit(const TaskGraph& graph, std::string scheduler,
+                                              MachineConfig machine);
+
+  /// Blocks until every job submitted so far has completed.
+  void wait_idle();
+
+  /// Drains all queued jobs, joins the workers, and rejects further
+  /// submissions. Idempotent; called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] ScheduleCache& cache() noexcept { return cache_; }
+  [[nodiscard]] std::size_t worker_count() const noexcept { return shards_.size(); }
+
+ private:
+  struct Job {
+    std::string key;
+    TaskGraph graph;
+    std::string scheduler;
+    MachineConfig machine;
+    std::promise<ResultPtr> promise;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Job> queue;
+  };
+
+  void worker_loop(Shard& shard);
+  void finish_one(bool failed);
+
+  ScheduleCache cache_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex stats_mutex_;
+  std::condition_variable idle_cv_;  ///< signalled on every job completion
+  Stats counters_;                   ///< cache field filled lazily by stats()
+};
+
+}  // namespace sts

@@ -1,12 +1,38 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <numeric>
 #include <ostream>
 #include <stdexcept>
 #include <string>
 
 namespace sts {
+
+namespace detail {
+
+// Intermediates of rational arithmetic (cross-products, un-reduced sums)
+// exceed 64 bits long before the canonical results do: deep-chain interval
+// products over volumes up to 2^20 produce comparisons whose cross-products
+// pass 2^63. All intermediates therefore run in 128-bit and are range-checked
+// on the way back to the 64-bit representation. __int128 is not std::integral
+// under -std=c++20 (no GNU extensions), so gcd is hand-rolled.
+using Int128 = __int128;
+
+constexpr Int128 abs128(Int128 x) noexcept { return x < 0 ? -x : x; }
+
+constexpr Int128 gcd128(Int128 a, Int128 b) noexcept {
+  a = abs128(a);
+  b = abs128(b);
+  while (b != 0) {
+    const Int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace detail
 
 /// Exact rational arithmetic over 64-bit integers.
 ///
@@ -15,24 +41,22 @@ namespace sts {
 /// (clock cycles).  Rational keeps the analysis exact and provides the
 /// ceiling operations the schedule recurrences of Section 5.1 need.
 ///
+/// Arithmetic and comparisons evaluate intermediates in 128-bit: comparisons
+/// are always exact, and +,-,*,/ reduce in 128-bit and throw
+/// std::overflow_error only when the *canonical* result no longer fits in
+/// int64 (silent wraparound is never possible).
+///
 /// Invariants: den > 0 and gcd(|num|, den) == 1 (canonical form).
 class Rational {
  public:
   constexpr Rational() noexcept : num_(0), den_(1) {}
   constexpr Rational(std::int64_t value) noexcept : num_(value), den_(1) {}  // NOLINT(google-explicit-constructor)
 
-  /// Constructs num/den in canonical form. Throws on zero denominator.
-  constexpr Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
-    if (den_ == 0) throw std::invalid_argument("Rational: zero denominator");
-    if (den_ < 0) {
-      num_ = -num_;
-      den_ = -den_;
-    }
-    const std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
-    if (g > 1) {
-      num_ /= g;
-      den_ /= g;
-    }
+  /// Constructs num/den in canonical form. Throws on zero denominator, and
+  /// std::overflow_error when canonicalization cannot represent the value
+  /// (only possible for INT64_MIN inputs whose negation leaves int64).
+  constexpr Rational(std::int64_t num, std::int64_t den) : num_(0), den_(1) {
+    *this = from_int128(num, den);
   }
 
   [[nodiscard]] constexpr std::int64_t num() const noexcept { return num_; }
@@ -43,13 +67,18 @@ class Rational {
   /// Largest integer <= this.
   [[nodiscard]] constexpr std::int64_t floor() const noexcept {
     if (num_ >= 0) return num_ / den_;
-    return -((-num_ + den_ - 1) / den_);
+    // 128-bit negation: num_ == INT64_MIN is representable, -num_ is not.
+    const detail::Int128 n = num_;
+    return static_cast<std::int64_t>(-((-n + den_ - 1) / den_));
   }
 
   /// Smallest integer >= this.
   [[nodiscard]] constexpr std::int64_t ceil() const noexcept {
-    if (num_ >= 0) return (num_ + den_ - 1) / den_;
-    return -((-num_) / den_);
+    // 128-bit throughout: num_ + den_ - 1 can pass 2^63 for num_ near the
+    // top of the range, and -num_ is unrepresentable for INT64_MIN.
+    const detail::Int128 n = num_;
+    if (num_ >= 0) return static_cast<std::int64_t>((n + den_ - 1) / den_);
+    return static_cast<std::int64_t>(-((-n) / den_));
   }
 
   [[nodiscard]] double to_double() const noexcept {
@@ -58,34 +87,39 @@ class Rational {
 
   [[nodiscard]] constexpr Rational reciprocal() const {
     if (num_ == 0) throw std::domain_error("Rational: reciprocal of zero");
-    return Rational(den_, num_);
+    // 128-bit: num_ == INT64_MIN would otherwise negate with UB, and its
+    // reciprocal's denominator 2^63 is genuinely unrepresentable (throws).
+    return from_int128(den_, num_);
   }
 
   friend constexpr Rational operator+(const Rational& a, const Rational& b) {
-    // Cross-reduce to limit intermediate magnitude.
+    // Cross-reduce to limit intermediate magnitude, then finish in 128-bit:
+    // the un-reduced sum can pass 2^63 even when the canonical result fits.
     const std::int64_t g = std::gcd(a.den_, b.den_);
     const std::int64_t bd = b.den_ / g;
-    return Rational(a.num_ * bd + b.num_ * (a.den_ / g), a.den_ * bd);
+    return from_int128(detail::Int128(a.num_) * bd + detail::Int128(b.num_) * (a.den_ / g),
+                       detail::Int128(a.den_) * bd);
   }
   friend constexpr Rational operator-(const Rational& a, const Rational& b) {
     const std::int64_t g = std::gcd(a.den_, b.den_);
     const std::int64_t bd = b.den_ / g;
-    return Rational(a.num_ * bd - b.num_ * (a.den_ / g), a.den_ * bd);
+    return from_int128(detail::Int128(a.num_) * bd - detail::Int128(b.num_) * (a.den_ / g),
+                       detail::Int128(a.den_) * bd);
   }
   friend constexpr Rational operator*(const Rational& a, const Rational& b) {
-    const std::int64_t g1 = std::gcd(a.num_ < 0 ? -a.num_ : a.num_, b.den_);
-    const std::int64_t g2 = std::gcd(b.num_ < 0 ? -b.num_ : b.num_, a.den_);
-    return Rational((a.num_ / g1) * (b.num_ / g2), (a.den_ / g2) * (b.den_ / g1));
+    // gcd128: taking |num| in int64 is UB for INT64_MIN.
+    const auto g1 = static_cast<std::int64_t>(detail::gcd128(a.num_, b.den_));
+    const auto g2 = static_cast<std::int64_t>(detail::gcd128(b.num_, a.den_));
+    return from_int128((detail::Int128(a.num_) / g1) * (b.num_ / g2),
+                       detail::Int128(a.den_ / g2) * (b.den_ / g1));
   }
   friend constexpr Rational operator/(const Rational& a, const Rational& b) {
     if (b.num_ == 0) throw std::domain_error("Rational: division by zero");
     return a * b.reciprocal();
   }
-  constexpr Rational operator-() const noexcept {
-    Rational r;
-    r.num_ = -num_;
-    r.den_ = den_;
-    return r;
+  constexpr Rational operator-() const {
+    // Throws only for num_ == INT64_MIN, whose negation leaves int64.
+    return from_int128(-detail::Int128(num_), detail::Int128(den_));
   }
 
   Rational& operator+=(const Rational& o) { return *this = *this + o; }
@@ -100,10 +134,13 @@ class Rational {
     return !(a == b);
   }
   friend constexpr bool operator<(const Rational& a, const Rational& b) noexcept {
-    return a.num_ * b.den_ < b.num_ * a.den_;
+    // 128-bit cross-products: the int64 products silently overflow for
+    // operands built from deep-chain interval products (e.g. volumes up to
+    // 2^20 compounded along a pipeline), flipping comparison results.
+    return detail::Int128(a.num_) * b.den_ < detail::Int128(b.num_) * a.den_;
   }
   friend constexpr bool operator<=(const Rational& a, const Rational& b) noexcept {
-    return a.num_ * b.den_ <= b.num_ * a.den_;
+    return detail::Int128(a.num_) * b.den_ <= detail::Int128(b.num_) * a.den_;
   }
   friend constexpr bool operator>(const Rational& a, const Rational& b) noexcept { return b < a; }
   friend constexpr bool operator>=(const Rational& a, const Rational& b) noexcept { return b <= a; }
@@ -118,6 +155,32 @@ class Rational {
   }
 
  private:
+  /// Canonicalizes a 128-bit num/den pair and narrows it to the 64-bit
+  /// representation; throws std::overflow_error when the reduced result does
+  /// not fit (the closest exact analogue of arbitrary precision without
+  /// dragging in a bignum dependency).
+  static constexpr Rational from_int128(detail::Int128 num, detail::Int128 den) {
+    if (den == 0) throw std::invalid_argument("Rational: zero denominator");
+    if (den < 0) {
+      num = -num;
+      den = -den;
+    }
+    const detail::Int128 g = detail::gcd128(num, den);
+    if (g > 1) {
+      num /= g;
+      den /= g;
+    }
+    constexpr detail::Int128 kMax = std::numeric_limits<std::int64_t>::max();
+    constexpr detail::Int128 kMin = std::numeric_limits<std::int64_t>::min();
+    if (num > kMax || num < kMin || den > kMax) {
+      throw std::overflow_error("Rational: result exceeds 64-bit range");
+    }
+    Rational r;
+    r.num_ = static_cast<std::int64_t>(num);
+    r.den_ = static_cast<std::int64_t>(den);
+    return r;
+  }
+
   std::int64_t num_;
   std::int64_t den_;
 };

@@ -12,10 +12,23 @@ namespace {
 
 bool is_power_of_two(int x) { return x > 0 && (x & (x - 1)) == 0; }
 
+// Callers validate x as a positive power of two first; the 64-bit shift keeps
+// the loop defined for every positive int (1 << 31 is UB in 32-bit).
 int log2_of(int x) {
   int bits = 0;
-  while ((1 << bits) < x) ++bits;
+  while ((std::int64_t{1} << bits) < x) ++bits;
   return bits;
+}
+
+void require_power_of_two(const char* fn, int points) {
+  if (!is_power_of_two(points) || points < 2) {
+    // Built with append rather than operator+ chains: the latter trips a
+    // GCC 12 -Wrestrict false positive (PR 105329).
+    std::string message(fn);
+    message += ": points must be a power of two >= 2, got ";
+    message += std::to_string(points);
+    throw std::invalid_argument(message);
+  }
 }
 
 class UnionFind {
@@ -92,7 +105,8 @@ TaskGraph canonical_from_topology(
 
 std::int64_t chain_task_count(int tasks) noexcept { return tasks; }
 
-std::int64_t fft_task_count(int points) noexcept {
+std::int64_t fft_task_count(int points) {
+  require_power_of_two("fft_task_count", points);
   const std::int64_t n = points;
   return 2 * n - 1 + n * log2_of(points);
 }
@@ -115,8 +129,12 @@ TaskGraph make_chain(int tasks, std::uint64_t seed, VolumeDistribution dist) {
 }
 
 TaskGraph make_fft(int points, std::uint64_t seed, VolumeDistribution dist) {
-  if (!is_power_of_two(points) || points < 2) {
-    throw std::invalid_argument("make_fft: points must be a power of two >= 2");
+  require_power_of_two("make_fft", points);
+  if (points > (1 << 20)) {
+    std::string message = "make_fft: refusing points > 2^20 (";
+    message += std::to_string(points);
+    message += " requested): the node-id space and memory cost explode";
+    throw std::invalid_argument(message);
   }
   const int stages = log2_of(points);
   std::vector<std::pair<std::int32_t, std::int32_t>> edges;

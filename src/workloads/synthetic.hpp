@@ -47,9 +47,12 @@ struct VolumeDistribution {
                                       VolumeDistribution dist = {});
 
 /// Expected task counts (used to cross-check the generators against the
-/// formulas quoted in the paper).
+/// formulas quoted in the paper). fft_task_count validates its input the way
+/// make_fft does (throws std::invalid_argument unless `points` is a power of
+/// two >= 2) — the formula is meaningless, and its old implementation hit
+/// shift UB, for anything else.
 [[nodiscard]] std::int64_t chain_task_count(int tasks) noexcept;
-[[nodiscard]] std::int64_t fft_task_count(int points) noexcept;
+[[nodiscard]] std::int64_t fft_task_count(int points);
 [[nodiscard]] std::int64_t gaussian_task_count(int matrix_size) noexcept;
 [[nodiscard]] std::int64_t cholesky_task_count(int tiles) noexcept;
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 #include <tuple>
 
@@ -88,6 +89,93 @@ TEST(Rational, IsIntegerAndToDouble) {
   EXPECT_TRUE(Rational(10, 5).is_integer());
   EXPECT_FALSE(Rational(1, 3).is_integer());
   EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+}
+
+// ---------------------------------------------------- overflow regressions
+//
+// Deep-chain interval products with volumes up to 2^20 produce rationals
+// whose comparison cross-products and un-reduced sum intermediates exceed
+// 2^63. The old int64 arithmetic silently wrapped; everything now runs
+// through 128-bit intermediates.
+
+TEST(RationalOverflow, ComparisonSurvivesCrossProductOverflow) {
+  const std::int64_t big = std::int64_t{1} << 40;
+  const Rational a(big + 1, big);  // 1 + 1/2^40
+  const Rational b(big, big - 1);  // 1 + 1/(2^40 - 1), strictly larger
+  // Cross-products are ~2^80: the int64 comparison wrapped and misordered.
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_LE(a, b);
+  EXPECT_FALSE(b <= a);
+  EXPECT_FALSE(a > b);
+}
+
+TEST(RationalOverflow, OrderingExactAtIntervalMagnitudes) {
+  // S_o-style intervals after ~3 compounded 2^20 volume ratios.
+  const std::int64_t v20 = std::int64_t{1} << 20;
+  const Rational s1 = Rational(v20, 3) * Rational(v20, 5);   // 2^40 / 15
+  const Rational s2 = Rational(v20, 5) * Rational(v20, 3);   // equal
+  const Rational s3 = s1 * Rational(v20, v20 - 1);           // slightly larger
+  EXPECT_EQ(s1, s2);
+  EXPECT_LE(s1, s2);
+  EXPECT_GE(s2, s1);
+  EXPECT_LT(s1, s3);
+  EXPECT_GT(s3, s2);
+}
+
+TEST(RationalOverflow, AdditionReducesThroughWideIntermediates) {
+  // Both numerators are near 2^62; the un-reduced sum numerator is 2^63 + 4,
+  // which wraps in int64 — but gcd reduction brings the true result back in
+  // range, so this must succeed exactly.
+  const std::int64_t n1 = (std::int64_t{1} << 62) + 3;
+  const std::int64_t n2 = (std::int64_t{1} << 62) + 1;
+  const Rational sum = Rational(n1, 2) + Rational(n2, 2);
+  EXPECT_EQ(sum, Rational((std::int64_t{1} << 62) + 2));
+  EXPECT_EQ(sum.den(), 1);
+  // Same shape through subtraction of a negative.
+  EXPECT_EQ(Rational(n1, 2) - Rational(-n2, 2), sum);
+}
+
+TEST(RationalOverflow, ThrowsWhenCanonicalResultExceedsInt64) {
+  const std::int64_t half = std::int64_t{1} << 62;
+  EXPECT_THROW((void)(Rational(half) + Rational(half)), std::overflow_error);
+  EXPECT_THROW((void)(Rational(-half) - Rational(half + 1)), std::overflow_error);
+  // -2^63 itself is representable: the check is exact, not conservative.
+  EXPECT_EQ((Rational(-half) - Rational(half)).num(), std::numeric_limits<std::int64_t>::min());
+  const std::int64_t v20 = std::int64_t{1} << 20;
+  // 1/2^20 compounded four times: denominator 2^80 cannot be represented.
+  const Rational step(1, v20);
+  EXPECT_THROW((void)(step * step * step * step), std::overflow_error);
+  // Coprime odd denominators whose lcm 2^64 - 1 exceeds int64 and cannot
+  // reduce (the sum numerator 2^33 shares no factor with it).
+  EXPECT_THROW((void)(Rational(1, (std::int64_t{1} << 32) + 1) +
+                      Rational(1, (std::int64_t{1} << 32) - 1)),
+               std::overflow_error);
+}
+
+TEST(RationalOverflow, Int64MinIsRepresentableButItsNegationThrows) {
+  const std::int64_t half = std::int64_t{1} << 62;
+  const Rational min_val = Rational(-half) - Rational(half);
+  ASSERT_EQ(min_val.num(), std::numeric_limits<std::int64_t>::min());
+  // Every negation path is checked instead of UB: -INT64_MIN and a 2^63
+  // denominator are unrepresentable.
+  EXPECT_THROW((void)(-min_val), std::overflow_error);
+  EXPECT_THROW((void)min_val.reciprocal(), std::overflow_error);
+  EXPECT_THROW((void)(Rational(0) - min_val), std::overflow_error);
+  EXPECT_THROW((void)Rational(std::numeric_limits<std::int64_t>::min(), -1),
+               std::overflow_error);
+  // Non-negating operations on the extreme value stay exact.
+  EXPECT_EQ(min_val.floor(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(min_val.ceil(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ((min_val / Rational(2)).num(), -half);
+  EXPECT_LT(min_val, Rational(-half));
+}
+
+TEST(RationalOverflow, CeilMulExactAtPaperVolumeExtremes) {
+  // ceil((O-1) * S_o) with 2^20 volumes: exact, no wrap.
+  const std::int64_t v20 = std::int64_t{1} << 20;
+  EXPECT_EQ(ceil_mul(v20 - 1, Rational(v20, 3)), ((v20 - 1) * v20 + 2) / 3);
+  EXPECT_EQ(ceil_mul(v20, Rational(v20, v20 - 1)), v20 + 2);  // ceil(2^40/(2^40-2^20))
 }
 
 class RationalRoundTrip : public ::testing::TestWithParam<std::tuple<int, int>> {};

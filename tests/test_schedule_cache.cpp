@@ -1,0 +1,208 @@
+// Bounded-LRU and single-flight semantics of ScheduleCache, including the
+// threaded stress cases the serving layer depends on: exactly one schedule
+// computed per unique key under concurrent hammering, exact hit/miss/race
+// accounting, and LRU eviction order. (Cache-vs-scheduler integration lives
+// in test_pipeline.cpp.)
+
+#include "pipeline/schedule_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sts {
+namespace {
+
+/// A compute callable producing a distinguishable dummy result and counting
+/// its invocations — the schedule pipeline itself is irrelevant here.
+std::function<ScheduleResult()> counted_result(std::atomic<int>& counter,
+                                               std::int64_t makespan) {
+  return [&counter, makespan] {
+    ++counter;
+    ScheduleResult r;
+    r.makespan = makespan;
+    return r;
+  };
+}
+
+TEST(ScheduleCacheLru, RejectsZeroCapacity) {
+  EXPECT_THROW(ScheduleCache(0), std::invalid_argument);
+  ScheduleCache cache(4);
+  EXPECT_THROW(cache.set_capacity(0), std::invalid_argument);
+  EXPECT_EQ(cache.capacity(), 4u);
+}
+
+TEST(ScheduleCacheLru, EvictsLeastRecentlyUsed) {
+  ScheduleCache cache(3);
+  std::atomic<int> computed{0};
+  for (const char* key : {"a", "b", "c"}) {
+    (void)cache.get_or_compute(key, counted_result(computed, 1));
+  }
+  // Touch "a": recency order is now a, c, b.
+  ASSERT_NE(cache.try_get("a"), nullptr);
+
+  (void)cache.get_or_compute("d", counted_result(computed, 2));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_FALSE(cache.contains("b")) << "b was least recently used";
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_TRUE(cache.contains("d"));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ScheduleCacheLru, GetOrComputeBumpsRecencyLikeTryGet) {
+  ScheduleCache cache(2);
+  std::atomic<int> computed{0};
+  (void)cache.get_or_compute("x", counted_result(computed, 1));
+  (void)cache.get_or_compute("y", counted_result(computed, 2));
+  (void)cache.get_or_compute("x", counted_result(computed, 3));  // hit, bumps x
+  (void)cache.get_or_compute("z", counted_result(computed, 4));  // evicts y
+  EXPECT_TRUE(cache.contains("x"));
+  EXPECT_FALSE(cache.contains("y"));
+  EXPECT_EQ(computed.load(), 3);
+}
+
+TEST(ScheduleCacheLru, EvictedKeyRecomputes) {
+  ScheduleCache cache(1);
+  std::atomic<int> computed{0};
+  EXPECT_EQ(cache.get_or_compute("k1", counted_result(computed, 10))->makespan, 10);
+  EXPECT_EQ(cache.get_or_compute("k2", counted_result(computed, 20))->makespan, 20);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.get_or_compute("k1", counted_result(computed, 11))->makespan, 11)
+      << "evicted entry must be recomputed, not resurrected";
+  EXPECT_EQ(computed.load(), 3);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(ScheduleCacheLru, SetCapacityShrinksAndEvicts) {
+  ScheduleCache cache(8);
+  std::atomic<int> computed{0};
+  for (int i = 0; i < 8; ++i) {
+    (void)cache.get_or_compute("key" + std::to_string(i), counted_result(computed, i + 1));
+  }
+  EXPECT_EQ(cache.size(), 8u);
+  cache.set_capacity(2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 6u);
+  EXPECT_TRUE(cache.contains("key7"));
+  EXPECT_TRUE(cache.contains("key6"));
+  EXPECT_FALSE(cache.contains("key0"));
+}
+
+TEST(ScheduleCacheLru, TryGetMissesAreNotCountedAsMisses) {
+  ScheduleCache cache(4);
+  EXPECT_EQ(cache.try_get("absent"), nullptr);
+  const ScheduleCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(ScheduleCacheSingleFlight, ExceptionPropagatesAndKeyRetries) {
+  ScheduleCache cache(4);
+  std::atomic<int> attempts{0};
+  const auto failing = [&attempts]() -> ScheduleResult {
+    ++attempts;
+    throw std::runtime_error("scheduler exploded");
+  };
+  EXPECT_THROW((void)cache.get_or_compute("k", failing), std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u) << "failures must not be cached";
+
+  std::atomic<int> computed{0};
+  EXPECT_EQ(cache.get_or_compute("k", counted_result(computed, 5))->makespan, 5);
+  EXPECT_EQ(attempts.load(), 1);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+// The satellite invariant: under concurrent hammering of a small key set,
+// every unique key is computed exactly once (single-flight), race losers are
+// classified as races or hits — never as misses — and the counters add up to
+// exactly one classification per lookup.
+TEST(ScheduleCacheSingleFlight, ConcurrentHammeringComputesEachKeyOnce) {
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 25;
+  constexpr int kKeys = 4;
+
+  ScheduleCache cache(kKeys);  // large enough that nothing evicts
+  std::vector<std::atomic<int>> computed(kKeys);
+  std::atomic<int> ready{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ++ready;
+      while (ready.load() < kThreads) std::this_thread::yield();
+      for (int i = 0; i < kIterations; ++i) {
+        const int k = (t + i) % kKeys;
+        const std::string key = "hot-key-" + std::to_string(k);
+        const auto result = cache.get_or_compute(key, [&computed, k] {
+          ++computed[static_cast<std::size_t>(k)];
+          // Widen the in-flight window so racers actually pile up.
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          ScheduleResult r;
+          r.makespan = k + 1;
+          return r;
+        });
+        ASSERT_EQ(result->makespan, k + 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(computed[static_cast<std::size_t>(k)].load(), 1) << "key " << k;
+  }
+  const ScheduleCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, static_cast<std::uint64_t>(kKeys));
+  EXPECT_EQ(stats.hits + stats.misses + stats.races,
+            static_cast<std::uint64_t>(kThreads) * kIterations)
+      << "every lookup classified exactly once";
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
+}
+
+// Threaded eviction stress: a key set larger than the capacity, hammered from
+// several threads — the bound must hold at every point and the books must
+// balance even while single-flight and eviction interleave.
+TEST(ScheduleCacheSingleFlight, ConcurrentEvictionKeepsBoundAndBooks) {
+  constexpr int kThreads = 6;
+  constexpr int kIterations = 40;
+  constexpr int kKeys = 12;
+  constexpr std::size_t kCapacity = 4;
+
+  ScheduleCache cache(kCapacity);
+  std::atomic<int> computed{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const int k = (t * 7 + i) % kKeys;
+        const auto result =
+            cache.get_or_compute("churn-" + std::to_string(k), counted_result(computed, k + 1));
+        ASSERT_EQ(result->makespan, k + 1);
+        ASSERT_LE(cache.size(), kCapacity);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const ScheduleCache::Stats stats = cache.stats();
+  EXPECT_LE(cache.size(), kCapacity);
+  EXPECT_EQ(stats.misses, static_cast<std::uint64_t>(computed.load()))
+      << "misses == schedules actually computed";
+  EXPECT_EQ(stats.hits + stats.misses + stats.races,
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+}  // namespace
+}  // namespace sts

@@ -1,0 +1,175 @@
+#include "service/schedule_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "paper_examples.hpp"
+#include "pipeline/registry.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace sts {
+namespace {
+
+MachineConfig machine_with(std::int64_t pes) {
+  MachineConfig machine;
+  machine.num_pes = pes;
+  return machine;
+}
+
+TEST(ScheduleService, MatchesDirectScheduling) {
+  ScheduleService service(ServiceConfig{2, 64});
+  const TaskGraph g = make_fft(16, 7);
+  auto future = service.submit(g, "streaming-rlx", machine_with(16));
+  const auto result = future.get();
+  ASSERT_NE(result, nullptr);
+
+  const ScheduleResult direct = schedule_by_name("streaming-rlx", g, machine_with(16));
+  EXPECT_EQ(result->makespan, direct.makespan);
+  EXPECT_EQ(result->buffers->total_capacity, direct.buffers->total_capacity);
+
+  // Counters are published after the promise, so synchronize via wait_idle.
+  service.wait_idle();
+  const ScheduleService::Stats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(ScheduleService, SecondSubmissionTakesFastPath) {
+  ScheduleService service(ServiceConfig{2, 64});
+  const TaskGraph g = testing::figure8_graph();
+  const auto first = service.submit(g, "streaming-rlx", machine_with(8)).get();
+  auto second_future = service.submit(g, "streaming-rlx", machine_with(8));
+  // A cached result resolves synchronously inside submit.
+  EXPECT_EQ(second_future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(second_future.get().get(), first.get()) << "same immutable result object";
+  EXPECT_EQ(service.stats().fast_path_hits, 1u);
+}
+
+TEST(ScheduleService, DuplicateSubmissionsComputeOnce) {
+  constexpr int kCopies = 24;
+  ScheduleService service(ServiceConfig{4, 64});
+  const TaskGraph g = make_cholesky(6, 3);
+
+  std::vector<std::future<ScheduleService::ResultPtr>> futures;
+  futures.reserve(kCopies);
+  for (int i = 0; i < kCopies; ++i) {
+    futures.push_back(service.submit(g, "streaming-rlx", machine_with(16)));
+  }
+  const ScheduleService::ResultPtr first = futures.front().get();
+  for (auto& f : futures) {
+    if (f.valid()) EXPECT_EQ(f.get().get(), first.get());
+  }
+  service.wait_idle();
+
+  // Single-flight: exactly one schedule computed; every other submission was
+  // a cache hit (fast path or worker) or joined the in-flight computation.
+  const ScheduleService::Stats stats = service.stats();
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.cache.hits + stats.cache.races, static_cast<std::uint64_t>(kCopies - 1));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kCopies));
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(ScheduleService, SweepAcrossWorkersMatchesDirect) {
+  ScheduleService service(ServiceConfig{4, 256});
+  struct Case {
+    TaskGraph graph;
+    std::int64_t pes;
+  };
+  std::vector<Case> cases;
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    cases.push_back({make_fft(16, seed), 24});
+    cases.push_back({make_gaussian_elimination(8, seed), 16});
+    cases.push_back({make_chain(8, seed), 4});
+  }
+
+  std::vector<std::future<ScheduleService::ResultPtr>> futures;
+  futures.reserve(cases.size());
+  for (const Case& c : cases) {
+    futures.push_back(service.submit(c.graph, "streaming-rlx", machine_with(c.pes)));
+  }
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto result = futures[i].get();
+    const ScheduleResult direct =
+        schedule_by_name("streaming-rlx", cases[i].graph, machine_with(cases[i].pes));
+    EXPECT_EQ(result->makespan, direct.makespan) << "case " << i;
+  }
+  EXPECT_EQ(service.stats().cache.misses, cases.size());
+}
+
+TEST(ScheduleService, PropagatesSchedulerErrorsAndStaysHealthy) {
+  ScheduleService service(ServiceConfig{2, 64});
+  const TaskGraph g = testing::figure8_graph();
+
+  auto bad = service.submit(g, "no-such-scheduler", machine_with(8));
+  EXPECT_THROW((void)bad.get(), std::invalid_argument);
+
+  // The failure is accounted and the service keeps serving.
+  service.wait_idle();
+  EXPECT_EQ(service.stats().failed, 1u);
+  const auto good = service.submit(g, "streaming-rlx", machine_with(8)).get();
+  EXPECT_GT(good->makespan, 0);
+}
+
+TEST(ScheduleService, FailedComputationIsRetriedNotCached) {
+  ScheduleService service(ServiceConfig{2, 64});
+  const TaskGraph g = testing::figure9_graph1();
+  EXPECT_THROW((void)service.submit(g, "no-such-scheduler", machine_with(8)).get(),
+               std::invalid_argument);
+  EXPECT_THROW((void)service.submit(g, "no-such-scheduler", machine_with(8)).get(),
+               std::invalid_argument);
+  service.wait_idle();
+  // Both submissions actually attempted the computation: a failure must not
+  // poison the cache.
+  EXPECT_EQ(service.stats().cache.misses, 2u);
+  EXPECT_EQ(service.cache().size(), 0u);
+}
+
+TEST(ScheduleService, WaitIdleDrainsEverything) {
+  ScheduleService service(ServiceConfig{3, 256});
+  constexpr int kJobs = 30;
+  std::vector<std::future<ScheduleService::ResultPtr>> futures;
+  futures.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    futures.push_back(
+        service.submit(make_chain(8, static_cast<std::uint64_t>(i)), "streaming-rlx",
+                       machine_with(4)));
+  }
+  service.wait_idle();
+  const ScheduleService::Stats stats = service.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kJobs));
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_GT(f.get()->makespan, 0);
+  }
+}
+
+TEST(ScheduleService, ShutdownDrainsQueuedJobsAndRejectsNewOnes) {
+  std::vector<std::future<ScheduleService::ResultPtr>> futures;
+  ScheduleService service(ServiceConfig{1, 64});
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(service.submit(make_fft(8, static_cast<std::uint64_t>(i)),
+                                     "streaming-rlx", machine_with(8)));
+  }
+  service.shutdown();
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_GT(f.get()->makespan, 0) << "queued jobs must be drained, not abandoned";
+  }
+  EXPECT_THROW((void)service.submit(make_chain(4, 1), "streaming-rlx", machine_with(4)),
+               std::runtime_error);
+}
+
+TEST(ScheduleService, DefaultsToHardwareConcurrency) {
+  ScheduleService service;
+  EXPECT_GE(service.worker_count(), 1u);
+}
+
+}  // namespace
+}  // namespace sts

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
+#include <stdexcept>
 
 namespace sts {
 namespace {
@@ -13,6 +15,27 @@ TEST(Workloads, TaskCountFormulasMatchPaper) {
   EXPECT_EQ(fft_task_count(32), 223);
   EXPECT_EQ(gaussian_task_count(16), 135);
   EXPECT_EQ(cholesky_task_count(8), 120);
+}
+
+TEST(Workloads, FftTaskCountValidatesLikeMakeFft) {
+  // The formula (and the old shift-based log2) is only defined for powers of
+  // two; anything else must throw instead of silently miscounting or hitting
+  // shift UB.
+  EXPECT_THROW((void)fft_task_count(0), std::invalid_argument);
+  EXPECT_THROW((void)fft_task_count(-8), std::invalid_argument);
+  EXPECT_THROW((void)fft_task_count(1), std::invalid_argument);
+  EXPECT_THROW((void)fft_task_count(24), std::invalid_argument);
+  EXPECT_THROW((void)fft_task_count(std::numeric_limits<int>::max()), std::invalid_argument);
+  // Huge powers of two stay defined (the old `1 << bits` overflowed int).
+  EXPECT_EQ(fft_task_count(1 << 20), 2 * (1LL << 20) - 1 + 20 * (1LL << 20));
+  EXPECT_EQ(fft_task_count(1 << 30), 2 * (1LL << 30) - 1 + 30 * (1LL << 30));
+}
+
+TEST(Workloads, MakeFftRejectsOverflowingPointCounts) {
+  EXPECT_THROW((void)make_fft(0, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_fft(24, 1), std::invalid_argument);
+  // Valid power of two, but the node-id space (int32) would overflow.
+  EXPECT_THROW((void)make_fft(1 << 21, 1), std::invalid_argument);
 }
 
 TEST(Workloads, GeneratorsMatchFormulas) {
