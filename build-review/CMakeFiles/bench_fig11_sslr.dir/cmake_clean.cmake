@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_sslr.dir/bench/bench_fig11_sslr.cpp.o"
+  "CMakeFiles/bench_fig11_sslr.dir/bench/bench_fig11_sslr.cpp.o.d"
+  "bench_fig11_sslr"
+  "bench_fig11_sslr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_sslr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_csdf.dir/bench/bench_fig12_csdf.cpp.o"
+  "CMakeFiles/bench_fig12_csdf.dir/bench/bench_fig12_csdf.cpp.o.d"
+  "bench_fig12_csdf"
+  "bench_fig12_csdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_csdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

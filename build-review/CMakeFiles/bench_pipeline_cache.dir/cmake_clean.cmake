@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipeline_cache.dir/bench/bench_pipeline_cache.cpp.o"
+  "CMakeFiles/bench_pipeline_cache.dir/bench/bench_pipeline_cache.cpp.o.d"
+  "bench_pipeline_cache"
+  "bench_pipeline_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ml.dir/bench/bench_table2_ml.cpp.o"
+  "CMakeFiles/bench_table2_ml.dir/bench/bench_table2_ml.cpp.o.d"
+  "bench_table2_ml"
+  "bench_table2_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_doctor.dir/examples/deadlock_doctor.cpp.o"
+  "CMakeFiles/deadlock_doctor.dir/examples/deadlock_doctor.cpp.o.d"
+  "deadlock_doctor"
+  "deadlock_doctor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_doctor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_variants.dir/examples/matmul_variants.cpp.o"
+  "CMakeFiles/matmul_variants.dir/examples/matmul_variants.cpp.o.d"
+  "matmul_variants"
+  "matmul_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_placement.dir/examples/noc_placement.cpp.o"
+  "CMakeFiles/noc_placement.dir/examples/noc_placement.cpp.o.d"
+  "noc_placement"
+  "noc_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

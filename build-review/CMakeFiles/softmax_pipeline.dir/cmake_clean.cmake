@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softmax_pipeline.dir/examples/softmax_pipeline.cpp.o"
+  "CMakeFiles/softmax_pipeline.dir/examples/softmax_pipeline.cpp.o.d"
+  "softmax_pipeline"
+  "softmax_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softmax_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/heft.cpp" "CMakeFiles/sts.dir/src/baseline/heft.cpp.o" "gcc" "CMakeFiles/sts.dir/src/baseline/heft.cpp.o.d"
+  "/root/repo/src/baseline/list_scheduler.cpp" "CMakeFiles/sts.dir/src/baseline/list_scheduler.cpp.o" "gcc" "CMakeFiles/sts.dir/src/baseline/list_scheduler.cpp.o.d"
+  "/root/repo/src/core/buffer_sizing.cpp" "CMakeFiles/sts.dir/src/core/buffer_sizing.cpp.o" "gcc" "CMakeFiles/sts.dir/src/core/buffer_sizing.cpp.o.d"
+  "/root/repo/src/core/optimal_partition.cpp" "CMakeFiles/sts.dir/src/core/optimal_partition.cpp.o" "gcc" "CMakeFiles/sts.dir/src/core/optimal_partition.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "CMakeFiles/sts.dir/src/core/partition.cpp.o" "gcc" "CMakeFiles/sts.dir/src/core/partition.cpp.o.d"
+  "/root/repo/src/core/schedule_export.cpp" "CMakeFiles/sts.dir/src/core/schedule_export.cpp.o" "gcc" "CMakeFiles/sts.dir/src/core/schedule_export.cpp.o.d"
+  "/root/repo/src/core/streaming_intervals.cpp" "CMakeFiles/sts.dir/src/core/streaming_intervals.cpp.o" "gcc" "CMakeFiles/sts.dir/src/core/streaming_intervals.cpp.o.d"
+  "/root/repo/src/core/streaming_schedule.cpp" "CMakeFiles/sts.dir/src/core/streaming_schedule.cpp.o" "gcc" "CMakeFiles/sts.dir/src/core/streaming_schedule.cpp.o.d"
+  "/root/repo/src/core/streaming_scheduler.cpp" "CMakeFiles/sts.dir/src/core/streaming_scheduler.cpp.o" "gcc" "CMakeFiles/sts.dir/src/core/streaming_scheduler.cpp.o.d"
+  "/root/repo/src/core/work_depth.cpp" "CMakeFiles/sts.dir/src/core/work_depth.cpp.o" "gcc" "CMakeFiles/sts.dir/src/core/work_depth.cpp.o.d"
+  "/root/repo/src/csdf/csdf.cpp" "CMakeFiles/sts.dir/src/csdf/csdf.cpp.o" "gcc" "CMakeFiles/sts.dir/src/csdf/csdf.cpp.o.d"
+  "/root/repo/src/graph/algorithms.cpp" "CMakeFiles/sts.dir/src/graph/algorithms.cpp.o" "gcc" "CMakeFiles/sts.dir/src/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/dot_export.cpp" "CMakeFiles/sts.dir/src/graph/dot_export.cpp.o" "gcc" "CMakeFiles/sts.dir/src/graph/dot_export.cpp.o.d"
+  "/root/repo/src/graph/serialization.cpp" "CMakeFiles/sts.dir/src/graph/serialization.cpp.o" "gcc" "CMakeFiles/sts.dir/src/graph/serialization.cpp.o.d"
+  "/root/repo/src/graph/task_graph.cpp" "CMakeFiles/sts.dir/src/graph/task_graph.cpp.o" "gcc" "CMakeFiles/sts.dir/src/graph/task_graph.cpp.o.d"
+  "/root/repo/src/metrics/metrics.cpp" "CMakeFiles/sts.dir/src/metrics/metrics.cpp.o" "gcc" "CMakeFiles/sts.dir/src/metrics/metrics.cpp.o.d"
+  "/root/repo/src/ml/canonical_builder.cpp" "CMakeFiles/sts.dir/src/ml/canonical_builder.cpp.o" "gcc" "CMakeFiles/sts.dir/src/ml/canonical_builder.cpp.o.d"
+  "/root/repo/src/ml/models.cpp" "CMakeFiles/sts.dir/src/ml/models.cpp.o" "gcc" "CMakeFiles/sts.dir/src/ml/models.cpp.o.d"
+  "/root/repo/src/ml/ops.cpp" "CMakeFiles/sts.dir/src/ml/ops.cpp.o" "gcc" "CMakeFiles/sts.dir/src/ml/ops.cpp.o.d"
+  "/root/repo/src/noc/mesh.cpp" "CMakeFiles/sts.dir/src/noc/mesh.cpp.o" "gcc" "CMakeFiles/sts.dir/src/noc/mesh.cpp.o.d"
+  "/root/repo/src/noc/placement.cpp" "CMakeFiles/sts.dir/src/noc/placement.cpp.o" "gcc" "CMakeFiles/sts.dir/src/noc/placement.cpp.o.d"
+  "/root/repo/src/pipeline/passes.cpp" "CMakeFiles/sts.dir/src/pipeline/passes.cpp.o" "gcc" "CMakeFiles/sts.dir/src/pipeline/passes.cpp.o.d"
+  "/root/repo/src/pipeline/pipeline.cpp" "CMakeFiles/sts.dir/src/pipeline/pipeline.cpp.o" "gcc" "CMakeFiles/sts.dir/src/pipeline/pipeline.cpp.o.d"
+  "/root/repo/src/pipeline/registry.cpp" "CMakeFiles/sts.dir/src/pipeline/registry.cpp.o" "gcc" "CMakeFiles/sts.dir/src/pipeline/registry.cpp.o.d"
+  "/root/repo/src/pipeline/schedule_cache.cpp" "CMakeFiles/sts.dir/src/pipeline/schedule_cache.cpp.o" "gcc" "CMakeFiles/sts.dir/src/pipeline/schedule_cache.cpp.o.d"
+  "/root/repo/src/pipeline/schedule_context.cpp" "CMakeFiles/sts.dir/src/pipeline/schedule_context.cpp.o" "gcc" "CMakeFiles/sts.dir/src/pipeline/schedule_context.cpp.o.d"
+  "/root/repo/src/pipeline/scheduler.cpp" "CMakeFiles/sts.dir/src/pipeline/scheduler.cpp.o" "gcc" "CMakeFiles/sts.dir/src/pipeline/scheduler.cpp.o.d"
+  "/root/repo/src/service/schedule_service.cpp" "CMakeFiles/sts.dir/src/service/schedule_service.cpp.o" "gcc" "CMakeFiles/sts.dir/src/service/schedule_service.cpp.o.d"
+  "/root/repo/src/sim/bulk_advance.cpp" "CMakeFiles/sts.dir/src/sim/bulk_advance.cpp.o" "gcc" "CMakeFiles/sts.dir/src/sim/bulk_advance.cpp.o.d"
+  "/root/repo/src/sim/dataflow_sim.cpp" "CMakeFiles/sts.dir/src/sim/dataflow_sim.cpp.o" "gcc" "CMakeFiles/sts.dir/src/sim/dataflow_sim.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "CMakeFiles/sts.dir/src/support/stats.cpp.o" "gcc" "CMakeFiles/sts.dir/src/support/stats.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "CMakeFiles/sts.dir/src/support/table.cpp.o" "gcc" "CMakeFiles/sts.dir/src/support/table.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "CMakeFiles/sts.dir/src/workloads/synthetic.cpp.o" "gcc" "CMakeFiles/sts.dir/src/workloads/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

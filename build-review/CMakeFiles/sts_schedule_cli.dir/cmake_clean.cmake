@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sts_schedule_cli.dir/examples/sts_schedule_cli.cpp.o"
+  "CMakeFiles/sts_schedule_cli.dir/examples/sts_schedule_cli.cpp.o.d"
+  "sts_schedule_cli"
+  "sts_schedule_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sts_schedule_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_algorithms.cpp" "CMakeFiles/sts_tests.dir/tests/test_algorithms.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_algorithms.cpp.o.d"
+  "/root/repo/tests/test_block_schedule.cpp" "CMakeFiles/sts_tests.dir/tests/test_block_schedule.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_block_schedule.cpp.o.d"
+  "/root/repo/tests/test_buffer_sizing.cpp" "CMakeFiles/sts_tests.dir/tests/test_buffer_sizing.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_buffer_sizing.cpp.o.d"
+  "/root/repo/tests/test_csdf.cpp" "CMakeFiles/sts_tests.dir/tests/test_csdf.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_csdf.cpp.o.d"
+  "/root/repo/tests/test_export.cpp" "CMakeFiles/sts_tests.dir/tests/test_export.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_export.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "CMakeFiles/sts_tests.dir/tests/test_fuzz.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "CMakeFiles/sts_tests.dir/tests/test_graph.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_graph.cpp.o.d"
+  "/root/repo/tests/test_heft.cpp" "CMakeFiles/sts_tests.dir/tests/test_heft.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_heft.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "CMakeFiles/sts_tests.dir/tests/test_integration.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_integration.cpp.o.d"
+  "/root/repo/tests/test_list_scheduler.cpp" "CMakeFiles/sts_tests.dir/tests/test_list_scheduler.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_list_scheduler.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "CMakeFiles/sts_tests.dir/tests/test_metrics.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_ml.cpp" "CMakeFiles/sts_tests.dir/tests/test_ml.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_ml.cpp.o.d"
+  "/root/repo/tests/test_optimal_partition.cpp" "CMakeFiles/sts_tests.dir/tests/test_optimal_partition.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_optimal_partition.cpp.o.d"
+  "/root/repo/tests/test_partition.cpp" "CMakeFiles/sts_tests.dir/tests/test_partition.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_partition.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "CMakeFiles/sts_tests.dir/tests/test_pipeline.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_placement.cpp" "CMakeFiles/sts_tests.dir/tests/test_placement.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_placement.cpp.o.d"
+  "/root/repo/tests/test_rational.cpp" "CMakeFiles/sts_tests.dir/tests/test_rational.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_rational.cpp.o.d"
+  "/root/repo/tests/test_schedule_cache.cpp" "CMakeFiles/sts_tests.dir/tests/test_schedule_cache.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_schedule_cache.cpp.o.d"
+  "/root/repo/tests/test_serialization.cpp" "CMakeFiles/sts_tests.dir/tests/test_serialization.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_serialization.cpp.o.d"
+  "/root/repo/tests/test_service.cpp" "CMakeFiles/sts_tests.dir/tests/test_service.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_service.cpp.o.d"
+  "/root/repo/tests/test_sim_engines.cpp" "CMakeFiles/sts_tests.dir/tests/test_sim_engines.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_sim_engines.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "CMakeFiles/sts_tests.dir/tests/test_simulator.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "CMakeFiles/sts_tests.dir/tests/test_stats.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_stats.cpp.o.d"
+  "/root/repo/tests/test_streaming_intervals.cpp" "CMakeFiles/sts_tests.dir/tests/test_streaming_intervals.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_streaming_intervals.cpp.o.d"
+  "/root/repo/tests/test_work_depth.cpp" "CMakeFiles/sts_tests.dir/tests/test_work_depth.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_work_depth.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "CMakeFiles/sts_tests.dir/tests/test_workloads.cpp.o" "gcc" "CMakeFiles/sts_tests.dir/tests/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/sts.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transformer_inference.dir/examples/transformer_inference.cpp.o"
+  "CMakeFiles/transformer_inference.dir/examples/transformer_inference.cpp.o.d"
+  "transformer_inference"
+  "transformer_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transformer_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
