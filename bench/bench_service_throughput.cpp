@@ -11,6 +11,12 @@
 //      not multiply schedule computations).
 //   3. bounded:  a service with a cache capacity far below the scenario
 //      count must end with size() <= capacity and a positive eviction count.
+//   4. backpressure: a single-worker service with a small per-shard queue
+//      depth flooded through try_submit; rejections must occur (the flood
+//      outpaces one worker), every rejection must report depth == the
+//      configured limit (admission is refused only when the target shard is
+//      actually full), the queue high-water mark must respect the limit, and
+//      submitted == completed + rejected must balance after the drain.
 //
 // STS_BENCH_GRAPHS overrides seeds per configuration (CI smoke uses 2).
 
@@ -130,6 +136,45 @@ int main() {
   const bool bounded_ok =
       bounded_size <= bounded_config.cache_capacity && evictions > 0;
 
+  // 4. Backpressure: flood one worker through try_submit with a tiny queue
+  // bound. Scheduling costs milliseconds while admission costs microseconds,
+  // so the shard saturates and sheds load; every refusal must carry an
+  // accurate depth and the queue must never exceed its bound.
+  constexpr std::size_t kQueueDepth = 4;
+  ServiceConfig bp_config;
+  bp_config.num_workers = 1;
+  bp_config.queue_depth = kQueueDepth;
+  ScheduleService bp_service(bp_config);
+  const Stopwatch bp_clock;
+  std::vector<std::future<ScheduleService::ResultPtr>> bp_futures;
+  std::uint64_t bp_rejections = 0;
+  bool bp_depths_accurate = true;
+  for (const Scenario& s : scenarios) {
+    MachineConfig machine;
+    machine.num_pes = s.pes;
+    ScheduleService::Admission admission =
+        bp_service.try_submit(s.graph, "streaming-rlx", machine);
+    if (admission.accepted()) {
+      bp_futures.push_back(std::move(admission.future));
+    } else {
+      ++bp_rejections;
+      bp_depths_accurate = bp_depths_accurate && admission.rejected->depth == kQueueDepth &&
+                           admission.rejected->limit == kQueueDepth &&
+                           admission.rejected->shard == 0;
+    }
+  }
+  for (auto& f : bp_futures) {
+    if (f.get()->makespan <= 0) throw std::runtime_error("accepted job produced empty schedule");
+  }
+  bp_service.wait_idle();
+  const double t_bp = bp_clock.seconds();
+  const ScheduleService::Stats bp_stats = bp_service.stats();
+  const std::size_t bp_peak_depth =
+      bp_stats.shard_max_depth.empty() ? 0 : bp_stats.shard_max_depth.front();
+  const bool bp_ok = bp_rejections > 0 && bp_depths_accurate &&
+                     bp_stats.rejected == bp_rejections && bp_peak_depth <= kQueueDepth &&
+                     bp_stats.submitted == bp_stats.completed + bp_stats.rejected;
+
   Table table({"phase", "workers", "jobs", "seconds", "jobs/s"});
   const auto row = [&](const char* phase, std::size_t workers, std::size_t jobs, double sec) {
     table.add_row({phase, std::to_string(workers), std::to_string(jobs), fmt(sec, 3),
@@ -138,6 +183,7 @@ int main() {
   row("cold", 1, scaling_scenarios.size(), t1);
   row("cold", 4, scaling_scenarios.size(), t4);
   row("dedup x4", 4, unique * kDuplicates, t_dedup);
+  row("backpressure", 1, unique, t_bp);
   table.print(std::cout);
   std::cout << "\nscaling 4w/1w: " << fmt(scaling, 2) << "x\n"
             << "dedup: " << dedup_stats.cache.misses << " schedules computed for "
@@ -145,7 +191,11 @@ int main() {
             << dedup_stats.cache.races << " races) -> " << (dedup_ok ? "OK" : "FAIL") << "\n"
             << "bounded: size " << bounded_size << " <= capacity "
             << bounded_config.cache_capacity << ", " << evictions << " evictions -> "
-            << (bounded_ok ? "OK" : "FAIL") << "\n";
+            << (bounded_ok ? "OK" : "FAIL") << "\n"
+            << "backpressure: " << bp_rejections << " of " << unique
+            << " refused at depth " << kQueueDepth << " (peak depth " << bp_peak_depth
+            << ", depths accurate: " << (bp_depths_accurate ? "yes" : "no") << ") -> "
+            << (bp_ok ? "OK" : "FAIL") << "\n";
 
   // STS_SCALING_MIN overrides the 3x bar: shared CI runners advertise 4
   // vCPUs that are really 2 SMT cores plus noisy neighbors, where 3x is
@@ -157,7 +207,7 @@ int main() {
   }
   const bool enforce_scaling = cores >= 4;
   const bool scaling_ok = scaling >= scaling_min;
-  bool pass = dedup_ok && bounded_ok;
+  bool pass = dedup_ok && bounded_ok && bp_ok;
   if (enforce_scaling) {
     pass = pass && scaling_ok;
     std::cout << "Expected: >= " << fmt(scaling_min, 1) << "x throughput at 4 workers vs 1\n";
@@ -182,6 +232,12 @@ int main() {
   report.add("bounded_size", static_cast<std::int64_t>(bounded_size));
   report.add("bounded_evictions", static_cast<std::int64_t>(evictions));
   report.add("bounded_ok", std::string(bounded_ok ? "yes" : "no"));
+  report.add("backpressure_queue_depth", static_cast<std::int64_t>(kQueueDepth));
+  report.add("backpressure_rejections", static_cast<std::int64_t>(bp_rejections));
+  report.add("backpressure_peak_depth", static_cast<std::int64_t>(bp_peak_depth));
+  report.add("backpressure_depths_accurate", std::string(bp_depths_accurate ? "yes" : "no"));
+  report.add("backpressure_seconds", t_bp);
+  report.add("backpressure_ok", std::string(bp_ok ? "yes" : "no"));
   report.add("gate", std::string(pass ? "pass" : "fail"));
   report.write();
   return pass ? 0 : 1;

@@ -8,7 +8,8 @@
 //                    [--variant lts|rlx|work] [--format table|gantt|json|dot]
 //                    [--simulate] [--sim-engine bulk|tick] [--timings] [--cached]
 //   sts_schedule_cli sweep <scenario-file|-> [--threads N] [--cache-capacity N]
-//                    [--repeat K]
+//                    [--repeat K] [--queue-depth N] [--simulate]
+//                    [--sim-engine bulk|tick]
 //   sts_schedule_cli --list-schedulers
 //
 // `--variant X` is shorthand for `--scheduler streaming-X`. `--cached` routes
@@ -16,9 +17,13 @@
 // invocations in one process; here it demonstrates the serving path).
 //
 // `sweep` schedules a whole scenario list in parallel through a
-// ScheduleService and emits a JSON array of results on stdout (throughput and
-// cache statistics go to stderr). Scenario lines (# comments and blank lines
-// skipped):
+// ScheduleService and emits a JSON array of results on stdout. Throughput and
+// cache statistics go to stderr, ending with one machine-readable JSON line
+// in the style of the BENCH_*.json bench reports. `--queue-depth`
+// bounds every worker queue (submissions then apply backpressure instead of
+// queueing without limit); `--simulate` chains the dataflow simulation after
+// scheduling on the workers (submit_simulated), adding simulated makespans to
+// the output. Scenario lines (# comments and blank lines skipped):
 //   chain    <tasks>  <seed> <scheduler> <pes>
 //   fft      <points> <seed> <scheduler> <pes>
 //   gaussian <size>   <seed> <scheduler> <pes>
@@ -63,6 +68,7 @@ int usage(const char* argv0) {
                "       "
             << argv0
             << " sweep <scenario-file|-> [--threads N] [--cache-capacity N] [--repeat K]\n"
+               "                        [--queue-depth N] [--simulate] [--sim-engine bulk|tick]\n"
                "       "
             << argv0 << " --list-schedulers\n";
   return 2;
@@ -194,7 +200,10 @@ int run_sweep(int argc, char** argv) {
   const std::string path = argv[2];
   std::size_t threads = 0;
   std::size_t cache_capacity = ScheduleCache::kDefaultCapacity;
+  std::size_t queue_depth = 0;
   int repeat = 1;
+  bool simulate = false;
+  SimOptions sim_options;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
@@ -206,9 +215,23 @@ int run_sweep(int argc, char** argv) {
         threads = static_cast<std::size_t>(std::stoull(next()));
       } else if (arg == "--cache-capacity") {
         cache_capacity = static_cast<std::size_t>(std::stoull(next()));
+      } else if (arg == "--queue-depth") {
+        queue_depth = static_cast<std::size_t>(std::stoull(next()));
       } else if (arg == "--repeat") {
         repeat = std::stoi(next());
         if (repeat < 1) throw std::invalid_argument("--repeat must be >= 1");
+      } else if (arg == "--simulate") {
+        simulate = true;
+      } else if (arg == "--sim-engine") {
+        const std::string which = next();
+        if (which == "bulk") {
+          sim_options.engine = SimEngine::kBulkAdvance;
+        } else if (which == "tick") {
+          sim_options.engine = SimEngine::kTickAccurate;
+        } else {
+          throw std::invalid_argument("unknown simulation engine " + which);
+        }
+        simulate = true;
       } else {
         return usage(argv[0]);
       }
@@ -237,6 +260,7 @@ int run_sweep(int argc, char** argv) {
   ServiceConfig config;
   config.num_workers = threads;
   config.cache_capacity = cache_capacity;
+  config.queue_depth = queue_depth;
   ScheduleService service(config);
 
   const auto start = std::chrono::steady_clock::now();
@@ -246,7 +270,11 @@ int run_sweep(int argc, char** argv) {
       if (!scenarios[i].error.empty()) continue;
       MachineConfig machine;
       machine.num_pes = scenarios[i].pes;
-      auto f = service.submit(scenarios[i].graph, scenarios[i].scheduler, machine);
+      // With --queue-depth, submit applies backpressure: a full worker queue
+      // stalls this loop instead of growing without bound.
+      auto f = simulate ? service.submit_simulated(scenarios[i].graph,
+                                                   scenarios[i].scheduler, machine, sim_options)
+                        : service.submit(scenarios[i].graph, scenarios[i].scheduler, machine);
       if (round == 0) futures[i] = std::move(f);
     }
   }
@@ -273,6 +301,10 @@ int run_sweep(int argc, char** argv) {
         std::cout << ", \"status\": \"ok\", \"makespan\": " << result->makespan
                   << ", \"speedup\": " << fmt(result->metrics.speedup, 4)
                   << ", \"fifo_capacity\": " << result->metrics.fifo_capacity;
+        if (result->sim) {
+          std::cout << ", \"sim_makespan\": " << result->sim->makespan << ", \"sim_engine\": \""
+                    << to_string(result->sim->engine_used) << "\"";
+        }
       } catch (const std::exception& e) {
         s.error = e.what();
       }
@@ -293,6 +325,24 @@ int run_sweep(int argc, char** argv) {
             << "cache: " << stats.cache.hits << " hits, " << stats.cache.misses << " misses, "
             << stats.cache.races << " races, " << stats.cache.evictions << " evictions, size "
             << service.cache().size() << "/" << service.cache().capacity() << "\n";
+
+  // Machine-readable BENCH_*.json-style record (scalar keys plus the
+  // shard_max_depth array): splice the sweep-level fields into the service's
+  // stats_json() object.
+  const std::string sweep_fields =
+      "\"bench\": \"sweep\", \"wall_seconds\": " + fmt(seconds, 6) +
+      ", \"jobs_per_second\": " + fmt(stats.submitted / seconds, 1) +
+      ", \"scenarios\": " + std::to_string(scenarios.size()) +
+      ", \"rounds\": " + std::to_string(repeat);
+  std::string stats_line = service.stats_json();
+  if (!stats_line.empty() && stats_line.front() == '{') {
+    stats_line.insert(1, sweep_fields + ", ");
+  } else {
+    // stats_json() no longer renders a bare object: keep the record valid
+    // JSON rather than emitting a corrupt splice.
+    stats_line = "{" + sweep_fields + "}";
+  }
+  std::cerr << stats_line << "\n";
   return any_failed ? 1 : 0;
 }
 

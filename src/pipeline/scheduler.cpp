@@ -52,6 +52,7 @@ ScheduleResult Scheduler::schedule(const TaskGraph& graph, const MachineConfig& 
   result.list = std::move(ctx.list);
   result.csdf = ctx.csdf;
   result.placement = std::move(ctx.placement);
+  result.sim = std::move(ctx.sim);
   if (ctx.metrics) result.metrics = *ctx.metrics;
   result.makespan = ctx.makespan;
   result.timings = std::move(ctx.timings);

@@ -18,6 +18,7 @@ struct ScheduleResult {
   std::optional<ListSchedule> list;
   std::optional<CsdfAnalysis> csdf;
   std::optional<Placement> placement;
+  std::optional<SimResult> sim;  ///< filled when a simulation pass ran
 
   ScheduleMetrics metrics;
   std::int64_t makespan = 0;

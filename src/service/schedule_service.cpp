@@ -1,13 +1,18 @@
 #include "service/schedule_service.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
+#include "pipeline/passes.hpp"
+#include "pipeline/pipeline.hpp"
 #include "pipeline/registry.hpp"
+#include "pipeline/schedule_context.hpp"
 
 namespace sts {
 
-ScheduleService::ScheduleService(ServiceConfig config) : cache_(config.cache_capacity) {
+ScheduleService::ScheduleService(ServiceConfig config)
+    : cache_(config.cache_capacity), queue_depth_(config.queue_depth) {
   std::size_t n = config.num_workers;
   if (n == 0) {
     n = std::thread::hardware_concurrency();
@@ -26,19 +31,52 @@ ScheduleService::~ScheduleService() { shutdown(); }
 std::future<ScheduleService::ResultPtr> ScheduleService::submit(const TaskGraph& graph,
                                                                 std::string scheduler,
                                                                 MachineConfig machine) {
+  return enqueue(graph, std::move(scheduler), std::move(machine), /*simulate=*/false,
+                 SimOptions{}, Admit::kBlock)
+      .future;
+}
+
+ScheduleService::Admission ScheduleService::try_submit(const TaskGraph& graph,
+                                                       std::string scheduler,
+                                                       MachineConfig machine) {
+  return enqueue(graph, std::move(scheduler), std::move(machine), /*simulate=*/false,
+                 SimOptions{}, Admit::kReject);
+}
+
+std::future<ScheduleService::ResultPtr> ScheduleService::submit_simulated(const TaskGraph& graph,
+                                                                          std::string scheduler,
+                                                                          MachineConfig machine,
+                                                                          SimOptions sim) {
+  return enqueue(graph, std::move(scheduler), std::move(machine), /*simulate=*/true, sim,
+                 Admit::kBlock)
+      .future;
+}
+
+ScheduleService::Admission ScheduleService::enqueue(const TaskGraph& graph,
+                                                    std::string scheduler, MachineConfig machine,
+                                                    bool simulate, const SimOptions& sim,
+                                                    Admit mode) {
   if (stopping_.load(std::memory_order_acquire)) {
     throw std::runtime_error("ScheduleService: submit after shutdown");
   }
   std::string key = canonical_cache_key(graph, scheduler, machine);
+  if (simulate) {
+    // Simulated results live under the schedule key extended with the sim
+    // options, so they never collide with plain (or differently simulated)
+    // results of the same scenario.
+    key += '\n';
+    key += sim.cache_key();
+  }
   std::promise<ResultPtr> promise;
-  std::future<ResultPtr> future = promise.get_future();
+  Admission admission{promise.get_future(), std::nullopt};
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++counters_.submitted;
+    if (simulate) ++counters_.simulated;
   }
 
   // Fast path: an already-completed result resolves synchronously without a
-  // queue round trip.
+  // queue round trip. Admission control never refuses a cached answer.
   if (ResultPtr hit = cache_.try_get(key)) {
     promise.set_value(std::move(hit));
     {
@@ -47,31 +85,92 @@ std::future<ScheduleService::ResultPtr> ScheduleService::submit(const TaskGraph&
       ++counters_.fast_path_hits;
     }
     idle_cv_.notify_all();
-    return future;
+    return admission;
   }
 
   // Shard by cache-key hash: identical scenarios serialize on one worker (in
   // submission order), distinct ones spread across the pool.
-  Shard& shard = *shards_[fnv1a64(key) % shards_.size()];
+  const std::size_t shard_index = fnv1a64(key) % shards_.size();
+  Shard& shard = *shards_[shard_index];
   try {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::unique_lock<std::mutex> lock(shard.mutex);
     // Re-check under the shard lock: a shutdown() racing with this submit
     // may already have drained and joined the workers, and a job pushed now
     // would leave its future forever pending.
     if (stopping_.load(std::memory_order_acquire)) {
       throw std::runtime_error("ScheduleService: submit after shutdown");
     }
-    shard.queue.push_back(
-        Job{std::move(key), graph, std::move(scheduler), std::move(machine), std::move(promise)});
+    if (queue_depth_ > 0 && shard.queue.size() >= queue_depth_) {
+      if (mode == Admit::kReject) {
+        const std::size_t depth = shard.queue.size();
+        lock.unlock();
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+          ++counters_.rejected;
+        }
+        // A rejection settles a submission just like a completion does.
+        idle_cv_.notify_all();
+        admission.future = std::future<ResultPtr>();
+        admission.rejected = Rejected{shard_index, depth, queue_depth_};
+        return admission;
+      }
+      // Backpressure: wait for a worker to drain an entry (or for shutdown,
+      // which must not leave us waiting on a dead pool).
+      shard.space_cv.wait(lock, [&] {
+        return stopping_.load(std::memory_order_acquire) ||
+               shard.queue.size() < queue_depth_;
+      });
+      if (stopping_.load(std::memory_order_acquire)) {
+        throw std::runtime_error("ScheduleService: submit after shutdown");
+      }
+    }
+    shard.queue.push_back(Job{std::move(key), graph, std::move(scheduler), std::move(machine),
+                              simulate, sim, std::move(promise)});
+    shard.max_depth = std::max(shard.max_depth, shard.queue.size());
   } catch (...) {
     // Nothing was enqueued (shutdown race, or the Job copy threw): roll the
     // submission count back so wait_idle can still balance.
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    --counters_.submitted;
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      --counters_.submitted;
+      if (simulate) --counters_.simulated;
+    }
+    // The rollback may have just satisfied a wait_idle that saw the inflated
+    // count; without this wakeup (and with the workers gone after shutdown)
+    // it would sleep forever.
+    idle_cv_.notify_all();
     throw;
   }
   shard.cv.notify_one();
-  return future;
+  return admission;
+}
+
+ScheduleResult ScheduleService::compute_job(const Job& job) {
+  ScheduleResult result = schedule_by_name(job.scheduler, job.graph, job.machine);
+  if (!job.simulate) return result;
+  if (!result.streaming || !result.buffers) {
+    throw std::invalid_argument(
+        "ScheduleService: submit_simulated requires a streaming scheduler, got " +
+        job.scheduler);
+  }
+  // Rebuild a context around the scheduled artifacts and reuse the pipeline
+  // SimulationPass, sharing its deadlock/tick-limit validation and timing
+  // capture with the synchronous pipeline path.
+  // The result is still worker-local, so the schedule artifacts can be moved
+  // through the context and back instead of deep-copied.
+  ScheduleContext ctx;
+  ctx.graph = &job.graph;
+  ctx.machine = job.machine;
+  ctx.streaming = std::move(result.streaming);
+  ctx.buffers = std::move(result.buffers);
+  Pipeline pipeline;
+  pipeline.emplace<SimulationPass>(job.sim_options);
+  pipeline.run(ctx);
+  result.streaming = std::move(ctx.streaming);
+  result.buffers = std::move(ctx.buffers);
+  result.sim = std::move(ctx.sim);
+  for (PassTiming& timing : ctx.timings) result.timings.push_back(std::move(timing));
+  return result;
 }
 
 void ScheduleService::worker_loop(Shard& shard) {
@@ -85,12 +184,13 @@ void ScheduleService::worker_loop(Shard& shard) {
       if (shard.queue.empty()) return;  // stopping, and fully drained
       job = std::move(shard.queue.front());
       shard.queue.pop_front();
+      // The pop opened one queue slot: wake one backpressured submitter.
+      if (queue_depth_ > 0) shard.space_cv.notify_one();
     }
     bool failed = false;
     try {
-      ResultPtr result = cache_.get_or_compute(std::move(job.key), [&job] {
-        return schedule_by_name(job.scheduler, job.graph, job.machine);
-      });
+      ResultPtr result =
+          cache_.get_or_compute(std::move(job.key), [&job] { return compute_job(job); });
       job.promise.set_value(std::move(result));
     } catch (...) {
       failed = true;
@@ -111,17 +211,22 @@ void ScheduleService::finish_one(bool failed) {
 
 void ScheduleService::wait_idle() {
   std::unique_lock<std::mutex> lock(stats_mutex_);
-  idle_cv_.wait(lock, [&] { return counters_.completed == counters_.submitted; });
+  idle_cv_.wait(lock,
+                [&] { return counters_.completed + counters_.rejected == counters_.submitted; });
 }
 
 void ScheduleService::shutdown() {
   stopping_.store(true, std::memory_order_release);
   for (const auto& shard : shards_) {
-    // Acquire/release each shard mutex so a worker between its predicate
-    // check and cv.wait cannot miss the stop signal.
+    // Acquire/release each shard mutex so a worker (or a backpressured
+    // submitter) between its predicate check and cv.wait cannot miss the
+    // stop signal.
     std::lock_guard<std::mutex> lock(shard->mutex);
   }
-  for (const auto& shard : shards_) shard->cv.notify_all();
+  for (const auto& shard : shards_) {
+    shard->cv.notify_all();
+    shard->space_cv.notify_all();
+  }
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -134,8 +239,46 @@ ScheduleService::Stats ScheduleService::stats() const {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     out = counters_;
   }
+  out.shard_max_depth.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    out.shard_max_depth.push_back(shard->max_depth);
+  }
   out.cache = cache_.stats();
   return out;
+}
+
+std::string ScheduleService::stats_json() const {
+  const Stats s = stats();
+  const auto field = [](const char* key, std::uint64_t value) {
+    return std::string("\"") + key + "\": " + std::to_string(value);
+  };
+  std::string json = "{";
+  json += field("submitted", s.submitted);
+  json += ", " + field("completed", s.completed);
+  json += ", " + field("failed", s.failed);
+  json += ", " + field("rejected", s.rejected);
+  json += ", " + field("simulated", s.simulated);
+  json += ", " + field("fast_path_hits", s.fast_path_hits);
+  json += ", " + field("workers", worker_count());
+  json += ", " + field("queue_depth_limit", queue_depth_);
+  std::size_t peak = 0;
+  json += ", \"shard_max_depth\": [";
+  for (std::size_t i = 0; i < s.shard_max_depth.size(); ++i) {
+    if (i > 0) json += ", ";
+    json += std::to_string(s.shard_max_depth[i]);
+    peak = std::max(peak, s.shard_max_depth[i]);
+  }
+  json += "]";
+  json += ", " + field("max_queue_depth", peak);
+  json += ", " + field("cache_hits", s.cache.hits);
+  json += ", " + field("cache_misses", s.cache.misses);
+  json += ", " + field("cache_races", s.cache.races);
+  json += ", " + field("cache_evictions", s.cache.evictions);
+  json += ", " + field("cache_size", cache_.size());
+  json += ", " + field("cache_capacity", cache_.capacity());
+  json += "}";
+  return json;
 }
 
 }  // namespace sts

@@ -7,12 +7,14 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "graph/task_graph.hpp"
 #include "pipeline/schedule_cache.hpp"
+#include "sim/dataflow_sim.hpp"
 
 namespace sts {
 
@@ -23,6 +25,11 @@ struct ServiceConfig {
 
   /// Capacity of the service-owned bounded LRU ScheduleCache.
   std::size_t cache_capacity = ScheduleCache::kDefaultCapacity;
+
+  /// Per-shard queue depth limit; 0 = unbounded (accept everything). With a
+  /// bound, a full shard makes `submit` block until a worker drains an entry
+  /// and `try_submit` reject with the observed depth.
+  std::size_t queue_depth = 0;
 };
 
 /// Concurrent scheduling front end: a worker thread pool serving
@@ -37,22 +44,55 @@ struct ServiceConfig {
 /// Distinct scenarios spread across workers and schedule in parallel.
 ///
 /// Submissions whose result is already cached complete synchronously inside
-/// `submit` (the returned future is immediately ready) without touching a
-/// worker queue.
+/// `submit` / `try_submit` (the returned future is immediately ready)
+/// without touching a worker queue — admission control never refuses a
+/// cached answer.
 ///
-/// Scheduling errors (unknown scheduler name, invalid graph) surface as the
-/// exception of the returned future; the service itself stays healthy.
-/// Destruction (or `shutdown()`) drains every queued job before joining the
-/// workers, so no future is ever abandoned.
+/// Admission control: with `ServiceConfig::queue_depth > 0` every shard
+/// queue is bounded. `submit` applies backpressure (blocks on the shard's
+/// space condition variable until a worker pops an entry); `try_submit`
+/// never blocks and instead returns a typed `Rejected` outcome carrying the
+/// observed depth, for latency-sensitive callers that would rather shed
+/// load than wait.
+///
+/// `submit_simulated` chains a SimulationPass after scheduling on the
+/// worker, so batch sweeps obtain bulk-engine simulated makespans in one
+/// hop; its results are cached under the schedule key extended with the
+/// SimOptions fingerprint, so simulated and plain results never collide.
+///
+/// Scheduling errors (unknown scheduler name, invalid graph, a simulated
+/// schedule that deadlocks) surface as the exception of the returned
+/// future; the service itself stays healthy. Destruction (or `shutdown()`)
+/// drains every queued job before joining the workers, so no future is ever
+/// abandoned; submitters blocked on backpressure are woken and throw.
 class ScheduleService {
  public:
   using ResultPtr = ScheduleCache::ResultPtr;
 
+  /// Typed refusal of a `try_submit` on a full shard.
+  struct Rejected {
+    std::size_t shard = 0;  ///< index of the full shard
+    std::size_t depth = 0;  ///< its queue depth observed at rejection
+    std::size_t limit = 0;  ///< the configured per-shard depth limit
+  };
+
+  /// Outcome of `try_submit`: exactly one of `future` (valid iff accepted)
+  /// or `rejected` is populated.
+  struct Admission {
+    std::future<ResultPtr> future;
+    std::optional<Rejected> rejected;
+
+    [[nodiscard]] bool accepted() const noexcept { return !rejected.has_value(); }
+  };
+
   struct Stats {
-    std::uint64_t submitted = 0;
-    std::uint64_t completed = 0;       ///< finished jobs, failures included
-    std::uint64_t failed = 0;          ///< jobs whose future holds an exception
+    std::uint64_t submitted = 0;  ///< all submission attempts, rejections included
+    std::uint64_t completed = 0;  ///< finished jobs, failures included
+    std::uint64_t failed = 0;     ///< jobs whose future holds an exception
+    std::uint64_t rejected = 0;   ///< try_submit refusals on a full shard
+    std::uint64_t simulated = 0;  ///< accepted submissions requesting simulation
     std::uint64_t fast_path_hits = 0;  ///< completed synchronously in submit()
+    std::vector<std::size_t> shard_max_depth;  ///< per-shard queue high-water mark
     ScheduleCache::Stats cache;
   };
 
@@ -63,11 +103,30 @@ class ScheduleService {
   ScheduleService& operator=(const ScheduleService&) = delete;
 
   /// Enqueues one scheduling job (the graph is copied into the job) and
-  /// returns the future result. Throws std::runtime_error after shutdown().
+  /// returns the future result. With a queue depth limit, blocks while the
+  /// target shard is full (backpressure) until a worker drains an entry.
+  /// Throws std::runtime_error after shutdown().
   [[nodiscard]] std::future<ResultPtr> submit(const TaskGraph& graph, std::string scheduler,
                                               MachineConfig machine);
 
-  /// Blocks until every job submitted so far has completed.
+  /// Non-blocking admission: like `submit`, but a full shard yields a
+  /// `Rejected` outcome (with the observed depth) instead of waiting.
+  /// Cached scenarios are always accepted and resolve immediately.
+  [[nodiscard]] Admission try_submit(const TaskGraph& graph, std::string scheduler,
+                                     MachineConfig machine);
+
+  /// Like `submit`, but the worker chains a SimulationPass after scheduling:
+  /// the result's `sim` field carries the simulated makespan, identical to a
+  /// synchronous schedule + simulate_streaming run under `sim`. Requires a
+  /// streaming scheduler (others fail the future with std::invalid_argument);
+  /// a deadlocking or tick-limited schedule fails the future and is not
+  /// cached.
+  [[nodiscard]] std::future<ResultPtr> submit_simulated(const TaskGraph& graph,
+                                                        std::string scheduler,
+                                                        MachineConfig machine,
+                                                        SimOptions sim = {});
+
+  /// Blocks until every accepted job submitted so far has completed.
   void wait_idle();
 
   /// Drains all queued jobs, joins the workers, and rejects further
@@ -75,8 +134,17 @@ class ScheduleService {
   void shutdown();
 
   [[nodiscard]] Stats stats() const;
+
+  /// Machine-readable JSON rendering of stats() plus cache size and sizing
+  /// knobs: one object of scalar keys in the style of the BENCH_*.json bench
+  /// reports, plus a single `shard_max_depth` array (per-shard queue
+  /// high-water marks; `max_queue_depth` carries the scalar peak for flat
+  /// consumers). Keys should stay stable across versions.
+  [[nodiscard]] std::string stats_json() const;
+
   [[nodiscard]] ScheduleCache& cache() noexcept { return cache_; }
   [[nodiscard]] std::size_t worker_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::size_t queue_depth_limit() const noexcept { return queue_depth_; }
 
  private:
   struct Job {
@@ -84,25 +152,36 @@ class ScheduleService {
     TaskGraph graph;
     std::string scheduler;
     MachineConfig machine;
+    bool simulate = false;
+    SimOptions sim_options;
     std::promise<ResultPtr> promise;
   };
   struct Shard {
     std::mutex mutex;
-    std::condition_variable cv;
+    std::condition_variable cv;        ///< workers: queue non-empty or stopping
+    std::condition_variable space_cv;  ///< producers: queue below the depth limit
     std::deque<Job> queue;
+    std::size_t max_depth = 0;  ///< high-water mark, under mutex
   };
 
+  /// Whether a full shard blocks the caller or refuses admission.
+  enum class Admit : std::uint8_t { kBlock, kReject };
+
+  Admission enqueue(const TaskGraph& graph, std::string scheduler, MachineConfig machine,
+                    bool simulate, const SimOptions& sim, Admit mode);
+  [[nodiscard]] static ScheduleResult compute_job(const Job& job);
   void worker_loop(Shard& shard);
   void finish_one(bool failed);
 
   ScheduleCache cache_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;
+  std::size_t queue_depth_ = 0;
   std::atomic<bool> stopping_{false};
 
   mutable std::mutex stats_mutex_;
-  std::condition_variable idle_cv_;  ///< signalled on every job completion
-  Stats counters_;                   ///< cache field filled lazily by stats()
+  std::condition_variable idle_cv_;  ///< signalled on every job completion/rejection
+  Stats counters_;  ///< cache and shard_max_depth fields filled lazily by stats()
 };
 
 }  // namespace sts

@@ -16,6 +16,16 @@ const char* to_string(SimEngine engine) noexcept {
   return "?";
 }
 
+std::string SimOptions::cache_key() const {
+  std::string key = "sim engine=";
+  key += to_string(engine);
+  key += ";max_ticks=";
+  key += std::to_string(max_ticks);
+  key += ";trace=";
+  key += record_trace ? '1' : '0';
+  return key;
+}
+
 SimResult simulate_streaming(const TaskGraph& graph, const StreamingSchedule& schedule,
                              const BufferPlan& buffers, SimOptions options) {
   SimEngine engine = options.engine;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/buffer_sizing.hpp"
@@ -36,6 +37,11 @@ struct SimOptions {
   bool record_trace = false;
   /// Engine selection; see SimEngine.
   SimEngine engine = SimEngine::kAuto;
+
+  /// Canonical text form of every field, appended to schedule cache keys by
+  /// simulation-chaining callers (ScheduleService::submit_simulated) so
+  /// simulated and plain results never collide.
+  [[nodiscard]] std::string cache_key() const;
 };
 
 /// One element-movement step of the simulation trace.

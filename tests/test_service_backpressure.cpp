@@ -1,0 +1,292 @@
+// Deterministic backpressure harness for ScheduleService admission control:
+// a latch-gated scheduler (registered test-only through SchedulerRegistry)
+// parks the single worker inside a compute, so the shard queue can be filled
+// to its configured depth limit without racing the drain. Every scenario the
+// paper pipeline would schedule normally once the gate opens.
+
+#include "service/schedule_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/passes.hpp"
+#include "pipeline/registry.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace sts {
+namespace {
+
+constexpr char kGatedName[] = "test-gated-list";
+
+MachineConfig machine_with(std::int64_t pes) {
+  MachineConfig machine;
+  machine.num_pes = pes;
+  return machine;
+}
+
+/// Latch shared between the test thread and the gated pipelines: pipelines
+/// announce arrival and block until release(). The wait is bounded (10s) so
+/// a failing assertion can never wedge the service destructor into a
+/// never-draining shutdown; in a passing run the gate is always released
+/// explicitly.
+struct Gate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+  int arrived = 0;
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      open = true;
+    }
+    cv.notify_all();
+  }
+
+  /// Blocks until `n` pipelines have entered the gate pass.
+  void wait_arrived(int n) {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return arrived >= n; });
+  }
+};
+
+/// Pipeline pass that parks inside run() until the gate opens.
+class GatePass final : public Pass {
+ public:
+  explicit GatePass(Gate* gate) : gate_(gate) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "test-gate"; }
+  void run(ScheduleContext&) const override {
+    std::unique_lock<std::mutex> lock(gate_->mutex);
+    ++gate_->arrived;
+    gate_->cv.notify_all();
+    gate_->cv.wait_for(lock, std::chrono::seconds(10), [&] { return gate_->open; });
+  }
+
+ private:
+  Gate* gate_;
+};
+
+/// A list scheduler whose pipeline blocks on the gate before scheduling.
+class GatedScheduler final : public Scheduler {
+ public:
+  explicit GatedScheduler(Gate* gate) : gate_(gate) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return kGatedName; }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "latch-gated list scheduler (test only)";
+  }
+  [[nodiscard]] Pipeline build_pipeline(const MachineConfig&) const override {
+    Pipeline pipeline;
+    pipeline.emplace<GatePass>(gate_);
+    pipeline.emplace<ListSchedulePass>();
+    pipeline.emplace<MetricsPass>();
+    return pipeline;
+  }
+
+ private:
+  Gate* gate_;
+};
+
+/// Registers the gated scheduler for the lifetime of a test.
+struct GatedRegistration {
+  explicit GatedRegistration(Gate* gate) {
+    SchedulerRegistry::instance().add(kGatedName,
+                                      [gate] { return std::make_unique<GatedScheduler>(gate); });
+  }
+  ~GatedRegistration() { SchedulerRegistry::instance().remove(kGatedName); }
+};
+
+/// One worker (= one shard) parked in the gate on job 0, with the two-slot
+/// queue filled by jobs 1 and 2: the deterministic full-shard state every
+/// test below starts from. Graphs differ by seed so nothing short-circuits
+/// through the cache.
+struct FullShardFixture {
+  Gate gate;
+  GatedRegistration registration{&gate};
+  ScheduleService service;
+  std::vector<std::future<ScheduleService::ResultPtr>> futures;
+
+  explicit FullShardFixture(std::size_t queue_depth = 2)
+      : service(ServiceConfig{1, 64, queue_depth}) {
+    futures.push_back(service.submit(make_chain(6, 0), kGatedName, machine_with(4)));
+    gate.wait_arrived(1);  // worker holds job 0 inside the gated compute
+    futures.push_back(service.submit(make_chain(6, 1), kGatedName, machine_with(4)));
+    futures.push_back(service.submit(make_chain(6, 2), kGatedName, machine_with(4)));
+  }
+};
+
+TEST(ServiceBackpressure, TrySubmitRejectsAtDepthLimitWithAccurateDepth) {
+  FullShardFixture fix(2);
+
+  ScheduleService::Admission refused =
+      fix.service.try_submit(make_chain(6, 3), kGatedName, machine_with(4));
+  ASSERT_FALSE(refused.accepted());
+  EXPECT_FALSE(refused.future.valid());
+  EXPECT_EQ(refused.rejected->shard, 0u);
+  EXPECT_EQ(refused.rejected->depth, 2u) << "rejection must report the observed queue depth";
+  EXPECT_EQ(refused.rejected->limit, 2u);
+
+  ScheduleService::Stats stats = fix.service.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.submitted, 4u) << "rejected attempts count as submissions";
+
+  fix.gate.release();
+  fix.service.wait_idle();
+  for (auto& f : fix.futures) EXPECT_GT(f.get()->makespan, 0);
+
+  stats = fix.service.stats();
+  EXPECT_EQ(stats.submitted, stats.completed + stats.rejected)
+      << "drain invariant: every submission either completed or was rejected";
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  ASSERT_EQ(stats.shard_max_depth.size(), 1u);
+  EXPECT_EQ(stats.shard_max_depth[0], 2u) << "queue never grew past the configured depth";
+}
+
+TEST(ServiceBackpressure, BlockedSubmitWakesWhenWorkerDrains) {
+  FullShardFixture fix(2);
+
+  std::atomic<bool> admitted{false};
+  std::future<ScheduleService::ResultPtr> blocked_future;
+  std::thread submitter([&] {
+    // The shard is full: this submit must block until the worker pops.
+    blocked_future = fix.service.submit(make_chain(6, 3), kGatedName, machine_with(4));
+    admitted.store(true, std::memory_order_release);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(admitted.load(std::memory_order_acquire))
+      << "submit into a full shard returned without waiting for space";
+
+  fix.gate.release();
+  submitter.join();  // wakes on drain; a missed wakeup hangs here and trips the ctest timeout
+  EXPECT_TRUE(admitted.load(std::memory_order_acquire));
+
+  fix.service.wait_idle();
+  EXPECT_GT(blocked_future.get()->makespan, 0);
+  for (auto& f : fix.futures) EXPECT_GT(f.get()->makespan, 0);
+
+  const ScheduleService::Stats stats = fix.service.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.rejected, 0u);
+  ASSERT_EQ(stats.shard_max_depth.size(), 1u);
+  EXPECT_LE(stats.shard_max_depth[0], 2u);
+}
+
+TEST(ServiceBackpressure, CachedScenarioBypassesFullQueue) {
+  Gate gate;
+  GatedRegistration registration(&gate);
+  ScheduleService service(ServiceConfig{1, 64, 2});
+
+  // Warm the cache while the worker is free (ungated scheduler).
+  const auto warm = service.submit(make_chain(6, 9), "list", machine_with(4)).get();
+
+  // Park the worker and fill the queue.
+  std::vector<std::future<ScheduleService::ResultPtr>> futures;
+  futures.push_back(service.submit(make_chain(6, 0), kGatedName, machine_with(4)));
+  gate.wait_arrived(1);
+  futures.push_back(service.submit(make_chain(6, 1), kGatedName, machine_with(4)));
+  futures.push_back(service.submit(make_chain(6, 2), kGatedName, machine_with(4)));
+
+  // The cached scenario is admitted (and already resolved) despite the full
+  // shard: admission control never refuses a cached answer.
+  ScheduleService::Admission cached = service.try_submit(make_chain(6, 9), "list",
+                                                         machine_with(4));
+  ASSERT_TRUE(cached.accepted());
+  ASSERT_EQ(cached.future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(cached.future.get().get(), warm.get()) << "same immutable result object";
+  EXPECT_EQ(service.stats().fast_path_hits, 1u);
+  EXPECT_EQ(service.stats().rejected, 0u);
+
+  gate.release();
+  service.wait_idle();
+  for (auto& f : futures) EXPECT_GT(f.get()->makespan, 0);
+}
+
+TEST(ServiceBackpressure, ShutdownUnblocksBackpressuredSubmitter) {
+  FullShardFixture fix(2);
+
+  std::atomic<bool> threw{false};
+  std::thread submitter([&] {
+    try {
+      (void)fix.service.submit(make_chain(6, 3), kGatedName, machine_with(4));
+    } catch (const std::runtime_error&) {
+      threw.store(true, std::memory_order_release);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // shutdown() flips stopping_ and notifies the space CVs before joining, so
+  // the blocked submitter must wake and throw instead of waiting forever.
+  // Release the gate from a helper thread so shutdown's drain can finish.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    fix.gate.release();
+  });
+  fix.service.shutdown();
+  submitter.join();
+  releaser.join();
+  EXPECT_TRUE(threw.load(std::memory_order_acquire));
+
+  // The queued jobs were drained, not abandoned, and the rolled-back
+  // submission keeps the accounting balanced.
+  for (auto& f : fix.futures) EXPECT_GT(f.get()->makespan, 0);
+  const ScheduleService::Stats stats = fix.service.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.submitted, stats.completed + stats.rejected);
+}
+
+TEST(ServiceBackpressure, UnboundedServiceNeverRejects) {
+  Gate gate;
+  GatedRegistration registration(&gate);
+  ScheduleService service(ServiceConfig{1, 64});  // queue_depth = 0: unbounded
+  EXPECT_EQ(service.queue_depth_limit(), 0u);
+
+  std::vector<std::future<ScheduleService::ResultPtr>> futures;
+  futures.push_back(service.submit(make_chain(6, 0), kGatedName, machine_with(4)));
+  gate.wait_arrived(1);
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    ScheduleService::Admission a =
+        service.try_submit(make_chain(6, seed), kGatedName, machine_with(4));
+    ASSERT_TRUE(a.accepted()) << "unbounded queues must admit everything";
+    futures.push_back(std::move(a.future));
+  }
+  gate.release();
+  service.wait_idle();
+  for (auto& f : futures) EXPECT_GT(f.get()->makespan, 0);
+  const ScheduleService::Stats stats = service.stats();
+  EXPECT_EQ(stats.rejected, 0u);
+  ASSERT_EQ(stats.shard_max_depth.size(), 1u);
+  EXPECT_EQ(stats.shard_max_depth[0], 16u);
+}
+
+TEST(ServiceBackpressure, StatsJsonReportsAdmissionFields) {
+  FullShardFixture fix(2);
+  ScheduleService::Admission refused =
+      fix.service.try_submit(make_chain(6, 3), kGatedName, machine_with(4));
+  ASSERT_FALSE(refused.accepted());
+  fix.gate.release();
+  fix.service.wait_idle();
+
+  const std::string json = fix.service.stats_json();
+  EXPECT_NE(json.find("\"submitted\": 4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"completed\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rejected\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"queue_depth_limit\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max_queue_depth\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shard_max_depth\": [2]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_misses\": 3"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace sts

@@ -1,0 +1,174 @@
+// submit_simulated oracle tests: the async simulation offload must produce
+// SimResults bit-identical to the synchronous schedule + simulate_streaming
+// path, for both engines, and cache simulated results under their own
+// (sim-options-extended) keys.
+
+#include "service/schedule_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "paper_examples.hpp"
+#include "pipeline/registry.hpp"
+#include "sim/dataflow_sim.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace sts {
+namespace {
+
+MachineConfig machine_with(std::int64_t pes) {
+  MachineConfig machine;
+  machine.num_pes = pes;
+  return machine;
+}
+
+/// The synchronous reference: schedule, then simulate the streaming schedule.
+SimResult oracle_sim(const TaskGraph& graph, const std::string& scheduler,
+                     const MachineConfig& machine, SimOptions options) {
+  const ScheduleResult direct = schedule_by_name(scheduler, graph, machine);
+  return simulate_streaming(graph, *direct.streaming, *direct.buffers, options);
+}
+
+/// Field-by-field bit-identity of two simulation outcomes.
+void expect_sim_identical(const SimResult& got, const SimResult& want) {
+  EXPECT_EQ(got.deadlocked, want.deadlocked);
+  EXPECT_EQ(got.tick_limit_reached, want.tick_limit_reached);
+  EXPECT_EQ(got.makespan, want.makespan);
+  EXPECT_EQ(got.finish, want.finish);
+  EXPECT_EQ(got.first_out, want.first_out);
+  EXPECT_EQ(got.stuck, want.stuck);
+  EXPECT_EQ(got.ticks_executed, want.ticks_executed);
+  EXPECT_EQ(got.engine_used, want.engine_used);
+  EXPECT_EQ(got.live_ticks, want.live_ticks);
+  EXPECT_EQ(got.bulk_jumps, want.bulk_jumps);
+}
+
+std::vector<TaskGraph> oracle_graphs() {
+  std::vector<TaskGraph> graphs;
+  graphs.push_back(testing::figure8_graph());
+  graphs.push_back(testing::figure9_graph1());
+  graphs.push_back(testing::figure9_graph2());
+  graphs.push_back(make_fft(16, 7));
+  graphs.push_back(make_gaussian_elimination(8, 3));
+  return graphs;
+}
+
+TEST(ServiceSimulation, MatchesSynchronousOracleUnderBothEngines) {
+  for (const SimEngine engine : {SimEngine::kBulkAdvance, SimEngine::kTickAccurate}) {
+    ScheduleService service(ServiceConfig{2, 64});
+    SimOptions options;
+    options.engine = engine;
+    std::size_t index = 0;
+    for (const TaskGraph& graph : oracle_graphs()) {
+      const auto result =
+          service.submit_simulated(graph, "streaming-rlx", machine_with(8), options).get();
+      ASSERT_TRUE(result->sim.has_value()) << "engine " << to_string(engine);
+      const ScheduleResult direct = schedule_by_name("streaming-rlx", graph, machine_with(8));
+      EXPECT_EQ(result->makespan, direct.makespan) << "graph " << index;
+      SCOPED_TRACE("engine " + std::string(to_string(engine)) + ", graph " +
+                   std::to_string(index));
+      expect_sim_identical(*result->sim,
+                           oracle_sim(graph, "streaming-rlx", machine_with(8), options));
+      EXPECT_FALSE(result->sim->deadlocked);
+      ++index;
+    }
+  }
+}
+
+TEST(ServiceSimulation, RepeatedSubmissionsHitTheCache) {
+  ScheduleService service(ServiceConfig{2, 64});
+  const TaskGraph graph = testing::figure8_graph();
+  SimOptions options;
+  options.engine = SimEngine::kBulkAdvance;
+
+  const auto first = service.submit_simulated(graph, "streaming-rlx", machine_with(8),
+                                              options).get();
+  auto second_future = service.submit_simulated(graph, "streaming-rlx", machine_with(8),
+                                                options);
+  // A cached simulated result resolves synchronously inside submit.
+  EXPECT_EQ(second_future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(second_future.get().get(), first.get()) << "same immutable result object";
+
+  service.wait_idle();
+  const ScheduleService::Stats stats = service.stats();
+  EXPECT_EQ(stats.cache.misses, 1u) << "the schedule+simulation ran exactly once";
+  EXPECT_EQ(stats.fast_path_hits, 1u);
+  EXPECT_EQ(stats.simulated, 2u);
+}
+
+TEST(ServiceSimulation, DistinctSimOptionsAreDistinctCacheEntries) {
+  ScheduleService service(ServiceConfig{2, 64});
+  const TaskGraph graph = testing::figure9_graph1();
+
+  SimOptions bulk;
+  bulk.engine = SimEngine::kBulkAdvance;
+  SimOptions tick;
+  tick.engine = SimEngine::kTickAccurate;
+
+  const auto bulk_result =
+      service.submit_simulated(graph, "streaming-rlx", machine_with(8), bulk).get();
+  const auto tick_result =
+      service.submit_simulated(graph, "streaming-rlx", machine_with(8), tick).get();
+  service.wait_idle();
+
+  EXPECT_NE(bulk_result.get(), tick_result.get()) << "engines cache under distinct keys";
+  EXPECT_EQ(service.stats().cache.misses, 2u);
+  // The engines disagree on nothing observable (the differential guarantee).
+  EXPECT_EQ(bulk_result->sim->makespan, tick_result->sim->makespan);
+  EXPECT_EQ(bulk_result->sim->finish, tick_result->sim->finish);
+  EXPECT_EQ(bulk_result->sim->engine_used, SimEngine::kBulkAdvance);
+  EXPECT_EQ(tick_result->sim->engine_used, SimEngine::kTickAccurate);
+}
+
+TEST(ServiceSimulation, PlainAndSimulatedSubmissionsDoNotCollide) {
+  ScheduleService service(ServiceConfig{2, 64});
+  const TaskGraph graph = testing::figure8_graph();
+
+  const auto plain = service.submit(graph, "streaming-rlx", machine_with(8)).get();
+  const auto simulated =
+      service.submit_simulated(graph, "streaming-rlx", machine_with(8)).get();
+  service.wait_idle();
+
+  EXPECT_FALSE(plain->sim.has_value());
+  EXPECT_TRUE(simulated->sim.has_value());
+  EXPECT_NE(plain.get(), simulated.get());
+  EXPECT_EQ(service.stats().cache.misses, 2u);
+  EXPECT_EQ(service.stats().simulated, 1u);
+}
+
+TEST(ServiceSimulation, NonStreamingSchedulerFailsTheFutureAndIsNotCached) {
+  ScheduleService service(ServiceConfig{2, 64});
+  const TaskGraph graph = testing::figure8_graph();
+
+  EXPECT_THROW((void)service.submit_simulated(graph, "list", machine_with(8)).get(),
+               std::invalid_argument);
+  service.wait_idle();
+  EXPECT_EQ(service.stats().failed, 1u);
+  EXPECT_EQ(service.cache().size(), 0u) << "a failed simulated compute must not be cached";
+
+  // The service stays healthy and the same scenario still works simulated
+  // with a streaming scheduler.
+  const auto good = service.submit_simulated(graph, "streaming-rlx", machine_with(8)).get();
+  EXPECT_TRUE(good->sim.has_value());
+  EXPECT_GT(good->sim->makespan, 0);
+}
+
+TEST(ServiceSimulation, SimulationTimingIsRecordedAlongsideScheduleTimings) {
+  ScheduleService service(ServiceConfig{1, 16});
+  const auto result =
+      service.submit_simulated(testing::figure8_graph(), "streaming-rlx", machine_with(8))
+          .get();
+  bool saw_simulation_pass = false;
+  for (const PassTiming& timing : result->timings) {
+    if (timing.pass == "simulation") saw_simulation_pass = true;
+  }
+  EXPECT_TRUE(saw_simulation_pass)
+      << "the worker-side SimulationPass must record its timing like any pipeline pass";
+}
+
+}  // namespace
+}  // namespace sts
