@@ -8,22 +8,36 @@
 //                    [--variant lts|rlx|work] [--format table|gantt|json|dot]
 //                    [--simulate] [--sim-engine bulk|tick] [--timings] [--cached]
 //   sts_schedule_cli sweep <scenario-file|-> [--threads N] [--cache-capacity N]
-//                    [--repeat K] [--queue-depth N] [--simulate]
-//                    [--sim-engine bulk|tick]
+//                    [--repeat K] [--queue-depth N] [--backends N]
+//                    [--simulate] [--sim-engine bulk|tick]
 //   sts_schedule_cli --list-schedulers
 //
 // `--variant X` is shorthand for `--scheduler streaming-X`. `--cached` routes
 // the query through the global ScheduleCache (useful with repeated
 // invocations in one process; here it demonstrates the serving path).
 //
-// `sweep` schedules a whole scenario list in parallel through a
-// ScheduleService and emits a JSON array of results on stdout. Throughput and
-// cache statistics go to stderr, ending with one machine-readable JSON line
-// in the style of the BENCH_*.json bench reports. `--queue-depth`
-// bounds every worker queue (submissions then apply backpressure instead of
-// queueing without limit); `--simulate` chains the dataflow simulation after
-// scheduling on the workers (submit_simulated), adding simulated makespans to
-// the output. Scenario lines (# comments and blank lines skipped):
+// `sweep` schedules a whole scenario list in parallel through the serving
+// stack and emits a JSON array of ScheduleResponse records on stdout.
+// Throughput and cache statistics go to stderr, ending with one
+// machine-readable JSON line in the style of the BENCH_*.json bench reports.
+// Every scenario is a ScheduleRequest envelope (service/request.hpp) and
+// every submission goes through `submit(ScheduleRequest)`; with
+// `--backends N` the requests are consistent-hash routed across N in-process
+// ScheduleService backends by a ShardRouter (the cross-process sharding
+// seam), otherwise one service serves them. `--queue-depth` bounds every
+// worker queue (submissions then apply backpressure instead of queueing
+// without limit); `--simulate` chains the dataflow simulation after
+// scheduling on the workers for scenarios that do not already request it.
+//
+// Scenario lines (# comments and blank lines skipped) are request-envelope
+// JSON lines:
+//   {"schema_version": 1, "scheduler": "streaming-rlx",
+//    "machine": {"pes": 8}, "graph": {"generator": "fft", "param": 16,
+//    "seed": 7}}
+// with `graph` either a generator ref (chain | fft | gaussian | cholesky)
+// or an inline {"nodes": [...], "edges": [...]} spec; optional members:
+// sim, admission, priority, label. The pre-envelope text form is still
+// accepted per line:
 //   chain    <tasks>  <seed> <scheduler> <pes>
 //   fft      <points> <seed> <scheduler> <pes>
 //   gaussian <size>   <seed> <scheduler> <pes>
@@ -53,8 +67,11 @@
 #include "graph/serialization.hpp"
 #include "pipeline/registry.hpp"
 #include "pipeline/schedule_cache.hpp"
+#include "service/request.hpp"
 #include "service/schedule_service.hpp"
+#include "service/shard_router.hpp"
 #include "sim/dataflow_sim.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
 #include "workloads/synthetic.hpp"
 
@@ -68,7 +85,8 @@ int usage(const char* argv0) {
                "       "
             << argv0
             << " sweep <scenario-file|-> [--threads N] [--cache-capacity N] [--repeat K]\n"
-               "                        [--queue-depth N] [--simulate] [--sim-engine bulk|tick]\n"
+               "                        [--queue-depth N] [--backends N] [--simulate]\n"
+               "                        [--sim-engine bulk|tick]\n"
                "       "
             << argv0 << " --list-schedulers\n";
   return 2;
@@ -117,26 +135,52 @@ void print_list_table(const sts::TaskGraph& graph, const sts::ScheduleResult& re
 
 struct SweepScenario {
   std::string label;
-  sts::TaskGraph graph;
-  std::string scheduler;
-  std::int64_t pes = 8;
+  sts::ScheduleRequest request;
   std::string error;  ///< non-empty: scenario failed to parse/build
 };
 
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (c == '\n') {
-      out += "\\n";
-    } else {
-      out += c;
+/// Legacy text scenario line -> request envelope. Generator lines keep their
+/// GraphRef so the scenario re-serializes compactly.
+sts::ScheduleRequest parse_text_scenario(const std::string& kind, std::istringstream& fields) {
+  sts::ScheduleRequest request;
+  if (kind == "file") {
+    std::string path;
+    if (!(fields >> path >> request.scheduler >> request.machine.num_pes)) {
+      throw std::invalid_argument("expected: file <path> <scheduler> <pes>");
     }
+    request.label = kind + " " + path;
+    std::ifstream file(path);
+    if (!file) throw std::invalid_argument("cannot open " + path);
+    request.graph = sts::load_task_graph(file);
+    return request;
   }
-  return out;
+  sts::GraphRef ref;
+  ref.generator = kind;
+  std::int64_t seed = 0;
+  if (!(fields >> ref.param >> seed >> request.scheduler >> request.machine.num_pes) ||
+      seed < 0) {
+    throw std::invalid_argument("expected: " + kind + " <param> <seed> <scheduler> <pes>");
+  }
+  ref.seed = static_cast<std::uint64_t>(seed);
+  request.label = ref.label();
+  if (ref.param < 0 || ref.param > std::numeric_limits<int>::max()) {
+    throw std::invalid_argument("parameter " + std::to_string(ref.param) + " out of range for " +
+                                kind);
+  }
+  const int p = static_cast<int>(ref.param);
+  if (kind == "chain") {
+    request.graph = sts::make_chain(p, ref.seed);
+  } else if (kind == "fft") {
+    request.graph = sts::make_fft(p, ref.seed);
+  } else if (kind == "gaussian") {
+    request.graph = sts::make_gaussian_elimination(p, ref.seed);
+  } else if (kind == "cholesky") {
+    request.graph = sts::make_cholesky(p, ref.seed);
+  } else {
+    throw std::invalid_argument("unknown scenario kind " + kind);
+  }
+  request.graph_ref = std::move(ref);
+  return request;
 }
 
 std::vector<SweepScenario> parse_scenarios(std::istream& in) {
@@ -151,43 +195,23 @@ std::vector<SweepScenario> parse_scenarios(std::istream& in) {
 
     SweepScenario s;
     try {
-      if (kind == "file") {
-        std::string path;
-        if (!(fields >> path >> s.scheduler >> s.pes)) {
-          throw std::invalid_argument("expected: file <path> <scheduler> <pes>");
+      if (kind[0] == '{') {
+        // Request-envelope JSON line.
+        s.request = sts::ScheduleRequest::from_json(line);
+        if (s.request.label.empty() && s.request.graph_ref) {
+          s.request.label = s.request.graph_ref->label();
         }
-        s.label = kind + " " + path;
-        std::ifstream file(path);
-        if (!file) throw std::invalid_argument("cannot open " + path);
-        s.graph = sts::load_task_graph(file);
+        if (s.request.label.empty()) {
+          s.request.label = "request " + std::to_string(line_no);
+        }
       } else {
-        std::int64_t param = 0;
-        std::uint64_t seed = 0;
-        if (!(fields >> param >> seed >> s.scheduler >> s.pes)) {
-          throw std::invalid_argument("expected: " + kind +
-                                      " <param> <seed> <scheduler> <pes>");
-        }
-        s.label = kind + " " + std::to_string(param) + " " + std::to_string(seed);
-        if (param < 0 || param > std::numeric_limits<int>::max()) {
-          throw std::invalid_argument("parameter " + std::to_string(param) +
-                                      " out of range for " + kind);
-        }
-        const int p = static_cast<int>(param);
-        if (kind == "chain") {
-          s.graph = sts::make_chain(p, seed);
-        } else if (kind == "fft") {
-          s.graph = sts::make_fft(p, seed);
-        } else if (kind == "gaussian") {
-          s.graph = sts::make_gaussian_elimination(p, seed);
-        } else if (kind == "cholesky") {
-          s.graph = sts::make_cholesky(p, seed);
-        } else {
-          throw std::invalid_argument("unknown scenario kind " + kind);
-        }
+        s.request = parse_text_scenario(kind, fields);
       }
+      s.label = s.request.label;
     } catch (const std::exception& e) {
       s.error = "line " + std::to_string(line_no) + ": " + e.what();
-      if (s.label.empty()) s.label = kind;
+      if (s.label.empty()) s.label = kind[0] == '{' ? "request " + std::to_string(line_no)
+                                                    : kind;
     }
     scenarios.push_back(std::move(s));
   }
@@ -201,6 +225,7 @@ int run_sweep(int argc, char** argv) {
   std::size_t threads = 0;
   std::size_t cache_capacity = ScheduleCache::kDefaultCapacity;
   std::size_t queue_depth = 0;
+  std::size_t backends = 0;  // 0 = single service, >= 1 = ShardRouter
   int repeat = 1;
   bool simulate = false;
   SimOptions sim_options;
@@ -217,6 +242,8 @@ int run_sweep(int argc, char** argv) {
         cache_capacity = static_cast<std::size_t>(std::stoull(next()));
       } else if (arg == "--queue-depth") {
         queue_depth = static_cast<std::size_t>(std::stoull(next()));
+      } else if (arg == "--backends") {
+        backends = static_cast<std::size_t>(std::stoull(next()));
       } else if (arg == "--repeat") {
         repeat = std::stoi(next());
         if (repeat < 1) throw std::invalid_argument("--repeat must be >= 1");
@@ -256,34 +283,55 @@ int run_sweep(int argc, char** argv) {
     std::cerr << "error: no scenarios in " << path << "\n";
     return 1;
   }
+  // `--simulate` chains simulation onto scenarios that did not ask for it
+  // themselves (an envelope-specified `sim` wins over the flag).
+  if (simulate) {
+    for (SweepScenario& s : scenarios) {
+      if (s.error.empty() && !s.request.sim) s.request.sim = sim_options;
+    }
+  }
 
   ServiceConfig config;
   config.num_workers = threads;
   config.cache_capacity = cache_capacity;
   config.queue_depth = queue_depth;
-  ScheduleService service(config);
+  std::unique_ptr<ScheduleService> service;
+  std::unique_ptr<ShardRouter> router;
+  std::size_t workers_total = 0;
+  if (backends > 0) {
+    RouterConfig router_config;
+    router_config.num_backends = backends;
+    router_config.backend = config;
+    router = std::make_unique<ShardRouter>(router_config);
+    for (std::size_t b = 0; b < router->backend_count(); ++b) {
+      workers_total += router->backend(b).worker_count();
+    }
+  } else {
+    service = std::make_unique<ScheduleService>(config);
+    workers_total = service->worker_count();
+  }
+  const auto do_submit = [&](ScheduleRequest request) {
+    return router ? router->submit(std::move(request)) : service->submit(std::move(request));
+  };
+  const auto wait_all_idle = [&] { router ? router->wait_idle() : service->wait_idle(); };
 
   const auto start = std::chrono::steady_clock::now();
-  std::vector<std::future<ScheduleService::ResultPtr>> futures(scenarios.size());
+  std::vector<ScheduleService::Admission> admissions(scenarios.size());
   for (int round = 0; round < repeat; ++round) {
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
       if (!scenarios[i].error.empty()) continue;
-      MachineConfig machine;
-      machine.num_pes = scenarios[i].pes;
-      // With --queue-depth, submit applies backpressure: a full worker queue
-      // stalls this loop instead of growing without bound.
-      auto f = simulate ? service.submit_simulated(scenarios[i].graph,
-                                                   scenarios[i].scheduler, machine, sim_options)
-                        : service.submit(scenarios[i].graph, scenarios[i].scheduler, machine);
-      if (round == 0) futures[i] = std::move(f);
+      // With --queue-depth, a kBlock submit applies backpressure: a full
+      // worker queue stalls this loop instead of growing without bound.
+      ScheduleService::Admission a = do_submit(scenarios[i].request);
+      if (round == 0) admissions[i] = std::move(a);
     }
   }
-  service.wait_idle();
+  wait_all_idle();
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 
-  // Counted before the output loop: future.get() failures below also set
-  // s.error, but those scenarios *were* submitted.
+  // Counted before the output loop: failures surfacing through wait() below
+  // are still submissions.
   std::size_t parsed_ok = 0;
   for (const SweepScenario& s : scenarios) {
     if (s.error.empty()) ++parsed_ok;
@@ -293,48 +341,51 @@ int run_sweep(int argc, char** argv) {
   std::cout << "[\n";
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     SweepScenario& s = scenarios[i];
-    std::cout << "  {\"scenario\": \"" << json_escape(s.label) << "\", \"scheduler\": \""
-              << json_escape(s.scheduler) << "\", \"pes\": " << s.pes;
+    // Per-scenario record: the unified ScheduleResponse JSON with the
+    // scenario identity spliced in front. Ok responses already carry
+    // "scheduler" (from the result), so the prefix adds it only otherwise —
+    // every record ends up with exactly one scheduler member.
+    ScheduleResponse response;
     if (s.error.empty()) {
-      try {
-        const auto result = futures[i].get();
-        std::cout << ", \"status\": \"ok\", \"makespan\": " << result->makespan
-                  << ", \"speedup\": " << fmt(result->metrics.speedup, 4)
-                  << ", \"fifo_capacity\": " << result->metrics.fifo_capacity;
-        if (result->sim) {
-          std::cout << ", \"sim_makespan\": " << result->sim->makespan << ", \"sim_engine\": \""
-                    << to_string(result->sim->engine_used) << "\"";
-        }
-      } catch (const std::exception& e) {
-        s.error = e.what();
-      }
+      response = admissions[i].wait();
+    } else {
+      response.status = ScheduleResponse::Status::kError;
+      response.error = s.error;
     }
-    if (!s.error.empty()) {
-      any_failed = true;
-      std::cout << ", \"status\": \"error\", \"error\": \"" << json_escape(s.error) << "\"";
+    any_failed = any_failed || !response.ok();
+    std::string prefix = "{\"scenario\": ";
+    append_json_quoted(prefix, s.label);
+    prefix += ", \"pes\": " + std::to_string(s.request.machine.num_pes);
+    if (!response.ok()) {
+      prefix += ", \"scheduler\": ";
+      append_json_quoted(prefix, s.request.scheduler);
     }
-    std::cout << "}" << (i + 1 < scenarios.size() ? "," : "") << "\n";
+    prefix += ", ";
+    std::string record = response.to_json();
+    record.replace(0, 1, prefix);
+    std::cout << "  " << record << (i + 1 < scenarios.size() ? "," : "") << "\n";
   }
   std::cout << "]\n";
 
-  const ScheduleService::Stats stats = service.stats();
+  ScheduleService::Stats stats = router ? router->stats().total : service->stats();
   std::cerr << "sweep: " << stats.submitted << " jobs (" << parsed_ok << " schedulable of "
-            << scenarios.size() << " scenarios x " << repeat << " rounds) on "
-            << service.worker_count() << " workers in " << fmt(seconds, 3) << "s ("
-            << fmt(stats.submitted / seconds, 1) << " jobs/s)\n"
+            << scenarios.size() << " scenarios x " << repeat << " rounds) on " << workers_total
+            << " workers";
+  if (router) std::cerr << " across " << router->backend_count() << " backends";
+  std::cerr << " in " << fmt(seconds, 3) << "s (" << fmt(stats.submitted / seconds, 1)
+            << " jobs/s)\n"
             << "cache: " << stats.cache.hits << " hits, " << stats.cache.misses << " misses, "
-            << stats.cache.races << " races, " << stats.cache.evictions << " evictions, size "
-            << service.cache().size() << "/" << service.cache().capacity() << "\n";
+            << stats.cache.races << " races, " << stats.cache.evictions << " evictions\n";
 
-  // Machine-readable BENCH_*.json-style record (scalar keys plus the
-  // shard_max_depth array): splice the sweep-level fields into the service's
-  // stats_json() object.
+  // Machine-readable BENCH_*.json-style record (scalar keys plus arrays):
+  // splice the sweep-level fields into the service/router stats_json()
+  // object.
   const std::string sweep_fields =
       "\"bench\": \"sweep\", \"wall_seconds\": " + fmt(seconds, 6) +
       ", \"jobs_per_second\": " + fmt(stats.submitted / seconds, 1) +
       ", \"scenarios\": " + std::to_string(scenarios.size()) +
       ", \"rounds\": " + std::to_string(repeat);
-  std::string stats_line = service.stats_json();
+  std::string stats_line = router ? router->stats_json() : service->stats_json();
   if (!stats_line.empty() && stats_line.front() == '{') {
     stats_line.insert(1, sweep_fields + ", ");
   } else {

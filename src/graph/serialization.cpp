@@ -172,6 +172,100 @@ std::string save_task_graph_to_string(const TaskGraph& graph) {
   return out;
 }
 
+void append_task_graph_json(std::string& out, const TaskGraph& graph) {
+  out += "{\"nodes\": [";
+  for (NodeId v = 0; static_cast<std::size_t>(v) < graph.node_count(); ++v) {
+    if (v > 0) out += ", ";
+    out += "{\"kind\": \"";
+    out += to_string(graph.kind(v));
+    out += '"';
+    // Output records mirror the text serializer exactly: sources, exit
+    // computes, and buffers with a declared volume. Derived volumes are not
+    // written, so parse(append(g)) fingerprints identically to g.
+    const bool is_exit = graph.out_degree(v) == 0 && graph.kind(v) != NodeKind::kSink;
+    if ((graph.kind(v) == NodeKind::kSource || is_exit ||
+         graph.kind(v) == NodeKind::kBuffer) &&
+        graph.output_volume(v) > 0) {
+      out += ", \"output\": ";
+      append_number(out, graph.output_volume(v));
+    }
+    if (!graph.name(v).empty()) {
+      out += ", \"name\": ";
+      append_json_quoted(out, graph.name(v));
+    }
+    out += '}';
+  }
+  out += "], \"edges\": [";
+  for (EdgeId e = 0; static_cast<std::size_t>(e) < graph.edge_count(); ++e) {
+    const Edge& edge = graph.edge(e);
+    if (e > 0) out += ", ";
+    out += '[';
+    append_number(out, edge.src);
+    out += ", ";
+    append_number(out, edge.dst);
+    out += ", ";
+    append_number(out, edge.volume);
+    out += ']';
+  }
+  out += "]}";
+}
+
+TaskGraph task_graph_from_json(const JsonValue& json) {
+  const auto reject_unknown = [](const JsonValue& object,
+                                 std::initializer_list<std::string_view> allowed,
+                                 const char* what) {
+    reject_unknown_members(object, allowed, "task_graph_from_json", what);
+  };
+  reject_unknown(json, {"nodes", "edges"}, "graph");
+
+  TaskGraph graph;
+  for (const JsonValue& node : json.at("nodes").items()) {
+    reject_unknown(node, {"kind", "output", "name"}, "node");
+    const std::string& kind = node.at("kind").as_string();
+    std::string name;
+    if (const JsonValue* n = node.find("name")) name = n->as_string();
+    std::int64_t output = 0;
+    if (const JsonValue* o = node.find("output")) output = o->as_int();
+    if (kind == "source") {
+      if (output <= 0) {
+        throw std::invalid_argument("task_graph_from_json: source node " +
+                                    std::to_string(graph.node_count()) +
+                                    " needs a positive 'output'");
+      }
+      graph.add_source(output, std::move(name));
+    } else if (kind == "sink") {
+      if (output > 0) {
+        throw std::invalid_argument("task_graph_from_json: sink node cannot declare 'output'");
+      }
+      graph.add_sink(std::move(name));
+    } else if (kind == "compute") {
+      const NodeId v = graph.add_compute(std::move(name));
+      if (output > 0) graph.declare_output(v, output);
+    } else if (kind == "buffer") {
+      const NodeId v = graph.add_buffer(std::move(name));
+      if (output > 0) graph.declare_output(v, output);
+    } else {
+      throw std::invalid_argument("task_graph_from_json: unknown node kind '" + kind + "'");
+    }
+  }
+  for (const JsonValue& edge : json.at("edges").items()) {
+    const std::vector<JsonValue>& fields = edge.items();
+    if (fields.size() != 3) {
+      throw std::invalid_argument("task_graph_from_json: edge must be [src, dst, volume]");
+    }
+    const std::int64_t src = fields[0].as_int();
+    const std::int64_t dst = fields[1].as_int();
+    const auto in_range = [&graph](std::int64_t v) {
+      return v >= 0 && static_cast<std::size_t>(v) < graph.node_count();
+    };
+    if (!in_range(src) || !in_range(dst)) {
+      throw std::invalid_argument("task_graph_from_json: edge endpoint out of range");
+    }
+    graph.add_edge(static_cast<NodeId>(src), static_cast<NodeId>(dst), fields[2].as_int());
+  }
+  return graph;
+}
+
 std::string canonical_fingerprint(const TaskGraph& graph) {
   const std::size_t nodes = graph.node_count();
   const std::size_t edges = graph.edge_count();

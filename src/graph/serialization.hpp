@@ -4,6 +4,7 @@
 #include <string>
 
 #include "graph/task_graph.hpp"
+#include "support/json.hpp"
 
 namespace sts {
 
@@ -34,5 +35,24 @@ void save_task_graph(std::ostream& output, const TaskGraph& graph);
 /// `save_task_graph_to_string`, which matters because this is the
 /// ScheduleCache key built on every (including cache-hit) scheduling query.
 [[nodiscard]] std::string canonical_fingerprint(const TaskGraph& graph);
+
+/// JSON rendering of a canonical task graph, the shape embedded in
+/// ScheduleRequest envelopes (service/request.hpp):
+///
+///     {"nodes": [{"kind": "source", "output": 16, "name": "src"}, ...],
+///      "edges": [[src, dst, volume], ...]}
+///
+/// Node index in the array is the NodeId. `name` is omitted when empty and
+/// `output` when the node carries no declared output record (same rule as
+/// the text format, so text and JSON round-trips agree bit-for-bit on the
+/// canonical_fingerprint). Appends to `out` with the same to_chars fast
+/// paths as the text serializer.
+void append_task_graph_json(std::string& out, const TaskGraph& graph);
+
+/// Rebuilds a task graph from the JSON shape above. Throws
+/// std::invalid_argument on unknown kinds, missing source outputs,
+/// non-integer volumes, out-of-range edge endpoints, or unknown members
+/// (strict: a typo must not silently change the scenario).
+[[nodiscard]] TaskGraph task_graph_from_json(const JsonValue& json);
 
 }  // namespace sts

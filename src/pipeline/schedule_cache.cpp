@@ -62,13 +62,18 @@ ScheduleCache::Lru::const_iterator ScheduleCache::find_entry(std::uint64_t hash,
 }
 
 void ScheduleCache::evict_to_capacity() {
-  while (lru_.size() > capacity_) {
+  // Weight-aware LRU eviction; oversize entries are refused at admission
+  // (get_or_compute / set_capacity keep weight_ <= capacity_ reachable), so
+  // this always terminates with the bound restored.
+  while (weight_ > capacity_ && !lru_.empty()) {
     const Lru::const_iterator victim = std::prev(lru_.cend());
     auto& bucket = buckets_[victim->hash];
     std::erase(bucket, victim);
     if (bucket.empty()) buckets_.erase(victim->hash);
-    lru_.pop_back();
+    weight_ -= victim->weight;
     ++stats_.evictions;
+    stats_.evicted_weight += victim->weight;
+    lru_.pop_back();
   }
 }
 
@@ -76,11 +81,12 @@ ScheduleCache::ResultPtr ScheduleCache::get_or_schedule(const TaskGraph& graph,
                                                         std::string_view scheduler,
                                                         const MachineConfig& machine) {
   return get_or_compute(canonical_cache_key(graph, scheduler, machine),
-                        [&] { return schedule_by_name(scheduler, graph, machine); });
+                        [&] { return schedule_by_name(scheduler, graph, machine); },
+                        graph.node_count());
 }
 
 ScheduleCache::ResultPtr ScheduleCache::get_or_compute(
-    std::string key, const std::function<ScheduleResult()>& compute) {
+    std::string key, const std::function<ScheduleResult()>& compute, std::size_t weight) {
   const std::uint64_t hash = fnv1a64(key);
 
   std::shared_future<ResultPtr> pending;
@@ -122,9 +128,20 @@ ScheduleCache::ResultPtr ScheduleCache::get_or_compute(
   {
     std::lock_guard<std::mutex> lock(mutex_);
     in_flight_.erase(key);
-    lru_.push_front(Entry{hash, std::move(key), result});
-    buckets_[hash].push_back(lru_.begin());
-    evict_to_capacity();
+    if (weight == 0) weight = 1;
+    if (weight > capacity_) {
+      // Admission refusal: an entry heavier than the whole capacity can
+      // never fit, and admitting it would only churn out every resident.
+      // Counted with the evictions so the books still explain the miss
+      // traffic it causes.
+      ++stats_.evictions;
+      stats_.evicted_weight += weight;
+    } else {
+      weight_ += weight;
+      lru_.push_front(Entry{hash, std::move(key), weight, result});
+      buckets_[hash].push_back(lru_.begin());
+      evict_to_capacity();
+    }
   }
   promise->set_value(result);
   return result;
@@ -156,6 +173,11 @@ std::size_t ScheduleCache::size() const {
   return lru_.size();
 }
 
+std::size_t ScheduleCache::total_weight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return weight_;
+}
+
 std::size_t ScheduleCache::capacity() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return capacity_;
@@ -172,6 +194,7 @@ void ScheduleCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();
   buckets_.clear();
+  weight_ = 0;
   stats_ = Stats{};
 }
 

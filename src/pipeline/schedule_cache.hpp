@@ -15,10 +15,12 @@
 
 namespace sts {
 
-/// Canonical cache key of a scheduling query: the scheduler name, the
+/// Canonical cache key of a bare scheduling query: the scheduler name, the
 /// machine config, and the graph's canonical_fingerprint (the binary normal
 /// form of graph/serialization.cpp — identical structure and volumes produce
-/// identical keys regardless of node names).
+/// identical keys regardless of node names). This is the unversioned core;
+/// the serving layer derives its full key (schema version + this + optional
+/// sim options) through ScheduleRequest::key() in service/request.hpp.
 [[nodiscard]] std::string canonical_cache_key(const TaskGraph& graph,
                                               std::string_view scheduler,
                                               const MachineConfig& machine);
@@ -33,10 +35,18 @@ namespace sts {
 /// sizing entirely and return a shared immutable result. Hash collisions are
 /// disambiguated with the full key, so a hit is always exact.
 ///
-/// Bounded: entries live on an LRU list capped at `capacity()`; inserting
-/// past the cap evicts the least-recently-used entry (counted in
-/// `Stats::evictions`), so memory stays bounded under sustained traffic with
-/// an unbounded key universe.
+/// Bounded and size-aware: every entry carries a weight (for schedule
+/// results, the graph's node count — large graphs cost proportionally more
+/// memory to hold and more time to recompute) and `capacity()` bounds the
+/// TOTAL WEIGHT, not the entry count. Inserting past the cap evicts
+/// least-recently-used entries until the weight fits (counted in
+/// `Stats::evictions` / `Stats::evicted_weight`); an entry heavier than the
+/// whole capacity is refused at admission (it can never fit, and admitting
+/// it would churn out every resident — the compute's caller still gets its
+/// result, the cache just will not hold it), so memory stays bounded under
+/// sustained traffic with an unbounded key universe. Generic
+/// `get_or_compute` callers default to weight 1, which degenerates to the
+/// classic entry-count LRU.
 ///
 /// Single-flight: concurrent requests for the same missing key compute the
 /// result exactly once. The first thread computes (a `miss`); every thread
@@ -56,24 +66,31 @@ class ScheduleCache {
     std::uint64_t hits = 0;       ///< completed entry found in the cache
     std::uint64_t misses = 0;     ///< caller computed the result (== schedules run)
     std::uint64_t races = 0;      ///< joined another thread's in-flight computation
-    std::uint64_t evictions = 0;  ///< entries dropped by the LRU bound
+    std::uint64_t evictions = 0;  ///< entries dropped by the weight bound
+    std::uint64_t evicted_weight = 0;  ///< total weight of those dropped entries
   };
 
-  static constexpr std::size_t kDefaultCapacity = 4096;
+  /// Default total-weight bound: with schedule entries weighing their graph's
+  /// node count (typically 10^2..10^3), this holds on the order of the old
+  /// 4096-entry default for mid-sized graphs.
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 20;
 
   /// Throws std::invalid_argument on zero capacity.
   explicit ScheduleCache(std::size_t capacity = kDefaultCapacity);
 
   /// Returns the cached result for (graph, scheduler, machine), computing
-  /// and inserting it through the global SchedulerRegistry on a miss.
+  /// and inserting it through the global SchedulerRegistry on a miss. The
+  /// entry weighs the graph's node count.
   [[nodiscard]] ResultPtr get_or_schedule(const TaskGraph& graph, std::string_view scheduler,
                                           const MachineConfig& machine);
 
   /// Core single-flight lookup under an arbitrary precomputed key: returns
   /// the cached result, or runs `compute` (outside the cache lock, exactly
-  /// once per key across all concurrent callers) and caches it.
+  /// once per key across all concurrent callers) and caches it with the
+  /// given admission weight (clamped to >= 1).
   [[nodiscard]] ResultPtr get_or_compute(std::string key,
-                                         const std::function<ScheduleResult()>& compute);
+                                         const std::function<ScheduleResult()>& compute,
+                                         std::size_t weight = 1);
 
   /// Non-blocking probe: the completed entry for `key` (bumping its recency
   /// and counting a hit), or nullptr. Absence is not counted as a miss —
@@ -85,11 +102,12 @@ class ScheduleCache {
   [[nodiscard]] bool contains(std::string_view key) const;
 
   [[nodiscard]] Stats stats() const;
-  [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::size_t capacity() const;
+  [[nodiscard]] std::size_t size() const;          ///< resident entry count
+  [[nodiscard]] std::size_t total_weight() const;  ///< resident weight, <= capacity()
+  [[nodiscard]] std::size_t capacity() const;      ///< total-weight bound
 
   /// Re-bounds the cache, evicting LRU entries if shrinking below the
-  /// current size. Throws std::invalid_argument on zero.
+  /// current total weight. Throws std::invalid_argument on zero.
   void set_capacity(std::size_t capacity);
 
   /// Drops all completed entries and resets stats. In-flight computations
@@ -103,6 +121,7 @@ class ScheduleCache {
   struct Entry {
     std::uint64_t hash = 0;
     std::string key;  ///< full canonical key, checked on every probe
+    std::size_t weight = 1;
     ResultPtr result;
   };
   using Lru = std::list<Entry>;
@@ -116,6 +135,7 @@ class ScheduleCache {
   std::unordered_map<std::uint64_t, std::vector<Lru::const_iterator>> buckets_;
   std::unordered_map<std::string, std::shared_future<ResultPtr>> in_flight_;
   std::size_t capacity_;
+  std::size_t weight_ = 0;  ///< Σ entry weight, <= capacity_ outside evict
   Stats stats_;
 };
 

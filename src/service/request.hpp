@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "graph/task_graph.hpp"
+#include "pipeline/schedule_context.hpp"
+#include "pipeline/scheduler.hpp"
+#include "sim/dataflow_sim.hpp"
+
+namespace sts {
+
+/// Version of the ScheduleRequest envelope (and of the cache-key space it
+/// spans). Bump it when scheduler implementations change observably: the
+/// version is the first line of every request key, so stale cached results
+/// from an older schema can never be served for a newer one.
+inline constexpr int kScheduleSchemaVersion = 1;
+
+/// What a service should do with a request that lands on a full shard:
+/// apply backpressure (block the submitter until space frees up) or refuse
+/// admission with a typed `Rejected` outcome.
+enum class AdmissionPolicy : std::uint8_t { kBlock, kReject };
+
+[[nodiscard]] const char* to_string(AdmissionPolicy policy) noexcept;
+
+/// Typed refusal of a request on a full shard.
+struct Rejected {
+  std::size_t shard = 0;  ///< index of the full shard inside its service
+  std::size_t depth = 0;  ///< queue depth observed at rejection
+  std::size_t limit = 0;  ///< the configured per-shard depth limit
+  /// Routing backend index; set only when a ShardRouter forwarded the
+  /// request (absent for a standalone service, so backend 0 and "no router"
+  /// stay distinguishable).
+  std::optional<std::size_t> backend;
+};
+
+/// Reference to a synthetic workload generator instead of an inline graph:
+/// `make_<generator>(param, seed)` from workloads/synthetic.hpp. Keeps sweep
+/// scenario files compact and self-describing; the graph is materialized at
+/// parse time, so a ref-born request is indistinguishable (same `key()`)
+/// from one carrying the equivalent inline graph.
+struct GraphRef {
+  std::string generator;  ///< chain | fft | gaussian | cholesky
+  std::int64_t param = 0;
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] std::string label() const;  ///< "fft 16 7" display form
+};
+
+/// The one serving envelope: everything a scheduling query is, as a value.
+///
+/// Bundles the graph (inline spec or generator ref), scheduler name, machine
+/// config, optional simulation chaining, and delivery hints (admission
+/// policy, priority, label). Serializes to one JSON object and parses back
+/// losslessly: a request round-tripped through JSON has the same `key()` —
+/// and therefore hits the same cache entry — as the in-memory original.
+///
+/// JSON shape (defaults may be omitted; unknown members are rejected):
+///
+///     {"schema_version": 1, "scheduler": "streaming-rlx",
+///      "machine": {"pes": 8, "fifo": 2, "mesh": false, "pe_speed": []},
+///      "graph": {"nodes": [...], "edges": [...]},      // or
+///      "graph": {"generator": "fft", "param": 16, "seed": 7},
+///      "sim": {"engine": "bulk", "max_ticks": 50000000, "trace": false},
+///      "admission": "block", "priority": 0, "label": "warmup"}
+struct ScheduleRequest {
+  int schema_version = kScheduleSchemaVersion;
+  TaskGraph graph;
+  /// Set when the graph came from (or should serialize as) a generator
+  /// reference; `graph` always holds the materialized graph either way.
+  std::optional<GraphRef> graph_ref;
+  std::string scheduler = "streaming-rlx";
+  MachineConfig machine;
+  /// Present = chain a SimulationPass after scheduling (the worker-side
+  /// equivalent of schedule + simulate_streaming); the options extend the
+  /// cache key so simulated and plain results never collide.
+  std::optional<SimOptions> sim;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// Best-effort queue-jump: a positive priority enqueues at the front of
+  /// its shard instead of the back. Not part of the request identity.
+  std::int32_t priority = 0;
+  /// Free-form display tag for sweep outputs. Not part of the identity.
+  std::string label;
+
+  /// Canonical cache/routing key: schema version, scheduler, machine config,
+  /// the graph's canonical_fingerprint, and the sim options when present.
+  /// Delivery hints (admission, priority, label) and the generator ref are
+  /// excluded — identity is the scenario, not how it is delivered. Memoized
+  /// on first call: treat the request as immutable afterwards. Copies drop
+  /// the memo (a copy is usually made to be edited); moves keep it.
+  [[nodiscard]] const std::string& key() const;
+
+  /// Moves the (possibly multi-kilobyte) key out of the memo, computing it
+  /// first if needed — the service worker hands it to the cache without
+  /// re-copying. The memo is left empty; a later key() recomputes.
+  [[nodiscard]] std::string release_key();
+
+  /// One-line JSON rendering of the envelope (the sweep scenario-file
+  /// format). Omits members that hold their default value.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Strict parse of `to_json()`-shaped text. Throws std::invalid_argument
+  /// on malformed JSON, unknown members, missing scheduler/graph, an
+  /// unsupported schema_version, or an invalid generator reference.
+  [[nodiscard]] static ScheduleRequest from_json(std::string_view text);
+
+ private:
+  /// Memo slot for key() that empties itself on copy: the fields of a copied
+  /// request can diverge from the original, so a copied memo would serve a
+  /// stale identity. Moves transfer the memo (the source is relinquished).
+  struct MemoizedKey {
+    MemoizedKey() = default;
+    MemoizedKey(const MemoizedKey&) noexcept {}
+    MemoizedKey& operator=(const MemoizedKey&) noexcept {
+      value.clear();
+      return *this;
+    }
+    MemoizedKey(MemoizedKey&&) noexcept = default;
+    MemoizedKey& operator=(MemoizedKey&&) noexcept = default;
+
+    std::string value;
+  };
+  mutable MemoizedKey key_;  ///< memoized by key()
+};
+
+/// Unified resolved outcome of a submitted request: exactly one of a shared
+/// immutable result, a typed admission refusal, or an error detail (the
+/// message of the exception the computation failed with).
+struct ScheduleResponse {
+  enum class Status : std::uint8_t { kOk, kRejected, kError };
+
+  Status status = Status::kError;
+  std::shared_ptr<const ScheduleResult> result;  ///< kOk
+  std::optional<Rejected> rejected;              ///< kRejected
+  std::string error;                             ///< kError
+
+  [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
+
+  /// Flat JSON summary (status, makespan/speedup/fifo_capacity and sim
+  /// fields when ok; shard/depth/limit/backend when rejected; the error
+  /// string otherwise) — the per-scenario record the sweep CLI emits.
+  [[nodiscard]] std::string to_json() const;
+};
+
+[[nodiscard]] const char* to_string(ScheduleResponse::Status status) noexcept;
+
+}  // namespace sts

@@ -28,45 +28,74 @@ ScheduleService::ScheduleService(ServiceConfig config)
 
 ScheduleService::~ScheduleService() { shutdown(); }
 
+ScheduleResponse ScheduleService::Admission::wait() {
+  ScheduleResponse response;
+  if (rejected.has_value()) {
+    response.status = ScheduleResponse::Status::kRejected;
+    response.rejected = rejected;
+    return response;
+  }
+  try {
+    response.result = future.get();
+    response.status = ScheduleResponse::Status::kOk;
+  } catch (const std::exception& e) {
+    response.status = ScheduleResponse::Status::kError;
+    response.error = e.what();
+  } catch (...) {
+    response.status = ScheduleResponse::Status::kError;
+    response.error = "unknown error";
+  }
+  return response;
+}
+
+ScheduleResponse ScheduleService::schedule(ScheduleRequest request) {
+  return submit(std::move(request)).wait();
+}
+
+// The deprecated positional shims assemble the envelope they are shorthand
+// for (defining a deprecated function is not a "use", so these compile
+// clean under -Werror=deprecated-declarations).
 std::future<ScheduleService::ResultPtr> ScheduleService::submit(const TaskGraph& graph,
                                                                 std::string scheduler,
                                                                 MachineConfig machine) {
-  return enqueue(graph, std::move(scheduler), std::move(machine), /*simulate=*/false,
-                 SimOptions{}, Admit::kBlock)
-      .future;
+  ScheduleRequest request;
+  request.graph = graph;
+  request.scheduler = std::move(scheduler);
+  request.machine = std::move(machine);
+  return submit(std::move(request)).future;
 }
 
 ScheduleService::Admission ScheduleService::try_submit(const TaskGraph& graph,
                                                        std::string scheduler,
                                                        MachineConfig machine) {
-  return enqueue(graph, std::move(scheduler), std::move(machine), /*simulate=*/false,
-                 SimOptions{}, Admit::kReject);
+  ScheduleRequest request;
+  request.graph = graph;
+  request.scheduler = std::move(scheduler);
+  request.machine = std::move(machine);
+  request.admission = AdmissionPolicy::kReject;
+  return submit(std::move(request));
 }
 
 std::future<ScheduleService::ResultPtr> ScheduleService::submit_simulated(const TaskGraph& graph,
                                                                           std::string scheduler,
                                                                           MachineConfig machine,
                                                                           SimOptions sim) {
-  return enqueue(graph, std::move(scheduler), std::move(machine), /*simulate=*/true, sim,
-                 Admit::kBlock)
-      .future;
+  ScheduleRequest request;
+  request.graph = graph;
+  request.scheduler = std::move(scheduler);
+  request.machine = std::move(machine);
+  request.sim = sim;
+  return submit(std::move(request)).future;
 }
 
-ScheduleService::Admission ScheduleService::enqueue(const TaskGraph& graph,
-                                                    std::string scheduler, MachineConfig machine,
-                                                    bool simulate, const SimOptions& sim,
-                                                    Admit mode) {
+ScheduleService::Admission ScheduleService::submit(ScheduleRequest request) {
   if (stopping_.load(std::memory_order_acquire)) {
     throw std::runtime_error("ScheduleService: submit after shutdown");
   }
-  std::string key = canonical_cache_key(graph, scheduler, machine);
-  if (simulate) {
-    // Simulated results live under the schedule key extended with the sim
-    // options, so they never collide with plain (or differently simulated)
-    // results of the same scenario.
-    key += '\n';
-    key += sim.cache_key();
-  }
+  // Memoizes inside the request, so the worker (and a fronting ShardRouter)
+  // never re-derives it.
+  const std::string& key = request.key();
+  const bool simulate = request.sim.has_value();
   std::promise<ResultPtr> promise;
   Admission admission{promise.get_future(), std::nullopt};
   {
@@ -101,7 +130,7 @@ ScheduleService::Admission ScheduleService::enqueue(const TaskGraph& graph,
       throw std::runtime_error("ScheduleService: submit after shutdown");
     }
     if (queue_depth_ > 0 && shard.queue.size() >= queue_depth_) {
-      if (mode == Admit::kReject) {
+      if (request.admission == AdmissionPolicy::kReject) {
         const std::size_t depth = shard.queue.size();
         lock.unlock();
         {
@@ -111,7 +140,7 @@ ScheduleService::Admission ScheduleService::enqueue(const TaskGraph& graph,
         // A rejection settles a submission just like a completion does.
         idle_cv_.notify_all();
         admission.future = std::future<ResultPtr>();
-        admission.rejected = Rejected{shard_index, depth, queue_depth_};
+        admission.rejected = Rejected{shard_index, depth, queue_depth_, std::nullopt};
         return admission;
       }
       // Backpressure: wait for a worker to drain an entry (or for shutdown,
@@ -124,11 +153,16 @@ ScheduleService::Admission ScheduleService::enqueue(const TaskGraph& graph,
         throw std::runtime_error("ScheduleService: submit after shutdown");
       }
     }
-    shard.queue.push_back(Job{std::move(key), graph, std::move(scheduler), std::move(machine),
-                              simulate, sim, std::move(promise)});
+    // A positive priority jumps the shard queue (best-effort: it cannot
+    // preempt the job a worker already holds).
+    if (request.priority > 0) {
+      shard.queue.push_front(Job{std::move(request), std::move(promise)});
+    } else {
+      shard.queue.push_back(Job{std::move(request), std::move(promise)});
+    }
     shard.max_depth = std::max(shard.max_depth, shard.queue.size());
   } catch (...) {
-    // Nothing was enqueued (shutdown race, or the Job copy threw): roll the
+    // Nothing was enqueued (shutdown race, or the Job move threw): roll the
     // submission count back so wait_idle can still balance.
     {
       std::lock_guard<std::mutex> stats_lock(stats_mutex_);
@@ -146,12 +180,13 @@ ScheduleService::Admission ScheduleService::enqueue(const TaskGraph& graph,
 }
 
 ScheduleResult ScheduleService::compute_job(const Job& job) {
-  ScheduleResult result = schedule_by_name(job.scheduler, job.graph, job.machine);
-  if (!job.simulate) return result;
+  const ScheduleRequest& request = job.request;
+  ScheduleResult result = schedule_by_name(request.scheduler, request.graph, request.machine);
+  if (!request.sim) return result;
   if (!result.streaming || !result.buffers) {
     throw std::invalid_argument(
-        "ScheduleService: submit_simulated requires a streaming scheduler, got " +
-        job.scheduler);
+        "ScheduleService: a simulated request requires a streaming scheduler, got " +
+        request.scheduler);
   }
   // Rebuild a context around the scheduled artifacts and reuse the pipeline
   // SimulationPass, sharing its deadlock/tick-limit validation and timing
@@ -159,12 +194,12 @@ ScheduleResult ScheduleService::compute_job(const Job& job) {
   // The result is still worker-local, so the schedule artifacts can be moved
   // through the context and back instead of deep-copied.
   ScheduleContext ctx;
-  ctx.graph = &job.graph;
-  ctx.machine = job.machine;
+  ctx.graph = &request.graph;
+  ctx.machine = request.machine;
   ctx.streaming = std::move(result.streaming);
   ctx.buffers = std::move(result.buffers);
   Pipeline pipeline;
-  pipeline.emplace<SimulationPass>(job.sim_options);
+  pipeline.emplace<SimulationPass>(*request.sim);
   pipeline.run(ctx);
   result.streaming = std::move(ctx.streaming);
   result.buffers = std::move(ctx.buffers);
@@ -189,8 +224,9 @@ void ScheduleService::worker_loop(Shard& shard) {
     }
     bool failed = false;
     try {
-      ResultPtr result =
-          cache_.get_or_compute(std::move(job.key), [&job] { return compute_job(job); });
+      ResultPtr result = cache_.get_or_compute(
+          job.request.release_key(), [&job] { return compute_job(job); },
+          job.request.graph.node_count());
       job.promise.set_value(std::move(result));
     } catch (...) {
       failed = true;
@@ -249,7 +285,14 @@ ScheduleService::Stats ScheduleService::stats() const {
 }
 
 std::string ScheduleService::stats_json() const {
-  const Stats s = stats();
+  return render_stats_json(stats(), worker_count(), queue_depth_, cache_.size(),
+                           cache_.total_weight(), cache_.capacity());
+}
+
+std::string ScheduleService::render_stats_json(const Stats& s, std::size_t workers,
+                                               std::size_t queue_depth_limit,
+                                               std::size_t cache_size, std::size_t cache_weight,
+                                               std::size_t cache_capacity) {
   const auto field = [](const char* key, std::uint64_t value) {
     return std::string("\"") + key + "\": " + std::to_string(value);
   };
@@ -260,8 +303,8 @@ std::string ScheduleService::stats_json() const {
   json += ", " + field("rejected", s.rejected);
   json += ", " + field("simulated", s.simulated);
   json += ", " + field("fast_path_hits", s.fast_path_hits);
-  json += ", " + field("workers", worker_count());
-  json += ", " + field("queue_depth_limit", queue_depth_);
+  json += ", " + field("workers", workers);
+  json += ", " + field("queue_depth_limit", queue_depth_limit);
   std::size_t peak = 0;
   json += ", \"shard_max_depth\": [";
   for (std::size_t i = 0; i < s.shard_max_depth.size(); ++i) {
@@ -275,8 +318,10 @@ std::string ScheduleService::stats_json() const {
   json += ", " + field("cache_misses", s.cache.misses);
   json += ", " + field("cache_races", s.cache.races);
   json += ", " + field("cache_evictions", s.cache.evictions);
-  json += ", " + field("cache_size", cache_.size());
-  json += ", " + field("cache_capacity", cache_.capacity());
+  json += ", " + field("cache_evicted_weight", s.cache.evicted_weight);
+  json += ", " + field("cache_size", cache_size);
+  json += ", " + field("cache_weight", cache_weight);
+  json += ", " + field("cache_capacity", cache_capacity);
   json += "}";
   return json;
 }

@@ -14,6 +14,7 @@
 
 #include "graph/task_graph.hpp"
 #include "pipeline/schedule_cache.hpp"
+#include "service/request.hpp"
 #include "sim/dataflow_sim.hpp"
 
 namespace sts {
@@ -23,73 +24,80 @@ struct ServiceConfig {
   /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).
   std::size_t num_workers = 0;
 
-  /// Capacity of the service-owned bounded LRU ScheduleCache.
+  /// Total-weight capacity of the service-owned bounded LRU ScheduleCache
+  /// (entries weigh their graph's node count; see ScheduleCache).
   std::size_t cache_capacity = ScheduleCache::kDefaultCapacity;
 
   /// Per-shard queue depth limit; 0 = unbounded (accept everything). With a
-  /// bound, a full shard makes `submit` block until a worker drains an entry
-  /// and `try_submit` reject with the observed depth.
+  /// bound, a full shard makes a `AdmissionPolicy::kBlock` request block
+  /// until a worker drains an entry and a `kReject` request come back with a
+  /// typed `Rejected` outcome.
   std::size_t queue_depth = 0;
 };
 
 /// Concurrent scheduling front end: a worker thread pool serving
-/// `submit(graph, scheduler, machine)` jobs through a bounded LRU
+/// `submit(ScheduleRequest)` envelopes through a bounded, size-aware LRU
 /// ScheduleCache.
 ///
-/// Each submission is keyed by its canonical cache key and sharded to the
+/// Each request is keyed by `ScheduleRequest::key()` and sharded to the
 /// worker `fnv1a64(key) % num_workers`, so identical scenarios land on the
 /// same queue in order; together with the cache's single-flight miss path
 /// this guarantees that N concurrent submissions of the same scenario run
 /// the scheduling pipeline exactly once and share one immutable result.
-/// Distinct scenarios spread across workers and schedule in parallel.
+/// Distinct scenarios spread across workers and schedule in parallel. The
+/// same keying is what ShardRouter consistent-hashes across several
+/// services — this class is the single-process backend of that seam.
 ///
-/// Submissions whose result is already cached complete synchronously inside
-/// `submit` / `try_submit` (the returned future is immediately ready)
-/// without touching a worker queue — admission control never refuses a
-/// cached answer.
+/// Requests whose result is already cached complete synchronously inside
+/// `submit` (the returned future is immediately ready) without touching a
+/// worker queue — admission control never refuses a cached answer.
 ///
 /// Admission control: with `ServiceConfig::queue_depth > 0` every shard
-/// queue is bounded. `submit` applies backpressure (blocks on the shard's
-/// space condition variable until a worker pops an entry); `try_submit`
-/// never blocks and instead returns a typed `Rejected` outcome carrying the
-/// observed depth, for latency-sensitive callers that would rather shed
-/// load than wait.
+/// queue is bounded and `ScheduleRequest::admission` picks the policy on a
+/// full shard — `kBlock` applies backpressure (waits on the shard's space
+/// condition variable until a worker pops an entry), `kReject` never blocks
+/// and instead resolves to a typed `Rejected` outcome carrying the observed
+/// depth, for latency-sensitive callers that would rather shed load than
+/// wait. A positive `ScheduleRequest::priority` enqueues at the front of its
+/// shard (best-effort queue jump).
 ///
-/// `submit_simulated` chains a SimulationPass after scheduling on the
+/// A request with `sim` set chains a SimulationPass after scheduling on the
 /// worker, so batch sweeps obtain bulk-engine simulated makespans in one
-/// hop; its results are cached under the schedule key extended with the
-/// SimOptions fingerprint, so simulated and plain results never collide.
+/// hop; its results cache under the sim-options-extended request key, so
+/// simulated and plain results never collide.
 ///
 /// Scheduling errors (unknown scheduler name, invalid graph, a simulated
 /// schedule that deadlocks) surface as the exception of the returned
-/// future; the service itself stays healthy. Destruction (or `shutdown()`)
-/// drains every queued job before joining the workers, so no future is ever
-/// abandoned; submitters blocked on backpressure are woken and throw.
+/// future — or as `ScheduleResponse::error` through `Admission::wait()` /
+/// `schedule()`; the service itself stays healthy. Destruction (or
+/// `shutdown()`) drains every queued job before joining the workers, so no
+/// future is ever abandoned; submitters blocked on backpressure are woken
+/// and throw.
 class ScheduleService {
  public:
   using ResultPtr = ScheduleCache::ResultPtr;
+  using Rejected = sts::Rejected;
 
-  /// Typed refusal of a `try_submit` on a full shard.
-  struct Rejected {
-    std::size_t shard = 0;  ///< index of the full shard
-    std::size_t depth = 0;  ///< its queue depth observed at rejection
-    std::size_t limit = 0;  ///< the configured per-shard depth limit
-  };
-
-  /// Outcome of `try_submit`: exactly one of `future` (valid iff accepted)
+  /// Outcome of `submit`: exactly one of `future` (valid iff accepted)
   /// or `rejected` is populated.
   struct Admission {
     std::future<ResultPtr> future;
     std::optional<Rejected> rejected;
 
     [[nodiscard]] bool accepted() const noexcept { return !rejected.has_value(); }
+
+    /// Resolves this admission into the unified response envelope: blocks on
+    /// the future when accepted, folding a failed computation into
+    /// `ScheduleResponse::error` instead of an exception. Consumes the
+    /// future; call once.
+    [[nodiscard]] ScheduleResponse wait();
   };
 
   struct Stats {
     std::uint64_t submitted = 0;  ///< all submission attempts, rejections included
     std::uint64_t completed = 0;  ///< finished jobs, failures included
     std::uint64_t failed = 0;     ///< jobs whose future holds an exception
-    std::uint64_t rejected = 0;   ///< try_submit refusals on a full shard
+    std::uint64_t rejected = 0;   ///< kReject refusals on a full shard
     std::uint64_t simulated = 0;  ///< accepted submissions requesting simulation
     std::uint64_t fast_path_hits = 0;  ///< completed synchronously in submit()
     std::vector<std::size_t> shard_max_depth;  ///< per-shard queue high-water mark
@@ -102,29 +110,31 @@ class ScheduleService {
   ScheduleService(const ScheduleService&) = delete;
   ScheduleService& operator=(const ScheduleService&) = delete;
 
-  /// Enqueues one scheduling job (the graph is copied into the job) and
-  /// returns the future result. With a queue depth limit, blocks while the
-  /// target shard is full (backpressure) until a worker drains an entry.
-  /// Throws std::runtime_error after shutdown().
-  [[nodiscard]] std::future<ResultPtr> submit(const TaskGraph& graph, std::string scheduler,
-                                              MachineConfig machine);
+  /// THE submission path: admits one request envelope (moved into the job)
+  /// and returns its admission. With `AdmissionPolicy::kBlock` (the default)
+  /// the admission is always accepted — a full shard blocks the caller until
+  /// a worker drains an entry — so `.future` can be used directly; with
+  /// `kReject` a full shard yields `rejected` instead of waiting. Throws
+  /// std::runtime_error after shutdown().
+  [[nodiscard]] Admission submit(ScheduleRequest request);
 
-  /// Non-blocking admission: like `submit`, but a full shard yields a
-  /// `Rejected` outcome (with the observed depth) instead of waiting.
-  /// Cached scenarios are always accepted and resolve immediately.
-  [[nodiscard]] Admission try_submit(const TaskGraph& graph, std::string scheduler,
-                                     MachineConfig machine);
+  /// Synchronous convenience: `submit(request).wait()`.
+  [[nodiscard]] ScheduleResponse schedule(ScheduleRequest request);
 
-  /// Like `submit`, but the worker chains a SimulationPass after scheduling:
-  /// the result's `sim` field carries the simulated makespan, identical to a
-  /// synchronous schedule + simulate_streaming run under `sim`. Requires a
-  /// streaming scheduler (others fail the future with std::invalid_argument);
-  /// a deadlocking or tick-limited schedule fails the future and is not
-  /// cached.
-  [[nodiscard]] std::future<ResultPtr> submit_simulated(const TaskGraph& graph,
-                                                        std::string scheduler,
-                                                        MachineConfig machine,
-                                                        SimOptions sim = {});
+  /// Deprecated positional shims (one release): thin wrappers that assemble
+  /// a ScheduleRequest and forward to `submit(ScheduleRequest)`.
+  [[deprecated("assemble a ScheduleRequest and call submit(request)")]] [[nodiscard]]
+  std::future<ResultPtr> submit(const TaskGraph& graph, std::string scheduler,
+                                MachineConfig machine);
+
+  [[deprecated(
+      "set ScheduleRequest::admission = AdmissionPolicy::kReject and call "
+      "submit(request)")]] [[nodiscard]]
+  Admission try_submit(const TaskGraph& graph, std::string scheduler, MachineConfig machine);
+
+  [[deprecated("set ScheduleRequest::sim and call submit(request)")]] [[nodiscard]]
+  std::future<ResultPtr> submit_simulated(const TaskGraph& graph, std::string scheduler,
+                                          MachineConfig machine, SimOptions sim = {});
 
   /// Blocks until every accepted job submitted so far has completed.
   void wait_idle();
@@ -142,18 +152,22 @@ class ScheduleService {
   /// consumers). Keys should stay stable across versions.
   [[nodiscard]] std::string stats_json() const;
 
+  /// Renders one Stats snapshot plus sizing knobs in the stats_json() shape
+  /// — `stats_json()` is `render_stats_json(stats(), ...)`, and ShardRouter
+  /// reuses it so per-backend records come from a single stats() snapshot.
+  [[nodiscard]] static std::string render_stats_json(const Stats& stats, std::size_t workers,
+                                                     std::size_t queue_depth_limit,
+                                                     std::size_t cache_size,
+                                                     std::size_t cache_weight,
+                                                     std::size_t cache_capacity);
+
   [[nodiscard]] ScheduleCache& cache() noexcept { return cache_; }
   [[nodiscard]] std::size_t worker_count() const noexcept { return shards_.size(); }
   [[nodiscard]] std::size_t queue_depth_limit() const noexcept { return queue_depth_; }
 
  private:
   struct Job {
-    std::string key;
-    TaskGraph graph;
-    std::string scheduler;
-    MachineConfig machine;
-    bool simulate = false;
-    SimOptions sim_options;
+    ScheduleRequest request;  ///< request.key() is memoized before enqueue
     std::promise<ResultPtr> promise;
   };
   struct Shard {
@@ -164,11 +178,6 @@ class ScheduleService {
     std::size_t max_depth = 0;  ///< high-water mark, under mutex
   };
 
-  /// Whether a full shard blocks the caller or refuses admission.
-  enum class Admit : std::uint8_t { kBlock, kReject };
-
-  Admission enqueue(const TaskGraph& graph, std::string scheduler, MachineConfig machine,
-                    bool simulate, const SimOptions& sim, Admit mode);
   [[nodiscard]] static ScheduleResult compute_job(const Job& job);
   void worker_loop(Shard& shard);
   void finish_one(bool failed);

@@ -1,0 +1,217 @@
+#include "service/shard_router.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "pipeline/schedule_cache.hpp"
+#include "support/text.hpp"
+
+namespace sts {
+
+namespace {
+
+void accumulate(ScheduleService::Stats& into, const ScheduleService::Stats& from) {
+  into.submitted += from.submitted;
+  into.completed += from.completed;
+  into.failed += from.failed;
+  into.rejected += from.rejected;
+  into.simulated += from.simulated;
+  into.fast_path_hits += from.fast_path_hits;
+  into.cache.hits += from.cache.hits;
+  into.cache.misses += from.cache.misses;
+  into.cache.races += from.cache.races;
+  into.cache.evictions += from.cache.evictions;
+  into.cache.evicted_weight += from.cache.evicted_weight;
+  into.shard_max_depth.insert(into.shard_max_depth.end(), from.shard_max_depth.begin(),
+                              from.shard_max_depth.end());
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(RouterConfig config) : config_(std::move(config)) {
+  if (config_.num_backends == 0) {
+    throw std::invalid_argument("ShardRouter: num_backends must be >= 1");
+  }
+  if (config_.virtual_nodes == 0) {
+    throw std::invalid_argument("ShardRouter: virtual_nodes must be >= 1");
+  }
+  backends_.reserve(config_.num_backends);
+  for (std::size_t i = 0; i < config_.num_backends; ++i) {
+    backends_.push_back(std::make_shared<ScheduleService>(config_.backend));
+  }
+  rebuild_ring();
+}
+
+std::vector<std::shared_ptr<ScheduleService>> ShardRouter::snapshot_backends() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return backends_;
+}
+
+void ShardRouter::rebuild_ring() {
+  ring_.clear();
+  ring_.reserve(backends_.size() * config_.virtual_nodes);
+  for (std::size_t b = 0; b < backends_.size(); ++b) {
+    for (std::size_t v = 0; v < config_.virtual_nodes; ++v) {
+      // The point position depends only on (backend index, vnode index), so
+      // growing the pool never moves an existing backend's points — the
+      // consistent-hashing property the rebalance test pins down.
+      std::string point = "backend ";
+      append_number(point, b);
+      point += " vnode ";
+      append_number(point, v);
+      ring_.push_back(RingPoint{fnv1a64(point), static_cast<std::uint32_t>(b)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const RingPoint& a, const RingPoint& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.backend < b.backend;
+  });
+}
+
+std::size_t ShardRouter::backend_for_hash(std::uint64_t hash) const {
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), hash,
+      [](const RingPoint& point, std::uint64_t value) { return point.hash < value; });
+  return it != ring_.end() ? it->backend : ring_.front().backend;  // wrap past the top
+}
+
+std::size_t ShardRouter::backend_for_key(std::string_view key) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return backend_for_hash(fnv1a64(key));
+}
+
+std::size_t ShardRouter::backend_for(const ScheduleRequest& request) const {
+  return backend_for_key(request.key());
+}
+
+ScheduleService::Admission ShardRouter::submit(ScheduleRequest request) {
+  // Resolve the route under the shared lock, then release it before the
+  // backend call: a submit blocked on backpressure must not pin the router.
+  std::shared_ptr<ScheduleService> backend;
+  std::size_t index = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    index = backend_for_hash(fnv1a64(request.key()));
+    backend = backends_[index];
+  }
+  ScheduleService::Admission admission = backend->submit(std::move(request));
+  if (admission.rejected.has_value()) admission.rejected->backend = index;
+  return admission;
+}
+
+ScheduleResponse ShardRouter::schedule(ScheduleRequest request) {
+  return submit(std::move(request)).wait();
+}
+
+std::size_t ShardRouter::backend_count() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return backends_.size();
+}
+
+ScheduleService& ShardRouter::backend(std::size_t index) {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return *backends_.at(index);
+}
+
+void ShardRouter::set_backend_count(std::size_t count) {
+  if (count == 0) throw std::invalid_argument("ShardRouter: num_backends must be >= 1");
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  while (backends_.size() > count) {
+    // Retire the highest-index backend: drain it, keep its counters, drop
+    // its cache. Its ring points disappear with the rebuild below, and the
+    // keys it owned fall through to the neighbors that already owned the
+    // rest of their arcs.
+    ScheduleService& victim = *backends_.back();
+    victim.wait_idle();
+    accumulate(retired_, victim.stats());
+    backends_.pop_back();
+  }
+  while (backends_.size() < count) {
+    backends_.push_back(std::make_shared<ScheduleService>(config_.backend));
+  }
+  config_.num_backends = count;
+  rebuild_ring();
+}
+
+void ShardRouter::drain(std::size_t index) {
+  std::shared_ptr<ScheduleService> backend;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    backend = backends_.at(index);
+  }
+  backend->wait_idle();  // outside the lock: draining must not block routing
+}
+
+void ShardRouter::wait_idle() {
+  for (const auto& backend : snapshot_backends()) backend->wait_idle();
+}
+
+ShardRouter::Stats ShardRouter::stats() const {
+  Stats out;
+  std::vector<std::shared_ptr<ScheduleService>> backends;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    backends = backends_;
+    out.total = retired_;
+  }
+  out.backends.reserve(backends.size());
+  for (const auto& backend : backends) {
+    out.backends.push_back(backend->stats());
+    accumulate(out.total, out.backends.back());
+  }
+  return out;
+}
+
+std::string ShardRouter::stats_json() const {
+  // One stats() snapshot per backend feeds both the per-backend records and
+  // the aggregate, so the emitted totals always equal the sum of the
+  // per_backend objects in the same document.
+  std::vector<std::shared_ptr<ScheduleService>> backends;
+  ScheduleService::Stats total;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    backends = backends_;
+    total = retired_;
+  }
+  const std::size_t live = backends.size();
+  std::vector<std::string> per_backend;
+  per_backend.reserve(live);
+  for (const auto& backend : backends) {
+    const ScheduleService::Stats snapshot = backend->stats();
+    accumulate(total, snapshot);
+    per_backend.push_back(ScheduleService::render_stats_json(
+        snapshot, backend->worker_count(), backend->queue_depth_limit(),
+        backend->cache().size(), backend->cache().total_weight(),
+        backend->cache().capacity()));
+  }
+  const ScheduleService::Stats& s = total;
+  const auto field = [](const char* key, std::uint64_t value) {
+    return std::string("\"") + key + "\": " + std::to_string(value);
+  };
+  std::string json = "{";
+  json += field("backends", live);
+  json += ", " + field("submitted", s.submitted);
+  json += ", " + field("completed", s.completed);
+  json += ", " + field("failed", s.failed);
+  json += ", " + field("rejected", s.rejected);
+  json += ", " + field("simulated", s.simulated);
+  json += ", " + field("fast_path_hits", s.fast_path_hits);
+  json += ", " + field("cache_hits", s.cache.hits);
+  json += ", " + field("cache_misses", s.cache.misses);
+  json += ", " + field("cache_races", s.cache.races);
+  json += ", " + field("cache_evictions", s.cache.evictions);
+  json += ", " + field("cache_evicted_weight", s.cache.evicted_weight);
+  std::size_t peak = 0;
+  for (const std::size_t depth : s.shard_max_depth) peak = std::max(peak, depth);
+  json += ", " + field("max_queue_depth", peak);
+  json += ", \"per_backend\": [";
+  for (std::size_t i = 0; i < per_backend.size(); ++i) {
+    if (i > 0) json += ", ";
+    json += per_backend[i];
+  }
+  json += "]}";
+  return json;
+}
+
+}  // namespace sts

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/request.hpp"
+#include "service/schedule_service.hpp"
+
+namespace sts {
+
+/// Sizing knobs of a ShardRouter.
+struct RouterConfig {
+  /// Number of ScheduleService backends to own. Must be >= 1.
+  std::size_t num_backends = 2;
+
+  /// Ring points per backend. More points smooth the key-space split at the
+  /// cost of a larger (still tiny) routing table; 64 keeps the imbalance of
+  /// a random key set within a few percent.
+  std::size_t virtual_nodes = 64;
+
+  /// Configuration applied to every backend service.
+  ServiceConfig backend;
+};
+
+/// Thin routing front end that partitions the request-key space across N
+/// `ScheduleService` backends with a consistent-hash ring (the ROADMAP's
+/// cross-process sharding seam: backends are in-process instances today, but
+/// the router only ever touches them through `submit(ScheduleRequest)` — a
+/// serializable envelope — so a backend can become a separate process
+/// without changing a caller).
+///
+/// Routing: each backend owns `virtual_nodes` points on a 64-bit ring,
+/// placed at `fnv1a64("backend <i> vnode <j>")`; a request routes to the
+/// owner of the first ring point at or after `fnv1a64(request.key())`
+/// (wrapping). Identical requests therefore always land on the same backend
+/// (whose own key-sharding then serializes them onto one worker and
+/// single-flights the computation), and resizing from N to N+1 backends
+/// only moves the keys now owned by the new backend — every other key keeps
+/// its backend and its warm cache.
+///
+/// `submit` forwards the envelope and annotates a `Rejected` outcome with
+/// the backend index. `stats()` / `stats_json()` aggregate across backends
+/// (including backends already retired by `set_backend_count`, so totals
+/// stay monotonic); `drain(i)` waits out one backend, e.g. before retiring
+/// it.
+///
+/// Concurrency: the router lock only covers the routing decision, never a
+/// backend call — a submit blocked on backpressure therefore cannot stall
+/// routing to other backends or a concurrent `set_backend_count`. Backends
+/// are shared-owned, so a submit racing a shrink completes safely on the
+/// retiring backend (its future resolves; counters it adds after the
+/// retirement snapshot are not folded into the totals).
+class ShardRouter {
+ public:
+  explicit ShardRouter(RouterConfig config = {});
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Routes the request to its backend and forwards to
+  /// `ScheduleService::submit`. A rejected admission carries the backend
+  /// index in `rejected->backend`.
+  [[nodiscard]] ScheduleService::Admission submit(ScheduleRequest request);
+
+  /// Synchronous convenience: `submit(request).wait()`.
+  [[nodiscard]] ScheduleResponse schedule(ScheduleRequest request);
+
+  /// The backend a request (or a raw request key) routes to. Deterministic:
+  /// depends only on the key and the current backend count / ring layout.
+  [[nodiscard]] std::size_t backend_for(const ScheduleRequest& request) const;
+  [[nodiscard]] std::size_t backend_for_key(std::string_view key) const;
+
+  [[nodiscard]] std::size_t backend_count() const;
+
+  /// Direct access to one backend (tests, per-backend cache inspection).
+  /// The reference is invalidated by set_backend_count.
+  [[nodiscard]] ScheduleService& backend(std::size_t index);
+
+  /// Rebalances to `count` backends. Growing adds fresh services (cold
+  /// caches) and moves only the keys the new ring points claim; shrinking
+  /// drains each retired backend, folds its counters into the retired
+  /// totals, and destroys it (its cached entries are recomputed on their
+  /// new backends on demand). Blocks until in-flight work on retired
+  /// backends finishes. Throws std::invalid_argument on zero.
+  void set_backend_count(std::size_t count);
+
+  /// Blocks until every job accepted by backend `index` has completed.
+  void drain(std::size_t index);
+
+  /// Blocks until every backend is idle.
+  void wait_idle();
+
+  struct Stats {
+    ScheduleService::Stats total;  ///< Σ over live + retired backends;
+                                   ///< shard_max_depth concatenated over
+                                   ///< live backends in index order
+    std::vector<ScheduleService::Stats> backends;  ///< per live backend
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Aggregate stats in the flat BENCH_*.json shape of
+  /// ScheduleService::stats_json, plus `backends` (live count) and a
+  /// `per_backend` array of each live backend's own stats object.
+  [[nodiscard]] std::string stats_json() const;
+
+ private:
+  struct RingPoint {
+    std::uint64_t hash = 0;
+    std::uint32_t backend = 0;
+  };
+
+  // Both require mutex_ held (shared suffices).
+  [[nodiscard]] std::size_t backend_for_hash(std::uint64_t hash) const;
+  void rebuild_ring();
+
+  // Takes the shared lock itself; callers operate on the returned snapshot
+  // with the lock released, so blocking backend calls never pin it.
+  [[nodiscard]] std::vector<std::shared_ptr<ScheduleService>> snapshot_backends() const;
+
+  mutable std::shared_mutex mutex_;
+  RouterConfig config_;
+  std::vector<std::shared_ptr<ScheduleService>> backends_;
+  std::vector<RingPoint> ring_;  ///< sorted by (hash, backend)
+  ScheduleService::Stats retired_;  ///< counters of destroyed backends
+};
+
+}  // namespace sts

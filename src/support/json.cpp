@@ -1,0 +1,397 @@
+#include "support/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+namespace sts {
+
+namespace {
+
+[[noreturn]] void fail_kind(const char* expected, JsonValue::Kind got) {
+  const char* name = "?";
+  switch (got) {
+    case JsonValue::Kind::kNull: name = "null"; break;
+    case JsonValue::Kind::kBool: name = "bool"; break;
+    case JsonValue::Kind::kNumber: name = "number"; break;
+    case JsonValue::Kind::kString: name = "string"; break;
+    case JsonValue::Kind::kArray: name = "array"; break;
+    case JsonValue::Kind::kObject: name = "object"; break;
+  }
+  throw std::invalid_argument(std::string("json: expected ") + expected + ", got " + name);
+}
+
+/// Recursive-descent parser over a string_view with offset-annotated errors.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after document");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue::make_string(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        return JsonValue::make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        return JsonValue::make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return JsonValue::make_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    std::vector<JsonValue::Member> members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      for (const JsonValue::Member& m : members) {
+        if (m.first == key) fail("duplicate object key '" + key + "'");
+      }
+      skip_ws();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    return JsonValue::make_object(std::move(members));
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    for (;;) {
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+    return JsonValue::make_array(std::move(items));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("unescaped control character");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  /// \uXXXX escapes, UTF-8 encoded. Surrogate pairs are handled; a lone
+  /// surrogate is rejected (the envelope never needs one).
+  std::string parse_unicode_escape() {
+    const auto hex4 = [this]() -> std::uint32_t {
+      if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+      std::uint32_t value = 0;
+      for (int i = 0; i < 4; ++i) {
+        const char c = text_[pos_++];
+        value <<= 4;
+        if (c >= '0' && c <= '9') {
+          value |= static_cast<std::uint32_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+          value |= static_cast<std::uint32_t>(c - 'a' + 10);
+        } else if (c >= 'A' && c <= 'F') {
+          value |= static_cast<std::uint32_t>(c - 'A' + 10);
+        } else {
+          fail("invalid \\u escape");
+        }
+      }
+      return value;
+    };
+    std::uint32_t code = hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      if (!consume_literal("\\u")) fail("unpaired surrogate");
+      const std::uint32_t low = hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired surrogate");
+    }
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    // Strict RFC 8259 grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    // — no leading zeros, no bare '.5' / trailing '1.', nothing from_chars
+    // would otherwise tolerate. The envelope promises that malformed input
+    // never silently parses as a different scenario.
+    const std::size_t start = pos_;
+    const auto digit = [this] {
+      return pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9';
+    };
+    const auto digits1 = [&] {  // one-or-more digits
+      if (!digit()) fail("invalid number");
+      while (digit()) ++pos_;
+    };
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (!digit()) fail("invalid number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+      if (digit()) fail("leading zero in number");
+    } else {
+      while (digit()) ++pos_;
+    }
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      digits1();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      digits1();
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (integral) {
+      std::int64_t value = 0;
+      const auto [end, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc() && end == token.data() + token.size()) {
+        return JsonValue::make_int(value);
+      }
+      // Integer literal out of int64 range: fall through to double.
+    }
+    double value = 0.0;
+    const auto [end, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || end != token.data() + token.size() || !std::isfinite(value)) {
+      fail("invalid number");
+    }
+    return JsonValue::make_double(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::make_bool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::make_int(std::int64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.integral_ = true;
+  v.int_ = value;
+  v.double_ = static_cast<double>(value);
+  return v;
+}
+
+JsonValue JsonValue::make_double(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.integral_ = false;
+  v.double_ = value;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(std::vector<Member> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) fail_kind("bool", kind_);
+  return bool_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (kind_ != Kind::kNumber) fail_kind("number", kind_);
+  if (!integral_) throw std::invalid_argument("json: expected integer, got fraction");
+  return int_;
+}
+
+double JsonValue::as_double() const {
+  if (kind_ != Kind::kNumber) fail_kind("number", kind_);
+  return integral_ ? static_cast<double>(int_) : double_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) fail_kind("string", kind_);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::kArray) fail_kind("array", kind_);
+  return items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  if (kind_ != Kind::kObject) fail_kind("object", kind_);
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const Member& m : members()) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  if (const JsonValue* value = find(key)) return *value;
+  throw std::invalid_argument("json: missing member '" + std::string(key) + "'");
+}
+
+JsonValue parse_json(std::string_view text) { return Parser(text).parse_document(); }
+
+void reject_unknown_members(const JsonValue& object,
+                            std::initializer_list<std::string_view> allowed,
+                            const char* context, const char* what) {
+  for (const JsonValue::Member& m : object.members()) {
+    bool known = false;
+    for (const std::string_view key : allowed) known = known || m.first == key;
+    if (!known) {
+      throw std::invalid_argument(std::string(context) + ": unknown " + what + " member '" +
+                                  m.first + "'");
+    }
+  }
+}
+
+void append_json_quoted(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += hex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace sts

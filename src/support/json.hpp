@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sts {
+
+/// Minimal immutable JSON document model for the serving envelope
+/// (service/request.hpp) and tooling that validates emitted stats records.
+/// Parsed by `parse_json`; every accessor throws std::invalid_argument on a
+/// kind mismatch, so envelope readers get typed "malformed request" errors
+/// instead of silent coercions.
+///
+/// Numbers keep their exact integral value when the literal is an integer in
+/// int64 range (no '.', no exponent): graph volumes are int64 and must
+/// round-trip bit-exactly, which a double-only model cannot guarantee above
+/// 2^53. Object member order is preserved (vector of pairs, not a map);
+/// duplicate keys are rejected at parse time.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  [[nodiscard]] static JsonValue make_null() { return JsonValue(); }
+  [[nodiscard]] static JsonValue make_bool(bool value);
+  [[nodiscard]] static JsonValue make_int(std::int64_t value);
+  [[nodiscard]] static JsonValue make_double(double value);
+  [[nodiscard]] static JsonValue make_string(std::string value);
+  [[nodiscard]] static JsonValue make_array(std::vector<JsonValue> items);
+  [[nodiscard]] static JsonValue make_object(std::vector<Member> members);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+
+  /// Typed accessors; throw std::invalid_argument naming the expected kind.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;  ///< also rejects non-integral numbers
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;   ///< array elements
+  [[nodiscard]] const std::vector<Member>& members() const;    ///< object members
+
+  /// Object member lookup; nullptr when absent. Throws if not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Like find, but a missing member throws std::invalid_argument naming it.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  bool integral_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+/// Strict recursive-descent parse of one JSON document. Throws
+/// std::invalid_argument (with the byte offset) on malformed input,
+/// trailing garbage, duplicate object keys, or nesting deeper than 64
+/// levels. Accepts the RFC 8259 grammar; no extensions (comments, NaN,
+/// trailing commas).
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// Appends `text` JSON-escaped (quotes, backslash, control characters)
+/// between double quotes.
+void append_json_quoted(std::string& out, std::string_view text);
+
+/// Strict-envelope helper: throws std::invalid_argument
+/// ("<context>: unknown <what> member '<name>'") for any member of `object`
+/// outside `allowed` — a typo must not silently change a scenario.
+void reject_unknown_members(const JsonValue& object,
+                            std::initializer_list<std::string_view> allowed,
+                            const char* context, const char* what);
+
+}  // namespace sts

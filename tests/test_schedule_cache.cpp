@@ -204,5 +204,92 @@ TEST(ScheduleCacheSingleFlight, ConcurrentEvictionKeepsBoundAndBooks) {
   EXPECT_GT(stats.evictions, 0u);
 }
 
+// ------------------------------------------------------ size-aware admission
+// Capacity is a TOTAL WEIGHT bound (schedule entries weigh their graph's
+// node count); the generic weight-1 default above degenerates to the classic
+// entry-count LRU, these cases pin down the weighted behavior.
+
+TEST(ScheduleCacheWeighted, CapacityBoundsTotalWeightNotEntryCount) {
+  ScheduleCache cache(10);
+  std::atomic<int> computed{0};
+  (void)cache.get_or_compute("w4-a", counted_result(computed, 1), 4);
+  (void)cache.get_or_compute("w4-b", counted_result(computed, 2), 4);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.total_weight(), 8u);
+
+  // Weight 4 more would exceed 10: the LRU entry (w4-a) must go.
+  (void)cache.get_or_compute("w4-c", counted_result(computed, 3), 4);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.total_weight(), 8u);
+  EXPECT_FALSE(cache.contains("w4-a"));
+  EXPECT_TRUE(cache.contains("w4-b"));
+  EXPECT_TRUE(cache.contains("w4-c"));
+
+  const ScheduleCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.evicted_weight, 4u);
+}
+
+TEST(ScheduleCacheWeighted, LightEntriesPackUntilTheWeightBound) {
+  ScheduleCache cache(6);
+  std::atomic<int> computed{0};
+  for (int i = 0; i < 6; ++i) {
+    (void)cache.get_or_compute("w1-" + std::to_string(i), counted_result(computed, i), 1);
+  }
+  EXPECT_EQ(cache.size(), 6u);
+  EXPECT_EQ(cache.total_weight(), 6u);
+  // One heavy insert displaces exactly enough light entries to fit.
+  (void)cache.get_or_compute("w4", counted_result(computed, 9), 4);
+  EXPECT_EQ(cache.total_weight(), 6u);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_TRUE(cache.contains("w4"));
+  EXPECT_FALSE(cache.contains("w1-0"));
+  EXPECT_FALSE(cache.contains("w1-3"));
+  EXPECT_TRUE(cache.contains("w1-4"));
+  EXPECT_EQ(cache.stats().evicted_weight, 4u);
+}
+
+TEST(ScheduleCacheWeighted, OversizeEntryIsDroppedImmediately) {
+  ScheduleCache cache(4);
+  std::atomic<int> computed{0};
+  (void)cache.get_or_compute("small", counted_result(computed, 1), 2);
+  const auto big = cache.get_or_compute("big", counted_result(computed, 2), 10);
+  EXPECT_EQ(big->makespan, 2) << "the caller still gets the computed result";
+  EXPECT_FALSE(cache.contains("big")) << "an entry that can never fit is not cached";
+  EXPECT_EQ(cache.total_weight(), 2u);
+  EXPECT_TRUE(cache.contains("small")) << "dropping the oversize entry spares residents";
+
+  // Requesting it again recomputes (and drops again): 2 misses, no hits.
+  (void)cache.get_or_compute("big", counted_result(computed, 3), 10);
+  EXPECT_EQ(computed.load(), 3);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_GE(cache.stats().evicted_weight, 20u);
+}
+
+TEST(ScheduleCacheWeighted, SetCapacityShrinksByWeight) {
+  ScheduleCache cache(100);
+  std::atomic<int> computed{0};
+  for (int i = 0; i < 5; ++i) {
+    (void)cache.get_or_compute("w10-" + std::to_string(i), counted_result(computed, i), 10);
+  }
+  EXPECT_EQ(cache.total_weight(), 50u);
+  cache.set_capacity(25);
+  EXPECT_LE(cache.total_weight(), 25u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.contains("w10-4"));
+  EXPECT_TRUE(cache.contains("w10-3"));
+  EXPECT_EQ(cache.stats().evicted_weight, 30u);
+}
+
+TEST(ScheduleCacheWeighted, ZeroWeightIsClampedToOne) {
+  ScheduleCache cache(2);
+  std::atomic<int> computed{0};
+  (void)cache.get_or_compute("z1", counted_result(computed, 1), 0);
+  (void)cache.get_or_compute("z2", counted_result(computed, 2), 0);
+  EXPECT_EQ(cache.total_weight(), 2u);
+  (void)cache.get_or_compute("z3", counted_result(computed, 3), 0);
+  EXPECT_EQ(cache.size(), 2u) << "weight-0 entries must still occupy capacity";
+}
+
 }  // namespace
 }  // namespace sts

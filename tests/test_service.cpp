@@ -9,6 +9,7 @@
 
 #include "paper_examples.hpp"
 #include "pipeline/registry.hpp"
+#include "service/request.hpp"
 #include "workloads/synthetic.hpp"
 
 namespace sts {
@@ -20,10 +21,18 @@ MachineConfig machine_with(std::int64_t pes) {
   return machine;
 }
 
+ScheduleRequest request_for(const TaskGraph& graph, std::string scheduler, std::int64_t pes) {
+  ScheduleRequest request;
+  request.graph = graph;
+  request.scheduler = std::move(scheduler);
+  request.machine.num_pes = pes;
+  return request;
+}
+
 TEST(ScheduleService, MatchesDirectScheduling) {
-  ScheduleService service(ServiceConfig{2, 64});
+  ScheduleService service(ServiceConfig{2, 4096});
   const TaskGraph g = make_fft(16, 7);
-  auto future = service.submit(g, "streaming-rlx", machine_with(16));
+  auto future = service.submit(request_for(g, "streaming-rlx", 16)).future;
   const auto result = future.get();
   ASSERT_NE(result, nullptr);
 
@@ -39,11 +48,36 @@ TEST(ScheduleService, MatchesDirectScheduling) {
   EXPECT_EQ(stats.failed, 0u);
 }
 
+TEST(ScheduleService, ScheduleReturnsOkResponse) {
+  ScheduleService service(ServiceConfig{2, 4096});
+  const ScheduleResponse response =
+      service.schedule(request_for(testing::figure8_graph(), "streaming-rlx", 8));
+  ASSERT_TRUE(response.ok());
+  ASSERT_NE(response.result, nullptr);
+  EXPECT_GT(response.result->makespan, 0);
+  EXPECT_FALSE(response.rejected.has_value());
+  EXPECT_TRUE(response.error.empty());
+
+  const std::string json = response.to_json();
+  EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"makespan\": "), std::string::npos) << json;
+}
+
+TEST(ScheduleService, ScheduleFoldsErrorsIntoTheResponse) {
+  ScheduleService service(ServiceConfig{2, 4096});
+  const ScheduleResponse response =
+      service.schedule(request_for(testing::figure8_graph(), "no-such-scheduler", 8));
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status, ScheduleResponse::Status::kError);
+  EXPECT_NE(response.error.find("no-such-scheduler"), std::string::npos) << response.error;
+  EXPECT_NE(response.to_json().find("\"status\": \"error\""), std::string::npos);
+}
+
 TEST(ScheduleService, SecondSubmissionTakesFastPath) {
-  ScheduleService service(ServiceConfig{2, 64});
+  ScheduleService service(ServiceConfig{2, 4096});
   const TaskGraph g = testing::figure8_graph();
-  const auto first = service.submit(g, "streaming-rlx", machine_with(8)).get();
-  auto second_future = service.submit(g, "streaming-rlx", machine_with(8));
+  const auto first = service.submit(request_for(g, "streaming-rlx", 8)).future.get();
+  auto second_future = service.submit(request_for(g, "streaming-rlx", 8)).future;
   // A cached result resolves synchronously inside submit.
   EXPECT_EQ(second_future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
   EXPECT_EQ(second_future.get().get(), first.get()) << "same immutable result object";
@@ -52,13 +86,13 @@ TEST(ScheduleService, SecondSubmissionTakesFastPath) {
 
 TEST(ScheduleService, DuplicateSubmissionsComputeOnce) {
   constexpr int kCopies = 24;
-  ScheduleService service(ServiceConfig{4, 64});
+  ScheduleService service(ServiceConfig{4, 4096});
   const TaskGraph g = make_cholesky(6, 3);
 
   std::vector<std::future<ScheduleService::ResultPtr>> futures;
   futures.reserve(kCopies);
   for (int i = 0; i < kCopies; ++i) {
-    futures.push_back(service.submit(g, "streaming-rlx", machine_with(16)));
+    futures.push_back(service.submit(request_for(g, "streaming-rlx", 16)).future);
   }
   const ScheduleService::ResultPtr first = futures.front().get();
   for (auto& f : futures) {
@@ -76,7 +110,7 @@ TEST(ScheduleService, DuplicateSubmissionsComputeOnce) {
 }
 
 TEST(ScheduleService, SweepAcrossWorkersMatchesDirect) {
-  ScheduleService service(ServiceConfig{4, 256});
+  ScheduleService service(ServiceConfig{4, 1 << 16});
   struct Case {
     TaskGraph graph;
     std::int64_t pes;
@@ -91,7 +125,7 @@ TEST(ScheduleService, SweepAcrossWorkersMatchesDirect) {
   std::vector<std::future<ScheduleService::ResultPtr>> futures;
   futures.reserve(cases.size());
   for (const Case& c : cases) {
-    futures.push_back(service.submit(c.graph, "streaming-rlx", machine_with(c.pes)));
+    futures.push_back(service.submit(request_for(c.graph, "streaming-rlx", c.pes)).future);
   }
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const auto result = futures[i].get();
@@ -103,25 +137,25 @@ TEST(ScheduleService, SweepAcrossWorkersMatchesDirect) {
 }
 
 TEST(ScheduleService, PropagatesSchedulerErrorsAndStaysHealthy) {
-  ScheduleService service(ServiceConfig{2, 64});
+  ScheduleService service(ServiceConfig{2, 4096});
   const TaskGraph g = testing::figure8_graph();
 
-  auto bad = service.submit(g, "no-such-scheduler", machine_with(8));
+  auto bad = service.submit(request_for(g, "no-such-scheduler", 8)).future;
   EXPECT_THROW((void)bad.get(), std::invalid_argument);
 
   // The failure is accounted and the service keeps serving.
   service.wait_idle();
   EXPECT_EQ(service.stats().failed, 1u);
-  const auto good = service.submit(g, "streaming-rlx", machine_with(8)).get();
+  const auto good = service.submit(request_for(g, "streaming-rlx", 8)).future.get();
   EXPECT_GT(good->makespan, 0);
 }
 
 TEST(ScheduleService, FailedComputationIsRetriedNotCached) {
-  ScheduleService service(ServiceConfig{2, 64});
+  ScheduleService service(ServiceConfig{2, 4096});
   const TaskGraph g = testing::figure9_graph1();
-  EXPECT_THROW((void)service.submit(g, "no-such-scheduler", machine_with(8)).get(),
+  EXPECT_THROW((void)service.submit(request_for(g, "no-such-scheduler", 8)).future.get(),
                std::invalid_argument);
-  EXPECT_THROW((void)service.submit(g, "no-such-scheduler", machine_with(8)).get(),
+  EXPECT_THROW((void)service.submit(request_for(g, "no-such-scheduler", 8)).future.get(),
                std::invalid_argument);
   service.wait_idle();
   // Both submissions actually attempted the computation: a failure must not
@@ -131,14 +165,16 @@ TEST(ScheduleService, FailedComputationIsRetriedNotCached) {
 }
 
 TEST(ScheduleService, WaitIdleDrainsEverything) {
-  ScheduleService service(ServiceConfig{3, 256});
+  ScheduleService service(ServiceConfig{3, 1 << 16});
   constexpr int kJobs = 30;
   std::vector<std::future<ScheduleService::ResultPtr>> futures;
   futures.reserve(kJobs);
   for (int i = 0; i < kJobs; ++i) {
     futures.push_back(
-        service.submit(make_chain(8, static_cast<std::uint64_t>(i)), "streaming-rlx",
-                       machine_with(4)));
+        service
+            .submit(request_for(make_chain(8, static_cast<std::uint64_t>(i)), "streaming-rlx",
+                                4))
+            .future);
   }
   service.wait_idle();
   const ScheduleService::Stats stats = service.stats();
@@ -152,18 +188,51 @@ TEST(ScheduleService, WaitIdleDrainsEverything) {
 
 TEST(ScheduleService, ShutdownDrainsQueuedJobsAndRejectsNewOnes) {
   std::vector<std::future<ScheduleService::ResultPtr>> futures;
-  ScheduleService service(ServiceConfig{1, 64});
+  ScheduleService service(ServiceConfig{1, 4096});
   for (int i = 0; i < 8; ++i) {
-    futures.push_back(service.submit(make_fft(8, static_cast<std::uint64_t>(i)),
-                                     "streaming-rlx", machine_with(8)));
+    futures.push_back(service
+                          .submit(request_for(make_fft(8, static_cast<std::uint64_t>(i)),
+                                              "streaming-rlx", 8))
+                          .future);
   }
   service.shutdown();
   for (auto& f : futures) {
     EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
     EXPECT_GT(f.get()->makespan, 0) << "queued jobs must be drained, not abandoned";
   }
-  EXPECT_THROW((void)service.submit(make_chain(4, 1), "streaming-rlx", machine_with(4)),
+  EXPECT_THROW((void)service.submit(request_for(make_chain(4, 1), "streaming-rlx", 4)),
                std::runtime_error);
+}
+
+TEST(ScheduleService, SimRequestsCacheSeparatelyFromPlain) {
+  // The envelope-level counterpart of the old submit vs submit_simulated
+  // split: presence of `sim` is part of the request identity.
+  ScheduleService service(ServiceConfig{2, 4096});
+  ScheduleRequest plain = request_for(testing::figure8_graph(), "streaming-rlx", 8);
+  ScheduleRequest simulated = plain;
+  simulated.sim = SimOptions{};
+
+  EXPECT_NE(plain.key(), simulated.key());
+  const auto plain_result = service.submit(std::move(plain)).future.get();
+  const auto sim_result = service.submit(std::move(simulated)).future.get();
+  EXPECT_FALSE(plain_result->sim.has_value());
+  ASSERT_TRUE(sim_result->sim.has_value());
+  EXPECT_NE(plain_result.get(), sim_result.get());
+  service.wait_idle();
+  EXPECT_EQ(service.stats().simulated, 1u);
+}
+
+TEST(ScheduleService, StatsJsonCarriesCacheWeight) {
+  ScheduleService service(ServiceConfig{2, 4096});
+  const TaskGraph g = testing::figure8_graph();
+  (void)service.submit(request_for(g, "streaming-rlx", 8)).future.get();
+  service.wait_idle();
+  EXPECT_EQ(service.cache().total_weight(), g.node_count());
+  const std::string json = service.stats_json();
+  EXPECT_NE(json.find("\"cache_weight\": " + std::to_string(g.node_count())),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"cache_evicted_weight\": 0"), std::string::npos) << json;
 }
 
 TEST(ScheduleService, DefaultsToHardwareConcurrency) {

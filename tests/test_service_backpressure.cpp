@@ -2,7 +2,9 @@
 // a latch-gated scheduler (registered test-only through SchedulerRegistry)
 // parks the single worker inside a compute, so the shard queue can be filled
 // to its configured depth limit without racing the drain. Every scenario the
-// paper pipeline would schedule normally once the gate opens.
+// paper pipeline would schedule normally once the gate opens. All
+// submissions are ScheduleRequest envelopes; AdmissionPolicy::kReject
+// replaces the old try_submit entry point.
 
 #include "service/schedule_service.hpp"
 
@@ -20,18 +22,13 @@
 
 #include "pipeline/passes.hpp"
 #include "pipeline/registry.hpp"
+#include "service/request.hpp"
 #include "workloads/synthetic.hpp"
 
 namespace sts {
 namespace {
 
 constexpr char kGatedName[] = "test-gated-list";
-
-MachineConfig machine_with(std::int64_t pes) {
-  MachineConfig machine;
-  machine.num_pes = pes;
-  return machine;
-}
 
 /// Latch shared between the test thread and the gated pipelines: pipelines
 /// announce arrival and block until release(). The wait is bounded (10s) so
@@ -43,6 +40,9 @@ struct Gate {
   std::condition_variable cv;
   bool open = false;
   int arrived = 0;
+  /// Node counts of the graphs entering the gate, in execution order (the
+  /// single worker runs jobs sequentially, so this observes queue order).
+  std::vector<std::size_t> execution_order;
 
   void release() {
     {
@@ -64,9 +64,10 @@ class GatePass final : public Pass {
  public:
   explicit GatePass(Gate* gate) : gate_(gate) {}
   [[nodiscard]] std::string_view name() const noexcept override { return "test-gate"; }
-  void run(ScheduleContext&) const override {
+  void run(ScheduleContext& ctx) const override {
     std::unique_lock<std::mutex> lock(gate_->mutex);
     ++gate_->arrived;
+    gate_->execution_order.push_back(ctx.require_graph().node_count());
     gate_->cv.notify_all();
     gate_->cv.wait_for(lock, std::chrono::seconds(10), [&] { return gate_->open; });
   }
@@ -104,10 +105,23 @@ struct GatedRegistration {
   ~GatedRegistration() { SchedulerRegistry::instance().remove(kGatedName); }
 };
 
+/// Envelope for a gated chain scenario: chains differ by task count and seed
+/// so nothing short-circuits through the cache.
+ScheduleRequest gated_chain(int tasks, std::uint64_t seed,
+                            AdmissionPolicy admission = AdmissionPolicy::kBlock,
+                            std::int32_t priority = 0) {
+  ScheduleRequest request;
+  request.graph = make_chain(tasks, seed);
+  request.scheduler = kGatedName;
+  request.machine.num_pes = 4;
+  request.admission = admission;
+  request.priority = priority;
+  return request;
+}
+
 /// One worker (= one shard) parked in the gate on job 0, with the two-slot
 /// queue filled by jobs 1 and 2: the deterministic full-shard state every
-/// test below starts from. Graphs differ by seed so nothing short-circuits
-/// through the cache.
+/// test below starts from.
 struct FullShardFixture {
   Gate gate;
   GatedRegistration registration{&gate};
@@ -115,24 +129,29 @@ struct FullShardFixture {
   std::vector<std::future<ScheduleService::ResultPtr>> futures;
 
   explicit FullShardFixture(std::size_t queue_depth = 2)
-      : service(ServiceConfig{1, 64, queue_depth}) {
-    futures.push_back(service.submit(make_chain(6, 0), kGatedName, machine_with(4)));
+      : service(ServiceConfig{1, 4096, queue_depth}) {
+    futures.push_back(service.submit(gated_chain(6, 0)).future);
     gate.wait_arrived(1);  // worker holds job 0 inside the gated compute
-    futures.push_back(service.submit(make_chain(6, 1), kGatedName, machine_with(4)));
-    futures.push_back(service.submit(make_chain(6, 2), kGatedName, machine_with(4)));
+    futures.push_back(service.submit(gated_chain(6, 1)).future);
+    futures.push_back(service.submit(gated_chain(6, 2)).future);
   }
 };
 
-TEST(ServiceBackpressure, TrySubmitRejectsAtDepthLimitWithAccurateDepth) {
+TEST(ServiceBackpressure, RejectPolicyRefusesAtDepthLimitWithAccurateDepth) {
   FullShardFixture fix(2);
 
   ScheduleService::Admission refused =
-      fix.service.try_submit(make_chain(6, 3), kGatedName, machine_with(4));
+      fix.service.submit(gated_chain(6, 3, AdmissionPolicy::kReject));
   ASSERT_FALSE(refused.accepted());
   EXPECT_FALSE(refused.future.valid());
   EXPECT_EQ(refused.rejected->shard, 0u);
   EXPECT_EQ(refused.rejected->depth, 2u) << "rejection must report the observed queue depth";
   EXPECT_EQ(refused.rejected->limit, 2u);
+
+  // The unified response envelope renders the refusal.
+  const ScheduleResponse response = refused.wait();
+  EXPECT_EQ(response.status, ScheduleResponse::Status::kRejected);
+  EXPECT_NE(response.to_json().find("\"status\": \"rejected\""), std::string::npos);
 
   ScheduleService::Stats stats = fix.service.stats();
   EXPECT_EQ(stats.rejected, 1u);
@@ -158,8 +177,8 @@ TEST(ServiceBackpressure, BlockedSubmitWakesWhenWorkerDrains) {
   std::atomic<bool> admitted{false};
   std::future<ScheduleService::ResultPtr> blocked_future;
   std::thread submitter([&] {
-    // The shard is full: this submit must block until the worker pops.
-    blocked_future = fix.service.submit(make_chain(6, 3), kGatedName, machine_with(4));
+    // The shard is full: this kBlock submit must block until the worker pops.
+    blocked_future = fix.service.submit(gated_chain(6, 3)).future;
     admitted.store(true, std::memory_order_release);
   });
 
@@ -186,22 +205,25 @@ TEST(ServiceBackpressure, BlockedSubmitWakesWhenWorkerDrains) {
 TEST(ServiceBackpressure, CachedScenarioBypassesFullQueue) {
   Gate gate;
   GatedRegistration registration(&gate);
-  ScheduleService service(ServiceConfig{1, 64, 2});
+  ScheduleService service(ServiceConfig{1, 4096, 2});
 
   // Warm the cache while the worker is free (ungated scheduler).
-  const auto warm = service.submit(make_chain(6, 9), "list", machine_with(4)).get();
+  ScheduleRequest warm_request = gated_chain(6, 9);
+  warm_request.scheduler = "list";
+  const auto warm = service.submit(warm_request).future.get();
 
   // Park the worker and fill the queue.
   std::vector<std::future<ScheduleService::ResultPtr>> futures;
-  futures.push_back(service.submit(make_chain(6, 0), kGatedName, machine_with(4)));
+  futures.push_back(service.submit(gated_chain(6, 0)).future);
   gate.wait_arrived(1);
-  futures.push_back(service.submit(make_chain(6, 1), kGatedName, machine_with(4)));
-  futures.push_back(service.submit(make_chain(6, 2), kGatedName, machine_with(4)));
+  futures.push_back(service.submit(gated_chain(6, 1)).future);
+  futures.push_back(service.submit(gated_chain(6, 2)).future);
 
   // The cached scenario is admitted (and already resolved) despite the full
   // shard: admission control never refuses a cached answer.
-  ScheduleService::Admission cached = service.try_submit(make_chain(6, 9), "list",
-                                                         machine_with(4));
+  ScheduleRequest cached_request = gated_chain(6, 9, AdmissionPolicy::kReject);
+  cached_request.scheduler = "list";
+  ScheduleService::Admission cached = service.submit(std::move(cached_request));
   ASSERT_TRUE(cached.accepted());
   ASSERT_EQ(cached.future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
   EXPECT_EQ(cached.future.get().get(), warm.get()) << "same immutable result object";
@@ -213,13 +235,35 @@ TEST(ServiceBackpressure, CachedScenarioBypassesFullQueue) {
   for (auto& f : futures) EXPECT_GT(f.get()->makespan, 0);
 }
 
+TEST(ServiceBackpressure, PriorityRequestJumpsTheQueue) {
+  Gate gate;
+  GatedRegistration registration(&gate);
+  ScheduleService service(ServiceConfig{1, 4096});  // unbounded, one worker
+
+  // Park the worker on a 6-node chain, queue a 7-node chain normally, then
+  // a 5-node chain with priority: the priority job must run before the
+  // earlier-submitted normal job (make_chain(n) has exactly n nodes).
+  std::vector<std::future<ScheduleService::ResultPtr>> futures;
+  futures.push_back(service.submit(gated_chain(6, 0)).future);
+  gate.wait_arrived(1);
+  futures.push_back(service.submit(gated_chain(7, 1)).future);
+  futures.push_back(service.submit(gated_chain(5, 2, AdmissionPolicy::kBlock, 1)).future);
+
+  gate.release();
+  service.wait_idle();
+  for (auto& f : futures) EXPECT_GT(f.get()->makespan, 0);
+  const std::vector<std::size_t> expected{6, 5, 7};
+  EXPECT_EQ(gate.execution_order, expected)
+      << "priority submission must run ahead of the earlier normal one";
+}
+
 TEST(ServiceBackpressure, ShutdownUnblocksBackpressuredSubmitter) {
   FullShardFixture fix(2);
 
   std::atomic<bool> threw{false};
   std::thread submitter([&] {
     try {
-      (void)fix.service.submit(make_chain(6, 3), kGatedName, machine_with(4));
+      (void)fix.service.submit(gated_chain(6, 3));
     } catch (const std::runtime_error&) {
       threw.store(true, std::memory_order_release);
     }
@@ -249,15 +293,15 @@ TEST(ServiceBackpressure, ShutdownUnblocksBackpressuredSubmitter) {
 TEST(ServiceBackpressure, UnboundedServiceNeverRejects) {
   Gate gate;
   GatedRegistration registration(&gate);
-  ScheduleService service(ServiceConfig{1, 64});  // queue_depth = 0: unbounded
+  ScheduleService service(ServiceConfig{1, 4096});  // queue_depth = 0: unbounded
   EXPECT_EQ(service.queue_depth_limit(), 0u);
 
   std::vector<std::future<ScheduleService::ResultPtr>> futures;
-  futures.push_back(service.submit(make_chain(6, 0), kGatedName, machine_with(4)));
+  futures.push_back(service.submit(gated_chain(6, 0)).future);
   gate.wait_arrived(1);
   for (std::uint64_t seed = 1; seed <= 16; ++seed) {
     ScheduleService::Admission a =
-        service.try_submit(make_chain(6, seed), kGatedName, machine_with(4));
+        service.submit(gated_chain(6, seed, AdmissionPolicy::kReject));
     ASSERT_TRUE(a.accepted()) << "unbounded queues must admit everything";
     futures.push_back(std::move(a.future));
   }
@@ -273,7 +317,7 @@ TEST(ServiceBackpressure, UnboundedServiceNeverRejects) {
 TEST(ServiceBackpressure, StatsJsonReportsAdmissionFields) {
   FullShardFixture fix(2);
   ScheduleService::Admission refused =
-      fix.service.try_submit(make_chain(6, 3), kGatedName, machine_with(4));
+      fix.service.submit(gated_chain(6, 3, AdmissionPolicy::kReject));
   ASSERT_FALSE(refused.accepted());
   fix.gate.release();
   fix.service.wait_idle();

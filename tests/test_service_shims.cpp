@@ -1,0 +1,77 @@
+// Coverage for the deprecated positional submit shims: they must keep
+// compiling and keep behaving exactly like the ScheduleRequest envelope they
+// forward to (same cache entries, same admission semantics) for one release.
+// This is the only translation unit allowed to call them, so the deprecation
+// diagnostic is silenced here and nowhere else (the build runs with
+// -Werror=deprecated-declarations).
+
+#include "service/schedule_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <utility>
+
+#include "paper_examples.hpp"
+#include "service/request.hpp"
+#include "workloads/synthetic.hpp"
+
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace sts {
+namespace {
+
+MachineConfig machine_with(std::int64_t pes) {
+  MachineConfig machine;
+  machine.num_pes = pes;
+  return machine;
+}
+
+TEST(ServiceShims, PositionalSubmitSharesTheEnvelopeCacheEntry) {
+  ScheduleService service(ServiceConfig{2, 4096});
+  const TaskGraph g = testing::figure8_graph();
+
+  const auto via_shim = service.submit(g, "streaming-rlx", machine_with(8)).get();
+
+  ScheduleRequest request;
+  request.graph = g;
+  request.scheduler = "streaming-rlx";
+  request.machine.num_pes = 8;
+  const auto via_envelope = service.submit(std::move(request)).future.get();
+
+  EXPECT_EQ(via_shim.get(), via_envelope.get())
+      << "the shim must build the identical request key";
+  service.wait_idle();
+  EXPECT_EQ(service.stats().cache.misses, 1u);
+}
+
+TEST(ServiceShims, TrySubmitMapsToRejectPolicy) {
+  ScheduleService service(ServiceConfig{2, 4096});  // unbounded: always accepted
+  ScheduleService::Admission admission =
+      service.try_submit(make_chain(6, 1), "streaming-rlx", machine_with(4));
+  ASSERT_TRUE(admission.accepted());
+  EXPECT_GT(admission.future.get()->makespan, 0);
+}
+
+TEST(ServiceShims, SubmitSimulatedMapsToSimRequest) {
+  ScheduleService service(ServiceConfig{2, 4096});
+  const TaskGraph g = testing::figure8_graph();
+  SimOptions options;
+  options.engine = SimEngine::kBulkAdvance;
+
+  const auto via_shim = service.submit_simulated(g, "streaming-rlx", machine_with(8),
+                                                 options).get();
+  ASSERT_TRUE(via_shim->sim.has_value());
+
+  ScheduleRequest request;
+  request.graph = g;
+  request.scheduler = "streaming-rlx";
+  request.machine.num_pes = 8;
+  request.sim = options;
+  const auto via_envelope = service.submit(std::move(request)).future.get();
+  EXPECT_EQ(via_shim.get(), via_envelope.get())
+      << "simulated shim and sim-carrying envelope share one cache entry";
+}
+
+}  // namespace
+}  // namespace sts

@@ -1,7 +1,7 @@
-// submit_simulated oracle tests: the async simulation offload must produce
-// SimResults bit-identical to the synchronous schedule + simulate_streaming
-// path, for both engines, and cache simulated results under their own
-// (sim-options-extended) keys.
+// Simulated-request oracle tests: a ScheduleRequest with `sim` set chains
+// the async simulation offload, which must produce SimResults bit-identical
+// to the synchronous schedule + simulate_streaming path, for both engines,
+// and cache simulated results under their own (sim-options-extended) keys.
 
 #include "service/schedule_service.hpp"
 
@@ -9,11 +9,13 @@
 
 #include <chrono>
 #include <future>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "paper_examples.hpp"
 #include "pipeline/registry.hpp"
+#include "service/request.hpp"
 #include "sim/dataflow_sim.hpp"
 #include "workloads/synthetic.hpp"
 
@@ -24,6 +26,16 @@ MachineConfig machine_with(std::int64_t pes) {
   MachineConfig machine;
   machine.num_pes = pes;
   return machine;
+}
+
+ScheduleRequest request_for(const TaskGraph& graph, std::string scheduler, std::int64_t pes,
+                            std::optional<SimOptions> sim = std::nullopt) {
+  ScheduleRequest request;
+  request.graph = graph;
+  request.scheduler = std::move(scheduler);
+  request.machine.num_pes = pes;
+  request.sim = sim;
+  return request;
 }
 
 /// The synchronous reference: schedule, then simulate the streaming schedule.
@@ -59,13 +71,13 @@ std::vector<TaskGraph> oracle_graphs() {
 
 TEST(ServiceSimulation, MatchesSynchronousOracleUnderBothEngines) {
   for (const SimEngine engine : {SimEngine::kBulkAdvance, SimEngine::kTickAccurate}) {
-    ScheduleService service(ServiceConfig{2, 64});
+    ScheduleService service(ServiceConfig{2, 4096});
     SimOptions options;
     options.engine = engine;
     std::size_t index = 0;
     for (const TaskGraph& graph : oracle_graphs()) {
       const auto result =
-          service.submit_simulated(graph, "streaming-rlx", machine_with(8), options).get();
+          service.submit(request_for(graph, "streaming-rlx", 8, options)).future.get();
       ASSERT_TRUE(result->sim.has_value()) << "engine " << to_string(engine);
       const ScheduleResult direct = schedule_by_name("streaming-rlx", graph, machine_with(8));
       EXPECT_EQ(result->makespan, direct.makespan) << "graph " << index;
@@ -80,15 +92,14 @@ TEST(ServiceSimulation, MatchesSynchronousOracleUnderBothEngines) {
 }
 
 TEST(ServiceSimulation, RepeatedSubmissionsHitTheCache) {
-  ScheduleService service(ServiceConfig{2, 64});
+  ScheduleService service(ServiceConfig{2, 4096});
   const TaskGraph graph = testing::figure8_graph();
   SimOptions options;
   options.engine = SimEngine::kBulkAdvance;
 
-  const auto first = service.submit_simulated(graph, "streaming-rlx", machine_with(8),
-                                              options).get();
-  auto second_future = service.submit_simulated(graph, "streaming-rlx", machine_with(8),
-                                                options);
+  const auto first =
+      service.submit(request_for(graph, "streaming-rlx", 8, options)).future.get();
+  auto second_future = service.submit(request_for(graph, "streaming-rlx", 8, options)).future;
   // A cached simulated result resolves synchronously inside submit.
   EXPECT_EQ(second_future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
   EXPECT_EQ(second_future.get().get(), first.get()) << "same immutable result object";
@@ -101,7 +112,7 @@ TEST(ServiceSimulation, RepeatedSubmissionsHitTheCache) {
 }
 
 TEST(ServiceSimulation, DistinctSimOptionsAreDistinctCacheEntries) {
-  ScheduleService service(ServiceConfig{2, 64});
+  ScheduleService service(ServiceConfig{2, 4096});
   const TaskGraph graph = testing::figure9_graph1();
 
   SimOptions bulk;
@@ -110,9 +121,9 @@ TEST(ServiceSimulation, DistinctSimOptionsAreDistinctCacheEntries) {
   tick.engine = SimEngine::kTickAccurate;
 
   const auto bulk_result =
-      service.submit_simulated(graph, "streaming-rlx", machine_with(8), bulk).get();
+      service.submit(request_for(graph, "streaming-rlx", 8, bulk)).future.get();
   const auto tick_result =
-      service.submit_simulated(graph, "streaming-rlx", machine_with(8), tick).get();
+      service.submit(request_for(graph, "streaming-rlx", 8, tick)).future.get();
   service.wait_idle();
 
   EXPECT_NE(bulk_result.get(), tick_result.get()) << "engines cache under distinct keys";
@@ -125,12 +136,12 @@ TEST(ServiceSimulation, DistinctSimOptionsAreDistinctCacheEntries) {
 }
 
 TEST(ServiceSimulation, PlainAndSimulatedSubmissionsDoNotCollide) {
-  ScheduleService service(ServiceConfig{2, 64});
+  ScheduleService service(ServiceConfig{2, 4096});
   const TaskGraph graph = testing::figure8_graph();
 
-  const auto plain = service.submit(graph, "streaming-rlx", machine_with(8)).get();
+  const auto plain = service.submit(request_for(graph, "streaming-rlx", 8)).future.get();
   const auto simulated =
-      service.submit_simulated(graph, "streaming-rlx", machine_with(8)).get();
+      service.submit(request_for(graph, "streaming-rlx", 8, SimOptions{})).future.get();
   service.wait_idle();
 
   EXPECT_FALSE(plain->sim.has_value());
@@ -141,10 +152,10 @@ TEST(ServiceSimulation, PlainAndSimulatedSubmissionsDoNotCollide) {
 }
 
 TEST(ServiceSimulation, NonStreamingSchedulerFailsTheFutureAndIsNotCached) {
-  ScheduleService service(ServiceConfig{2, 64});
+  ScheduleService service(ServiceConfig{2, 4096});
   const TaskGraph graph = testing::figure8_graph();
 
-  EXPECT_THROW((void)service.submit_simulated(graph, "list", machine_with(8)).get(),
+  EXPECT_THROW((void)service.submit(request_for(graph, "list", 8, SimOptions{})).future.get(),
                std::invalid_argument);
   service.wait_idle();
   EXPECT_EQ(service.stats().failed, 1u);
@@ -152,16 +163,17 @@ TEST(ServiceSimulation, NonStreamingSchedulerFailsTheFutureAndIsNotCached) {
 
   // The service stays healthy and the same scenario still works simulated
   // with a streaming scheduler.
-  const auto good = service.submit_simulated(graph, "streaming-rlx", machine_with(8)).get();
+  const auto good =
+      service.submit(request_for(graph, "streaming-rlx", 8, SimOptions{})).future.get();
   EXPECT_TRUE(good->sim.has_value());
   EXPECT_GT(good->sim->makespan, 0);
 }
 
 TEST(ServiceSimulation, SimulationTimingIsRecordedAlongsideScheduleTimings) {
-  ScheduleService service(ServiceConfig{1, 16});
+  ScheduleService service(ServiceConfig{1, 4096});
   const auto result =
-      service.submit_simulated(testing::figure8_graph(), "streaming-rlx", machine_with(8))
-          .get();
+      service.submit(request_for(testing::figure8_graph(), "streaming-rlx", 8, SimOptions{}))
+          .future.get();
   bool saw_simulation_pass = false;
   for (const PassTiming& timing : result->timings) {
     if (timing.pass == "simulation") saw_simulation_pass = true;
