@@ -8,25 +8,41 @@
 namespace sts {
 
 std::vector<std::int64_t> bottom_levels(const TaskGraph& graph) {
+  return bottom_levels(graph, nullptr);
+}
+
+std::vector<std::int64_t> bottom_levels(const TaskGraph& graph, Workspace* ws) {
   std::vector<std::int64_t> bl(graph.node_count(), 0);
-  const auto topo = topological_order(graph);
-  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    const NodeId v = *it;
-    std::int64_t succ_max = 0;
-    for (const EdgeId e : graph.out_edges(v)) {
-      succ_max = std::max(succ_max, bl[static_cast<std::size_t>(graph.edge(e).dst)]);
-    }
-    bl[static_cast<std::size_t>(v)] = graph.work(v) + succ_max;
+  // Reverse Kahn waves: every successor of a node sits in a strictly earlier
+  // wave, so each wave's ranks are independent and a parallel sweep writes
+  // exactly the serial values (exact int64 arithmetic, disjoint slots).
+  const TopoWaves waves = topological_waves(graph, /*reverse=*/true);
+  const Parallel parallel = ws ? ws->parallel : Parallel();
+  for (std::size_t w = 0; w + 1 < waves.offsets.size(); ++w) {
+    const std::size_t begin = waves.offsets[w];
+    const std::size_t end = waves.offsets[w + 1];
+    parallel.for_range(static_cast<std::int64_t>(end - begin), 128,
+                       [&](std::int64_t lo, std::int64_t hi) {
+                         for (std::int64_t i = lo; i < hi; ++i) {
+                           const NodeId v = waves.order[begin + static_cast<std::size_t>(i)];
+                           std::int64_t succ_max = 0;
+                           for (const EdgeId e : graph.out_edges(v)) {
+                             succ_max = std::max(
+                                 succ_max, bl[static_cast<std::size_t>(graph.edge(e).dst)]);
+                           }
+                           bl[static_cast<std::size_t>(v)] = graph.work(v) + succ_max;
+                         }
+                       });
   }
   return bl;
 }
 
-ListSchedule schedule_non_streaming(const TaskGraph& graph, std::int64_t num_pes) {
+ListSchedule schedule_non_streaming(const TaskGraph& graph, std::int64_t num_pes, Workspace* ws) {
   if (num_pes <= 0) throw std::invalid_argument("schedule_non_streaming: num_pes must be > 0");
   ListSchedule sched;
   sched.entries.assign(graph.node_count(), ListScheduleEntry{});
 
-  const std::vector<std::int64_t> bl = bottom_levels(graph);
+  const std::vector<std::int64_t> bl = bottom_levels(graph, ws);
   std::vector<NodeId> order = topological_order(graph);
   std::vector<std::size_t> topo_pos(graph.node_count());
   for (std::size_t i = 0; i < order.size(); ++i) {
@@ -67,14 +83,22 @@ ListSchedule schedule_non_streaming(const TaskGraph& graph, std::int64_t num_pes
       const auto& intervals = busy[static_cast<std::size_t>(pe)];
       // Earliest gap on this PE that fits [start, start+duration) at or after
       // `ready` (insertion slot); falls through to after the last interval.
+      // Intervals are non-overlapping and sorted, so everything finishing at
+      // or before `ready` can be skipped in O(log k): those intervals only
+      // clamp the cursor to at most `ready`, and the lone case where one
+      // could itself open a slot (a zero-duration task against a zero-length
+      // interval) yields slot == ready, which the remaining scan reproduces.
       std::int64_t cursor = ready;
       std::int64_t slot = -1;
-      for (const Interval& iv : intervals) {
-        if (iv.start >= cursor + duration) {
+      const auto first = std::partition_point(
+          intervals.begin(), intervals.end(),
+          [&](const Interval& iv) { return iv.finish <= ready; });
+      for (auto it = first; it != intervals.end(); ++it) {
+        if (it->start >= cursor + duration) {
           slot = cursor;
           break;
         }
-        cursor = std::max(cursor, iv.finish);
+        cursor = std::max(cursor, it->finish);
       }
       if (slot < 0) slot = cursor;
       if (best_start < 0 || slot < best_start) {

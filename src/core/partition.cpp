@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 #include <stdexcept>
 
 #include "graph/algorithms.hpp"
@@ -15,15 +16,22 @@ constexpr std::int64_t kNoConstraint = std::numeric_limits<std::int64_t>::max();
 
 /// Shared machinery of the greedy partitioners: incremental ready set,
 /// automatic (block-less) assignment of buffer nodes, block bookkeeping.
+/// All O(n) scratch comes from the workspace arena, so building a partition
+/// costs no per-node heap allocations (the result containers aside).
 class PartitionBuilder {
  public:
-  PartitionBuilder(const TaskGraph& graph, std::int64_t num_pes)
-      : graph_(graph), num_pes_(num_pes), pending_in_(graph.node_count()),
-        ready_pos_(graph.node_count(), -1) {
+  PartitionBuilder(const TaskGraph& graph, std::int64_t num_pes, Workspace& ws)
+      : graph_(graph), num_pes_(num_pes),
+        pending_in_(ws.arena.alloc_array<std::size_t>(graph.node_count())),
+        ready_pos_(ws.arena.alloc_array<std::int32_t>(graph.node_count())),
+        ready_storage_(ws.arena.alloc_array<NodeId>(graph.node_count())),
+        chain_min_(ws.arena.alloc_array<std::int64_t>(graph.node_count())) {
     if (num_pes <= 0) throw std::invalid_argument("partition: num_pes must be > 0");
     partition_.block_of.assign(graph.node_count(), -1);
     for (NodeId v = 0; static_cast<std::size_t>(v) < graph.node_count(); ++v) {
       pending_in_[static_cast<std::size_t>(v)] = graph.in_degree(v);
+      ready_pos_[static_cast<std::size_t>(v)] = -1;
+      chain_min_[static_cast<std::size_t>(v)] = kNoConstraint;
       if (graph.occupies_pe(v)) ++remaining_;
     }
     for (NodeId v = 0; static_cast<std::size_t>(v) < graph.node_count(); ++v) {
@@ -32,7 +40,9 @@ class PartitionBuilder {
   }
 
   [[nodiscard]] bool done() const noexcept { return remaining_ == 0; }
-  [[nodiscard]] const std::vector<NodeId>& ready() const noexcept { return ready_; }
+  [[nodiscard]] std::span<const NodeId> ready() const noexcept {
+    return ready_storage_.subspan(0, ready_size_);
+  }
   [[nodiscard]] std::int32_t open_block() const noexcept { return open_block_; }
   [[nodiscard]] bool block_open_and_nonempty() const noexcept {
     return open_block_ >= 0 &&
@@ -92,8 +102,8 @@ class PartitionBuilder {
       // all producers are placed; they never consume a PE slot.
       release_successors(v);
     } else {
-      ready_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(ready_.size());
-      ready_.push_back(v);
+      ready_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(ready_size_);
+      ready_storage_[ready_size_++] = v;
     }
   }
 
@@ -109,24 +119,31 @@ class PartitionBuilder {
   void remove_ready(NodeId v) {
     const std::int32_t pos = ready_pos_[static_cast<std::size_t>(v)];
     if (pos < 0) return;
-    const NodeId moved = ready_.back();
-    ready_[static_cast<std::size_t>(pos)] = moved;
+    const NodeId moved = ready_storage_[ready_size_ - 1];
+    ready_storage_[static_cast<std::size_t>(pos)] = moved;
     ready_pos_[static_cast<std::size_t>(moved)] = pos;
-    ready_.pop_back();
+    --ready_size_;
     ready_pos_[static_cast<std::size_t>(v)] = -1;
   }
 
   const TaskGraph& graph_;
   std::int64_t num_pes_;
   SpatialPartition partition_;
-  std::vector<std::size_t> pending_in_;
-  std::vector<std::int32_t> ready_pos_;  ///< node -> index in ready_; -1 if absent
-  std::vector<NodeId> ready_;
-  std::vector<std::int64_t> chain_min_ =
-      std::vector<std::int64_t>(graph_.node_count(), kNoConstraint);
+  std::span<std::size_t> pending_in_;
+  std::span<std::int32_t> ready_pos_;  ///< node -> index in ready set; -1 if absent
+  std::span<NodeId> ready_storage_;    ///< first ready_size_ slots hold the ready set
+  std::span<std::int64_t> chain_min_;
+  std::size_t ready_size_ = 0;
   std::int32_t open_block_ = -1;
   std::size_t remaining_ = 0;
 };
+
+/// Grain for the ready-set argmin fan-out: below this many candidates the
+/// scan stays on the calling thread (fork-join overhead would dominate).
+/// 256 elements cost a few microseconds per chunk — enough to amortise the
+/// pool's fork-join latency while still splitting a layer-wide ready set
+/// (a few thousand candidates) across all four lanes of the latency gate.
+constexpr std::int64_t kArgminGrain = 256;
 
 }  // namespace
 
@@ -135,53 +152,72 @@ const char* to_string(PartitionVariant variant) noexcept {
 }
 
 SpatialPartition partition_spatial_blocks(const TaskGraph& graph, std::int64_t num_pes,
-                                          PartitionVariant variant) {
-  PartitionBuilder builder(graph, num_pes);
-  const std::vector<Rational> level = node_levels(graph);
+                                          PartitionVariant variant, Workspace* ws) {
+  Workspace local;
+  Workspace& work = ws ? *ws : local;
+  PartitionBuilder builder(graph, num_pes, work);
+  const std::vector<Rational> level = node_levels(graph, &work);
 
+  // Strict-total-order comparators ("does v beat the incumbent b?"). The
+  // serial loop's first-then-strict-improve scan computes the unique minimum
+  // under these orders, so reducing per-chunk winners in any grouping yields
+  // the same node — the parallel argmin is bit-identical to serial.
+  const auto eligible_beats = [&](NodeId v, NodeId b) {
+    if (b == kInvalidNode) return v != kInvalidNode;
+    if (v == kInvalidNode) return false;
+    // Primary criterion per Algorithm 1; ties broken by node level, then
+    // produced volume, then id (deterministic).
+    const auto& lv = level[static_cast<std::size_t>(v)];
+    const auto& lb = level[static_cast<std::size_t>(b)];
+    if (lv != lb) return lv < lb;
+    const auto ov = graph.output_volume(v);
+    const auto ob = graph.output_volume(b);
+    if (ov != ob) return ov < ob;
+    return v < b;
+  };
+  const auto relaxed_beats = [&](NodeId v, NodeId b) {
+    if (b == kInvalidNode) return v != kInvalidNode;
+    if (v == kInvalidNode) return false;
+    // SB-RLX fallback: least produced volume, then level, then id.
+    const auto ov = graph.output_volume(v);
+    const auto ob = graph.output_volume(b);
+    if (ov != ob) return ov < ob;
+    const auto& lv = level[static_cast<std::size_t>(v)];
+    const auto& lb = level[static_cast<std::size_t>(b)];
+    if (lv != lb) return lv < lb;
+    return v < b;
+  };
+
+  struct Best {
+    NodeId eligible = kInvalidNode;
+    NodeId relaxed = kInvalidNode;
+  };
   while (!builder.done()) {
-    if (builder.ready().empty()) {
+    const std::span<const NodeId> ready = builder.ready();
+    if (ready.empty()) {
       throw std::logic_error("partition: no ready node (cyclic graph?)");
     }
-    NodeId best_eligible = kInvalidNode;
-    NodeId best_relaxed = kInvalidNode;
-    for (const NodeId v : builder.ready()) {
-      const std::int64_t bound = builder.source_volume_bound(v);
-      const bool eligible = bound == kNoConstraint || graph.output_volume(v) <= bound;
-      if (eligible) {
-        // Primary criterion per Algorithm 1; ties broken by node level, then
-        // produced volume, then id (deterministic).
-        if (best_eligible == kInvalidNode) {
-          best_eligible = v;
-        } else {
-          const auto lv = level[static_cast<std::size_t>(v)];
-          const auto lb = level[static_cast<std::size_t>(best_eligible)];
-          if (lv < lb ||
-              (lv == lb && (graph.output_volume(v) < graph.output_volume(best_eligible) ||
-                            (graph.output_volume(v) == graph.output_volume(best_eligible) &&
-                             v < best_eligible)))) {
-            best_eligible = v;
+    const Best best = work.parallel.map_reduce(
+        static_cast<std::int64_t>(ready.size()), kArgminGrain, Best{},
+        [&](std::int64_t lo, std::int64_t hi, Best& acc) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const NodeId v = ready[static_cast<std::size_t>(i)];
+            const std::int64_t bound = builder.source_volume_bound(v);
+            if (bound == kNoConstraint || graph.output_volume(v) <= bound) {
+              if (eligible_beats(v, acc.eligible)) acc.eligible = v;
+            } else if (variant == PartitionVariant::kRLX) {
+              if (relaxed_beats(v, acc.relaxed)) acc.relaxed = v;
+            }
           }
-        }
-      } else if (variant == PartitionVariant::kRLX) {
-        // SB-RLX fallback: least produced volume, then level, then id.
-        if (best_relaxed == kInvalidNode) {
-          best_relaxed = v;
-        } else {
-          const auto ov = graph.output_volume(v);
-          const auto ob = graph.output_volume(best_relaxed);
-          const auto lv = level[static_cast<std::size_t>(v)];
-          const auto lb = level[static_cast<std::size_t>(best_relaxed)];
-          if (ov < ob || (ov == ob && (lv < lb || (lv == lb && v < best_relaxed)))) {
-            best_relaxed = v;
-          }
-        }
-      }
-    }
-    if (best_eligible != kInvalidNode) {
-      builder.assign(best_eligible);
-    } else if (variant == PartitionVariant::kRLX && best_relaxed != kInvalidNode) {
-      builder.assign(best_relaxed);
+        },
+        [&](Best& into, const Best& from) {
+          if (eligible_beats(from.eligible, into.eligible)) into.eligible = from.eligible;
+          if (relaxed_beats(from.relaxed, into.relaxed)) into.relaxed = from.relaxed;
+        });
+    if (best.eligible != kInvalidNode) {
+      builder.assign(best.eligible);
+    } else if (variant == PartitionVariant::kRLX && best.relaxed != kInvalidNode) {
+      builder.assign(best.relaxed);
     } else {
       // SB-LTS: nothing safe to add; seal the block and start a fresh one
       // (every candidate is then a block source and becomes eligible).
@@ -191,26 +227,42 @@ SpatialPartition partition_spatial_blocks(const TaskGraph& graph, std::int64_t n
   return builder.take();
 }
 
-SpatialPartition partition_by_work(const TaskGraph& graph, std::int64_t num_pes) {
-  PartitionBuilder builder(graph, num_pes);
-  const std::vector<Rational> level = node_levels(graph);
+SpatialPartition partition_by_work(const TaskGraph& graph, std::int64_t num_pes, Workspace* ws) {
+  Workspace local;
+  Workspace& work = ws ? *ws : local;
+  PartitionBuilder builder(graph, num_pes, work);
+  const std::vector<Rational> level = node_levels(graph, &work);
+
+  // Highest work first, ties by lowest level then id — a strict total order,
+  // so the chunked reduction is exact (see partition_spatial_blocks).
+  const auto beats = [&](NodeId v, NodeId b) {
+    if (b == kInvalidNode) return v != kInvalidNode;
+    if (v == kInvalidNode) return false;
+    const std::int64_t wv = graph.work(v);
+    const std::int64_t wb = graph.work(b);
+    if (wv != wb) return wv > wb;
+    const auto& lv = level[static_cast<std::size_t>(v)];
+    const auto& lb = level[static_cast<std::size_t>(b)];
+    if (lv != lb) return lv < lb;
+    return v < b;
+  };
 
   while (!builder.done()) {
-    if (builder.ready().empty()) {
+    const std::span<const NodeId> ready = builder.ready();
+    if (ready.empty()) {
       throw std::logic_error("partition_by_work: no ready node (cyclic graph?)");
     }
-    NodeId best = kInvalidNode;
-    for (const NodeId v : builder.ready()) {
-      if (best == kInvalidNode) {
-        best = v;
-        continue;
-      }
-      const std::int64_t wv = graph.work(v);
-      const std::int64_t wb = graph.work(best);
-      const auto lv = level[static_cast<std::size_t>(v)];
-      const auto lb = level[static_cast<std::size_t>(best)];
-      if (wv > wb || (wv == wb && (lv < lb || (lv == lb && v < best)))) best = v;
-    }
+    const NodeId best = work.parallel.map_reduce(
+        static_cast<std::int64_t>(ready.size()), kArgminGrain, kInvalidNode,
+        [&](std::int64_t lo, std::int64_t hi, NodeId& acc) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const NodeId v = ready[static_cast<std::size_t>(i)];
+            if (beats(v, acc)) acc = v;
+          }
+        },
+        [&](NodeId& into, const NodeId& from) {
+          if (beats(from, into)) into = from;
+        });
     builder.assign(best);  // blocks cut automatically every num_pes nodes
   }
   return builder.take();

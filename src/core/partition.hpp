@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/task_graph.hpp"
+#include "support/workspace.hpp"
 
 namespace sts {
 
@@ -40,15 +41,23 @@ struct SpatialPartition {
 /// predecessor in the open block always qualifies; otherwise its output
 /// volume must not exceed the smallest output volume among the open block's
 /// sources it depends on. Ties break by (level, volume, id).
+///
+/// When a Workspace is given, its arena backs the builder scratch (no
+/// per-node heap allocations) and its lanes fan out the per-iteration argmin
+/// scan over the ready set. The scan reduces under a strict total order, so
+/// the unique winner — and the whole partition — is bit-identical to the
+/// serial path at every lane count.
 [[nodiscard]] SpatialPartition partition_spatial_blocks(const TaskGraph& graph,
                                                         std::int64_t num_pes,
-                                                        PartitionVariant variant);
+                                                        PartitionVariant variant,
+                                                        Workspace* ws = nullptr);
 
 /// Work-ordered partitioning for graphs of element-wise and downsampler
 /// nodes (Algorithm 2, Appendix A.2): repeatedly pick the ready node with the
 /// highest work (ties by lowest level), cutting blocks every P nodes. Carries
 /// the T_P <= T1/P + T_s_inf + min(n-1, (x-1)(L-1)) guarantee.
-[[nodiscard]] SpatialPartition partition_by_work(const TaskGraph& graph, std::int64_t num_pes);
+[[nodiscard]] SpatialPartition partition_by_work(const TaskGraph& graph, std::int64_t num_pes,
+                                                 Workspace* ws = nullptr);
 
 /// Checks structural sanity of a partition (used by tests and assertions):
 /// every PE node in exactly one block, capacity respected, dependencies flow

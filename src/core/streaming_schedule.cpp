@@ -33,38 +33,178 @@ std::int64_t tail_extra(const TaskGraph& graph, NodeId v, const Rational& s_out)
   return 0;
 }
 
+std::size_t find_root(std::span<std::int32_t> parent, std::size_t x) {
+  while (parent[x] != static_cast<std::int32_t>(x)) {
+    parent[x] = parent[static_cast<std::size_t>(parent[x])];  // path halving
+    x = static_cast<std::size_t>(parent[x]);
+  }
+  return x;
+}
+
 }  // namespace
 
-StreamingSchedule schedule_streaming(const TaskGraph& graph, SpatialPartition partition) {
+StreamingSchedule schedule_streaming(const TaskGraph& graph, SpatialPartition partition,
+                                     Workspace* ws) {
+  Workspace local;
+  Workspace& work = ws ? *ws : local;
+  Arena& arena = work.arena;
+
   StreamingSchedule sched;
   sched.timing.assign(graph.node_count(), TaskTiming{});
+  const std::size_t n = graph.node_count();
+  const std::size_t num_blocks = partition.blocks.size();
   const std::vector<NodeId> topo = topological_order(graph);
+
+  // ---- Per-block active sets -------------------------------------------
+  // Block k only ever touches its members plus the buffers feeding them.
+  // Visiting exactly that set (instead of rescanning the whole graph per
+  // block, the former O(blocks * (N + E)) behavior) makes the sweep O(N + E)
+  // total: a member is active in one block; a buffer in at most out-degree
+  // many. Two passes over topo order (count, then fill) leave each block's
+  // active list in topological order, which the timing recurrences need.
+  const std::span<std::size_t> active_offset = arena.alloc_zeroed<std::size_t>(num_blocks + 1);
+  const std::span<std::int32_t> stamp = arena.alloc_array<std::int32_t>(num_blocks);
+  for (std::size_t b = 0; b < num_blocks; ++b) stamp[b] = -1;
+
+  // A buffer serves every block holding one of its consumers (consumers are
+  // non-buffer: buffer chains are rejected by validation). The stamp array
+  // dedups multiple consumers in one block.
+  const auto for_each_serving_block = [&](NodeId buffer, auto&& fn) {
+    for (const EdgeId e : graph.out_edges(buffer)) {
+      const auto blk = partition.block_of[static_cast<std::size_t>(graph.edge(e).dst)];
+      if (blk < 0) continue;
+      if (stamp[static_cast<std::size_t>(blk)] == buffer) continue;
+      stamp[static_cast<std::size_t>(blk)] = buffer;
+      fn(static_cast<std::size_t>(blk));
+    }
+  };
+
+  for (const NodeId v : topo) {
+    if (graph.kind(v) == NodeKind::kBuffer) {
+      for_each_serving_block(v, [&](std::size_t blk) { ++active_offset[blk + 1]; });
+    } else {
+      const auto blk = partition.block_of[static_cast<std::size_t>(v)];
+      if (blk >= 0) ++active_offset[static_cast<std::size_t>(blk) + 1];
+    }
+  }
+  for (std::size_t b = 0; b < num_blocks; ++b) active_offset[b + 1] += active_offset[b];
+  const std::span<NodeId> active_nodes = arena.alloc_array<NodeId>(active_offset[num_blocks]);
+  {
+    const std::span<std::size_t> cursor = arena.alloc_array<std::size_t>(num_blocks);
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      cursor[b] = active_offset[b];
+      stamp[b] = -1;  // reuse for the fill pass
+    }
+    for (const NodeId v : topo) {
+      if (graph.kind(v) == NodeKind::kBuffer) {
+        for_each_serving_block(v, [&](std::size_t blk) { active_nodes[cursor[blk]++] = v; });
+      } else {
+        const auto blk = partition.block_of[static_cast<std::size_t>(v)];
+        if (blk >= 0) active_nodes[cursor[static_cast<std::size_t>(blk)]++] = v;
+      }
+    }
+  }
+
+  // ---- Block-local stream-context scratch ------------------------------
+  // Same recurrences as compute_stream_context, restricted to one block's
+  // active set: union-find over member-member edges, component maxima from
+  // member output volumes, buffer head replays, and block-source ingestion.
+  // All arrays persist across blocks; only active slots are (re)written, so
+  // no per-block O(N) clearing either.
+  const std::span<std::int32_t> parent = arena.alloc_array<std::int32_t>(n);
+  const std::span<std::int64_t> root_max = arena.alloc_array<std::int64_t>(n);
+  const std::span<Rational> s_in = arena.alloc_array<Rational>(n);
+  const std::span<Rational> s_out = arena.alloc_array<Rational>(n);
 
   // Per-block buffer head release: FO(buffer) = max predecessors' LO + 1,
   // clamped to the serving block's release (a buffer may feed several
   // blocks; every consumer edge re-streams from memory independently).
-  std::vector<std::int64_t> head_fo(graph.node_count(), 0);
-  std::vector<bool> buffer_timed(graph.node_count(), false);
+  const std::span<std::int64_t> head_fo = arena.alloc_zeroed<std::int64_t>(n);
+  const std::span<std::uint8_t> buffer_timed = arena.alloc_zeroed<std::uint8_t>(n);
 
   std::int64_t block_release = 0;
-  for (std::size_t k = 0; k < partition.blocks.size(); ++k) {
+  for (std::size_t k = 0; k < num_blocks; ++k) {
     const auto block_id = static_cast<std::int32_t>(k);
-    const StreamContext ctx = compute_stream_context(graph, partition.block_of, block_id);
+    const std::span<const NodeId> active =
+        active_nodes.subspan(active_offset[k], active_offset[k + 1] - active_offset[k]);
+    const auto is_member = [&](NodeId u) {
+      return graph.kind(u) != NodeKind::kBuffer &&
+             partition.block_of[static_cast<std::size_t>(u)] == block_id;
+    };
 
+    // Union member-member edges (each appears once as an in-edge of its
+    // member head), then accumulate component maxima at the roots.
+    for (const NodeId v : active) {
+      if (!is_member(v)) continue;
+      parent[static_cast<std::size_t>(v)] = v;
+      root_max[static_cast<std::size_t>(v)] = 0;
+    }
+    for (const NodeId v : active) {
+      if (!is_member(v)) continue;
+      for (const EdgeId e : graph.in_edges(v)) {
+        const NodeId u = graph.edge(e).src;
+        if (graph.kind(u) != NodeKind::kBuffer && is_member(u)) {
+          const std::size_t ru = find_root(parent, static_cast<std::size_t>(u));
+          const std::size_t rv = find_root(parent, static_cast<std::size_t>(v));
+          if (ru != rv) parent[ru] = static_cast<std::int32_t>(rv);
+        }
+      }
+    }
+    const auto raise = [&](NodeId v, std::int64_t volume) {
+      auto& slot = root_max[find_root(parent, static_cast<std::size_t>(v))];
+      slot = std::max(slot, volume);
+    };
+    for (const NodeId v : active) {
+      if (!is_member(v)) continue;
+      raise(v, graph.output_volume(v));
+      // Block-source / buffer-fed ingestion: streams arriving from memory
+      // join the component's steady state with their per-edge volume.
+      bool direct_stream_pred = false;
+      for (const EdgeId e : graph.in_edges(v)) {
+        const NodeId u = graph.edge(e).src;
+        if (graph.kind(u) == NodeKind::kBuffer) {
+          raise(v, graph.output_volume(u));  // head replay
+        } else if (is_member(u)) {
+          direct_stream_pred = true;
+        }
+      }
+      if (!direct_stream_pred && graph.in_degree(v) > 0 && graph.input_volume(v) > 0) {
+        raise(v, graph.input_volume(v));
+      }
+    }
+    for (const NodeId v : active) {
+      const auto idx = static_cast<std::size_t>(v);
+      if (is_member(v)) {
+        const std::int64_t maxvol = root_max[find_root(parent, idx)];
+        s_in[idx] = graph.input_volume(v) > 0 ? Rational(maxvol, graph.input_volume(v))
+                                              : Rational(0);
+        s_out[idx] = graph.output_volume(v) > 0 ? Rational(maxvol, graph.output_volume(v))
+                                                : Rational(0);
+      } else if (graph.output_volume(v) > 0) {
+        // Buffer: the slowest per-edge emission interval towards this
+        // block's members (buffer replays are per-edge streams; the
+        // per-edge interval equals the consumer's S_i).
+        Rational slowest(0);
+        for (const EdgeId e : graph.out_edges(v)) {
+          const NodeId w = graph.edge(e).dst;
+          if (!is_member(w)) continue;
+          slowest = std::max(
+              slowest,
+              Rational(root_max[find_root(parent, static_cast<std::size_t>(w))],
+                       graph.output_volume(v)));
+        }
+        s_out[idx] = slowest;
+      } else {
+        s_out[idx] = Rational(0);
+      }
+    }
+
+    // ---- Timing recurrences over the active set (topological order) ----
     std::int64_t block_finish = block_release;
-    for (const NodeId v : topo) {
+    for (const NodeId v : active) {
       const auto idx = static_cast<std::size_t>(v);
 
       if (graph.kind(v) == NodeKind::kBuffer) {
-        // Active in this block iff it feeds one of its members.
-        bool serves_block = false;
-        for (const EdgeId e : graph.out_edges(v)) {
-          if (ctx.in_context(graph.edge(e).dst)) {
-            serves_block = true;
-            break;
-          }
-        }
-        if (!serves_block) continue;
         std::int64_t ready = block_release;
         for (const EdgeId e : graph.in_edges(v)) {
           ready = std::max(ready,
@@ -72,24 +212,22 @@ StreamingSchedule schedule_streaming(const TaskGraph& graph, SpatialPartition pa
         }
         head_fo[idx] = ready + 1;
         if (!buffer_timed[idx]) {
-          buffer_timed[idx] = true;
+          buffer_timed[idx] = 1;
           TaskTiming& t = sched.timing[idx];
           t.start = head_fo[idx] - 1;
           t.first_out = head_fo[idx];
-          t.s_out = ctx.s_out[idx];
-          t.last_out = head_fo[idx] + ceil_mul(graph.output_volume(v) - 1, ctx.s_out[idx]);
+          t.s_out = s_out[idx];
+          t.last_out = head_fo[idx] + ceil_mul(graph.output_volume(v) - 1, s_out[idx]);
           t.block = -1;
           t.pe = -1;
         }
         continue;
       }
 
-      if (partition.block_of[idx] != block_id) continue;
-
       TaskTiming& t = sched.timing[idx];
       t.block = block_id;
-      t.s_in = ctx.s_in[idx];
-      t.s_out = ctx.s_out[idx];
+      t.s_in = s_in[idx];
+      t.s_out = s_out[idx];
 
       // Streaming predecessors: same-block members and buffer heads. Other
       // predecessors finished in earlier blocks; their data sits in memory

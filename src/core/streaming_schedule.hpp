@@ -41,7 +41,15 @@ struct StreamingSchedule {
 /// reproduce the paper's Figure 8 and Figure 9 tables exactly (see tests).
 ///
 /// Preconditions: `graph.validate()` is clean and `partition` is valid.
+///
+/// Runs in O(N + E) total across all blocks: each block only visits its
+/// active set (members plus the buffers feeding them) with a block-local
+/// stream-context computation over persistent arena scratch, instead of
+/// rescanning the whole graph per block. A Workspace supplies that arena
+/// (and the wave-parallel node-level phase upstream); pass nullptr for a
+/// self-contained local workspace. Results are identical either way.
 [[nodiscard]] StreamingSchedule schedule_streaming(const TaskGraph& graph,
-                                                   SpatialPartition partition);
+                                                   SpatialPartition partition,
+                                                   Workspace* ws = nullptr);
 
 }  // namespace sts

@@ -83,20 +83,72 @@ std::vector<NodeId> topological_order(const TaskGraph& graph) {
   return order;
 }
 
-std::vector<Rational> node_levels(const TaskGraph& graph) {
+TopoWaves topological_waves(const TaskGraph& graph, bool reverse) {
+  const std::size_t n = graph.node_count();
+  std::vector<std::size_t> deg(n);
+  for (NodeId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+    deg[static_cast<std::size_t>(v)] = reverse ? graph.out_degree(v) : graph.in_degree(v);
+  }
+  TopoWaves waves;
+  waves.order.reserve(n);
+  waves.offsets.push_back(0);
+  std::vector<NodeId> frontier;
+  for (NodeId v = 0; static_cast<std::size_t>(v) < n; ++v) {
+    if (deg[static_cast<std::size_t>(v)] == 0) frontier.push_back(v);
+  }
+  std::vector<NodeId> next;
+  while (!frontier.empty()) {
+    // Frontiers are discovered from the previous wave in ascending order and
+    // the initial frontier is built by an id sweep, but decrement order
+    // within a wave is arbitrary, so sort for a deterministic layout.
+    std::sort(frontier.begin(), frontier.end());
+    waves.order.insert(waves.order.end(), frontier.begin(), frontier.end());
+    waves.offsets.push_back(waves.order.size());
+    next.clear();
+    for (const NodeId u : frontier) {
+      const auto edges = reverse ? graph.in_edges(u) : graph.out_edges(u);
+      for (const EdgeId e : edges) {
+        const NodeId w = reverse ? graph.edge(e).src : graph.edge(e).dst;
+        if (--deg[static_cast<std::size_t>(w)] == 0) next.push_back(w);
+      }
+    }
+    frontier.swap(next);
+  }
+  if (waves.order.size() != n) {
+    throw std::invalid_argument("topological_waves: graph contains a cycle");
+  }
+  return waves;
+}
+
+std::vector<Rational> node_levels(const TaskGraph& graph) { return node_levels(graph, nullptr); }
+
+std::vector<Rational> node_levels(const TaskGraph& graph, Workspace* ws) {
   std::vector<Rational> level(graph.node_count(), Rational(0));
-  for (const NodeId v : topological_order(graph)) {
-    const auto ins = graph.in_edges(v);
-    if (ins.empty()) {
-      level[static_cast<std::size_t>(v)] = Rational(1);
-      continue;
-    }
-    Rational best(0);
-    for (const EdgeId e : ins) {
-      best = std::max(best, level[static_cast<std::size_t>(graph.edge(e).src)]);
-    }
-    const Rational step = std::max(graph.rate(v), Rational(1));
-    level[static_cast<std::size_t>(v)] = best + step;
+  const TopoWaves waves = topological_waves(graph);
+  const Parallel parallel = ws ? ws->parallel : Parallel();
+  for (std::size_t w = 0; w + 1 < waves.offsets.size(); ++w) {
+    const std::size_t begin = waves.offsets[w];
+    const std::size_t end = waves.offsets[w + 1];
+    // Every predecessor lives in an earlier wave, so nodes of one wave are
+    // independent: each lane writes a disjoint set of level slots and the
+    // result is bit-identical to the serial sweep.
+    parallel.for_range(static_cast<std::int64_t>(end - begin), 128, [&](std::int64_t lo,
+                                                                        std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        const NodeId v = waves.order[begin + static_cast<std::size_t>(i)];
+        const auto ins = graph.in_edges(v);
+        if (ins.empty()) {
+          level[static_cast<std::size_t>(v)] = Rational(1);
+          continue;
+        }
+        Rational best(0);
+        for (const EdgeId e : ins) {
+          best = std::max(best, level[static_cast<std::size_t>(graph.edge(e).src)]);
+        }
+        const Rational step = std::max(graph.rate(v), Rational(1));
+        level[static_cast<std::size_t>(v)] = best + step;
+      }
+    });
   }
   return level;
 }

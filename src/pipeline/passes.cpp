@@ -23,15 +23,18 @@ const char* to_string(PartitionStrategy strategy) noexcept {
 
 void PartitionPass::run(ScheduleContext& ctx) const {
   const TaskGraph& g = ctx.require_graph();
+  Workspace* const ws = ctx.workspace.get();
   switch (strategy_) {
     case PartitionStrategy::kLTS:
-      ctx.partition = partition_spatial_blocks(g, ctx.machine.num_pes, PartitionVariant::kLTS);
+      ctx.partition =
+          partition_spatial_blocks(g, ctx.machine.num_pes, PartitionVariant::kLTS, ws);
       break;
     case PartitionStrategy::kRLX:
-      ctx.partition = partition_spatial_blocks(g, ctx.machine.num_pes, PartitionVariant::kRLX);
+      ctx.partition =
+          partition_spatial_blocks(g, ctx.machine.num_pes, PartitionVariant::kRLX, ws);
       break;
     case PartitionStrategy::kWork:
-      ctx.partition = partition_by_work(g, ctx.machine.num_pes);
+      ctx.partition = partition_by_work(g, ctx.machine.num_pes, ws);
       break;
   }
 }
@@ -43,7 +46,8 @@ void PartitionPass::validate(const ScheduleContext& ctx) const {
 }
 
 void StreamingSchedulePass::run(ScheduleContext& ctx) const {
-  ctx.streaming = schedule_streaming(ctx.require_graph(), ctx.require_partition());
+  ctx.streaming =
+      schedule_streaming(ctx.require_graph(), ctx.require_partition(), ctx.workspace.get());
   ctx.makespan = ctx.streaming->makespan;
 }
 
@@ -80,7 +84,7 @@ void PlacementPass::run(ScheduleContext& ctx) const {
 }
 
 void ListSchedulePass::run(ScheduleContext& ctx) const {
-  ctx.list = schedule_non_streaming(ctx.require_graph(), ctx.machine.num_pes);
+  ctx.list = schedule_non_streaming(ctx.require_graph(), ctx.machine.num_pes, ctx.workspace.get());
   ctx.makespan = ctx.list->makespan;
 }
 
@@ -88,7 +92,7 @@ void HeftPass::run(ScheduleContext& ctx) const {
   const HeterogeneousSystem system =
       ctx.machine.pe_speed.empty() ? HeterogeneousSystem::homogeneous(ctx.machine.num_pes)
                                    : HeterogeneousSystem{ctx.machine.pe_speed};
-  ctx.list = schedule_heft(ctx.require_graph(), system);
+  ctx.list = schedule_heft(ctx.require_graph(), system, ctx.workspace.get());
   ctx.makespan = ctx.list->makespan;
 }
 
@@ -112,7 +116,9 @@ void MetricsPass::run(ScheduleContext& ctx) const {
     m.utilization = streaming_utilization(g, *ctx.streaming, ctx.machine.num_pes);
   } else if (ctx.list) {
     std::int64_t critical_path = 0;
-    for (const std::int64_t b : bottom_levels(g)) critical_path = std::max(critical_path, b);
+    for (const std::int64_t b : bottom_levels(g, ctx.workspace.get())) {
+      critical_path = std::max(critical_path, b);
+    }
     if (critical_path > 0) {
       m.slr = static_cast<double>(ctx.list->makespan) / static_cast<double>(critical_path);
     }
@@ -126,8 +132,12 @@ void SimulationPass::run(ScheduleContext& ctx) const {
   if (!ctx.buffers) {
     throw std::logic_error("SimulationPass: buffers missing (run buffer-sizing first)");
   }
+  // The sim options carry the request's lane count (a pure execution knob,
+  // excluded from cache keys on both sides).
+  SimOptions options = options_;
+  options.intra_threads = ctx.machine.intra_threads;
   ctx.sim = simulate_streaming(ctx.require_graph(), ctx.require_streaming(), *ctx.buffers,
-                               options_);
+                               options);
 }
 
 void SimulationPass::validate(const ScheduleContext& ctx) const {

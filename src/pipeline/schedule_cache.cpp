@@ -47,7 +47,8 @@ std::uint64_t fnv1a64(std::string_view text) noexcept {
   return hash;
 }
 
-ScheduleCache::ScheduleCache(std::size_t capacity) : capacity_(capacity) {
+ScheduleCache::ScheduleCache(std::size_t capacity, std::optional<std::chrono::nanoseconds> ttl)
+    : capacity_(capacity), ttl_(ttl) {
   if (capacity_ == 0) throw std::invalid_argument("ScheduleCache: capacity must be >= 1");
 }
 
@@ -59,6 +60,22 @@ ScheduleCache::Lru::const_iterator ScheduleCache::find_entry(std::uint64_t hash,
     if (it->key == key) return it;
   }
   return lru_.end();
+}
+
+bool ScheduleCache::is_expired(const Entry& entry) const {
+  // One steady_clock read per probe, and only when a ttl is configured at
+  // all — the default (no ttl) pays nothing. ttl == 0 expires every entry
+  // on its next probe, which tests use for deterministic expiry.
+  return ttl_ && std::chrono::steady_clock::now() - entry.inserted >= *ttl_;
+}
+
+void ScheduleCache::erase_expired(Lru::const_iterator it) {
+  auto& bucket = buckets_[it->hash];
+  std::erase(bucket, it);
+  if (bucket.empty()) buckets_.erase(it->hash);
+  weight_ -= it->weight;
+  ++stats_.expired;
+  lru_.erase(it);
 }
 
 void ScheduleCache::evict_to_capacity() {
@@ -96,9 +113,12 @@ ScheduleCache::ResultPtr ScheduleCache::get_or_compute(
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (const Lru::const_iterator it = find_entry(hash, key); it != lru_.cend()) {
-      ++stats_.hits;
-      lru_.splice(lru_.begin(), lru_, it);
-      return it->result;
+      if (!is_expired(*it)) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it);
+        return it->result;
+      }
+      erase_expired(it);  // fall through: this lookup is a miss (or a race)
     }
     if (const auto flight = in_flight_.find(key); flight != in_flight_.end()) {
       ++stats_.races;
@@ -138,7 +158,7 @@ ScheduleCache::ResultPtr ScheduleCache::get_or_compute(
       stats_.evicted_weight += weight;
     } else {
       weight_ += weight;
-      lru_.push_front(Entry{hash, std::move(key), weight, result});
+      lru_.push_front(Entry{hash, std::move(key), weight, result, std::chrono::steady_clock::now()});
       buckets_[hash].push_back(lru_.begin());
       evict_to_capacity();
     }
@@ -152,6 +172,10 @@ ScheduleCache::ResultPtr ScheduleCache::try_get(std::string_view key) {
   std::lock_guard<std::mutex> lock(mutex_);
   const Lru::const_iterator it = find_entry(hash, key);
   if (it == lru_.cend()) return nullptr;
+  if (is_expired(*it)) {
+    erase_expired(it);
+    return nullptr;
+  }
   ++stats_.hits;
   lru_.splice(lru_.begin(), lru_, it);
   return it->result;
@@ -160,7 +184,18 @@ ScheduleCache::ResultPtr ScheduleCache::try_get(std::string_view key) {
 bool ScheduleCache::contains(std::string_view key) const {
   const std::uint64_t hash = fnv1a64(key);
   std::lock_guard<std::mutex> lock(mutex_);
-  return find_entry(hash, key) != lru_.cend();
+  const Lru::const_iterator it = find_entry(hash, key);
+  return it != lru_.cend() && !is_expired(*it);
+}
+
+void ScheduleCache::set_ttl(std::optional<std::chrono::nanoseconds> ttl) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ttl_ = ttl;
+}
+
+std::optional<std::chrono::nanoseconds> ScheduleCache::ttl() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ttl_;
 }
 
 ScheduleCache::Stats ScheduleCache::stats() const {

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <future>
 #include <list>
 #include <memory>
@@ -56,6 +58,13 @@ namespace sts {
 /// Consequently `Stats::misses` equals the number of schedules actually
 /// computed, and hits + misses + races equals the number of lookups.
 ///
+/// Optional per-entry TTL: with a ttl configured, every entry remembers its
+/// insertion time and a lookup that finds an entry older than the ttl drops
+/// it (counted in `Stats::expired`, NOT as an eviction) and proceeds as a
+/// miss. Expiry is lazy — nothing scans the cache in the background; a stale
+/// entry costs memory only until the next probe of its key or its LRU
+/// eviction. Without a ttl (the default) entries never age out.
+///
 /// The compute callable must not re-enter the cache with the same key (it
 /// would wait on its own in-flight marker).
 class ScheduleCache {
@@ -68,6 +77,7 @@ class ScheduleCache {
     std::uint64_t races = 0;      ///< joined another thread's in-flight computation
     std::uint64_t evictions = 0;  ///< entries dropped by the weight bound
     std::uint64_t evicted_weight = 0;  ///< total weight of those dropped entries
+    std::uint64_t expired = 0;         ///< entries dropped by the ttl on lookup
   };
 
   /// Default total-weight bound: with schedule entries weighing their graph's
@@ -75,8 +85,11 @@ class ScheduleCache {
   /// 4096-entry default for mid-sized graphs.
   static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 20;
 
-  /// Throws std::invalid_argument on zero capacity.
-  explicit ScheduleCache(std::size_t capacity = kDefaultCapacity);
+  /// Throws std::invalid_argument on zero capacity. A ttl of nullopt (the
+  /// default) disables expiry; a ttl of zero expires every entry on its next
+  /// probe (useful for deterministic expiry tests).
+  explicit ScheduleCache(std::size_t capacity = kDefaultCapacity,
+                         std::optional<std::chrono::nanoseconds> ttl = std::nullopt);
 
   /// Returns the cached result for (graph, scheduler, machine), computing
   /// and inserting it through the global SchedulerRegistry on a miss. The
@@ -97,9 +110,16 @@ class ScheduleCache {
   /// callers fall through to get_or_compute, which classifies the lookup.
   [[nodiscard]] ResultPtr try_get(std::string_view key);
 
-  /// True if a completed entry for `key` is cached. No recency bump, no
-  /// stats: this is an inspection hook (tests, monitoring).
+  /// True if a completed, unexpired entry for `key` is cached. No recency
+  /// bump, no stats, and no erasure of an expired entry (this is a const
+  /// inspection hook for tests and monitoring): an entry past its ttl reads
+  /// as absent here and is physically dropped by the next mutating probe.
   [[nodiscard]] bool contains(std::string_view key) const;
+
+  /// Re-configures the ttl for subsequent lookups; applies to already
+  /// resident entries too (their insertion times are always recorded).
+  void set_ttl(std::optional<std::chrono::nanoseconds> ttl);
+  [[nodiscard]] std::optional<std::chrono::nanoseconds> ttl() const;
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t size() const;          ///< resident entry count
@@ -123,11 +143,17 @@ class ScheduleCache {
     std::string key;  ///< full canonical key, checked on every probe
     std::size_t weight = 1;
     ResultPtr result;
+    /// Insertion time, for ttl expiry. Always recorded (one steady_clock
+    /// read on the miss path, where scheduling dominates anyway) so a ttl
+    /// configured later still applies to resident entries.
+    std::chrono::steady_clock::time_point inserted;
   };
   using Lru = std::list<Entry>;
 
-  // Both require mutex_ held.
+  // All require mutex_ held.
   [[nodiscard]] Lru::const_iterator find_entry(std::uint64_t hash, std::string_view key) const;
+  [[nodiscard]] bool is_expired(const Entry& entry) const;
+  void erase_expired(Lru::const_iterator it);
   void evict_to_capacity();
 
   mutable std::mutex mutex_;
@@ -135,6 +161,7 @@ class ScheduleCache {
   std::unordered_map<std::uint64_t, std::vector<Lru::const_iterator>> buckets_;
   std::unordered_map<std::string, std::shared_future<ResultPtr>> in_flight_;
   std::size_t capacity_;
+  std::optional<std::chrono::nanoseconds> ttl_;  ///< nullopt = never expire
   std::size_t weight_ = 0;  ///< Σ entry weight, <= capacity_ outside evict
   Stats stats_;
 };

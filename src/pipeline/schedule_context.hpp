@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -34,7 +35,15 @@ struct MachineConfig {
   /// Run the NoC placement pass (greedy mesh placement) after scheduling.
   bool place_on_mesh = false;
 
-  /// Canonical text form of every field, used as part of cache keys.
+  /// Execution lanes for the scheduler's internal loops (1 = serial,
+  /// 0 = hardware threads, N = up to N lanes). A pure execution knob —
+  /// results are bit-identical at every value — so it is NOT part of
+  /// cache_key(): a request answered at one lane count is a valid cache hit
+  /// for any other.
+  std::int64_t intra_threads = 1;
+
+  /// Canonical text form of every result-affecting field, used as part of
+  /// cache keys (intra_threads is deliberately excluded, see above).
   [[nodiscard]] std::string cache_key() const;
 };
 
@@ -60,6 +69,12 @@ struct ScheduleMetrics {
 struct ScheduleContext {
   const TaskGraph* graph = nullptr;
   MachineConfig machine;
+
+  /// Per-request execution resources (arena scratch + parallel lanes per
+  /// machine.intra_threads), created by Scheduler::schedule and threaded
+  /// into the pass implementations. Shared-ptr so contexts stay copyable;
+  /// passes treat a null workspace as "serial, local scratch".
+  std::shared_ptr<Workspace> workspace;
 
   // Artifacts, in pipeline order.
   std::optional<SpatialPartition> partition;   ///< PartitionPass

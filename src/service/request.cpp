@@ -160,6 +160,10 @@ std::string ScheduleRequest::to_json() const {
     out += ", \"admission\": ";
     append_json_quoted(out, to_string(admission));
   }
+  if (intra_threads) {
+    out += ", \"intra_threads\": ";
+    append_number(out, *intra_threads);
+  }
   if (priority != 0) {
     out += ", \"priority\": ";
     append_number(out, priority);
@@ -176,7 +180,7 @@ ScheduleRequest ScheduleRequest::from_json(std::string_view text) {
   const JsonValue json = parse_json(text);
   reject_unknown(json,
                  {"schema_version", "scheduler", "machine", "graph", "sim", "admission",
-                  "priority", "label"},
+                  "intra_threads", "priority", "label"},
                  "request");
 
   ScheduleRequest request;
@@ -213,6 +217,12 @@ ScheduleRequest ScheduleRequest::from_json(std::string_view text) {
     } else {
       fail("unknown admission policy '" + name + "'");
     }
+  }
+
+  if (const JsonValue* threads = json.find("intra_threads")) {
+    const std::int64_t lanes = threads->as_int();
+    if (lanes < 0) fail("intra_threads must be >= 0 (0 = auto)");
+    request.intra_threads = lanes;
   }
 
   if (const JsonValue* priority = json.find("priority")) {

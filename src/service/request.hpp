@@ -65,7 +65,8 @@ struct GraphRef {
 ///      "graph": {"nodes": [...], "edges": [...]},      // or
 ///      "graph": {"generator": "fft", "param": 16, "seed": 7},
 ///      "sim": {"engine": "bulk", "max_ticks": 50000000, "trace": false},
-///      "admission": "block", "priority": 0, "label": "warmup"}
+///      "admission": "block", "intra_threads": 4, "priority": 0,
+///      "label": "warmup"}
 struct ScheduleRequest {
   int schema_version = kScheduleSchemaVersion;
   TaskGraph graph;
@@ -79,6 +80,12 @@ struct ScheduleRequest {
   /// cache key so simulated and plain results never collide.
   std::optional<SimOptions> sim;
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// Execution lanes for the scheduler's internal loops on this request
+  /// (1 = serial, 0 = auto/hardware, N = up to N lanes). Unset = use the
+  /// service default (ServiceConfig::intra_threads). Results are
+  /// bit-identical at every value, so this is a delivery hint, NOT part of
+  /// the request identity/key.
+  std::optional<std::int64_t> intra_threads;
   /// Best-effort queue-jump: a positive priority enqueues at the front of
   /// its shard instead of the back. Not part of the request identity.
   std::int32_t priority = 0;

@@ -12,7 +12,12 @@
 namespace sts {
 
 ScheduleService::ScheduleService(ServiceConfig config)
-    : cache_(config.cache_capacity), queue_depth_(config.queue_depth) {
+    : cache_(config.cache_capacity, config.cache_ttl),
+      queue_depth_(config.queue_depth),
+      intra_threads_(config.intra_threads) {
+  if (intra_threads_ < 0) {
+    throw std::invalid_argument("ScheduleService: intra_threads must be >= 0 (0 = auto)");
+  }
   std::size_t n = config.num_workers;
   if (n == 0) {
     n = std::thread::hardware_concurrency();
@@ -52,46 +57,15 @@ ScheduleResponse ScheduleService::schedule(ScheduleRequest request) {
   return submit(std::move(request)).wait();
 }
 
-// The deprecated positional shims assemble the envelope they are shorthand
-// for (defining a deprecated function is not a "use", so these compile
-// clean under -Werror=deprecated-declarations).
-std::future<ScheduleService::ResultPtr> ScheduleService::submit(const TaskGraph& graph,
-                                                                std::string scheduler,
-                                                                MachineConfig machine) {
-  ScheduleRequest request;
-  request.graph = graph;
-  request.scheduler = std::move(scheduler);
-  request.machine = std::move(machine);
-  return submit(std::move(request)).future;
-}
-
-ScheduleService::Admission ScheduleService::try_submit(const TaskGraph& graph,
-                                                       std::string scheduler,
-                                                       MachineConfig machine) {
-  ScheduleRequest request;
-  request.graph = graph;
-  request.scheduler = std::move(scheduler);
-  request.machine = std::move(machine);
-  request.admission = AdmissionPolicy::kReject;
-  return submit(std::move(request));
-}
-
-std::future<ScheduleService::ResultPtr> ScheduleService::submit_simulated(const TaskGraph& graph,
-                                                                          std::string scheduler,
-                                                                          MachineConfig machine,
-                                                                          SimOptions sim) {
-  ScheduleRequest request;
-  request.graph = graph;
-  request.scheduler = std::move(scheduler);
-  request.machine = std::move(machine);
-  request.sim = sim;
-  return submit(std::move(request)).future;
-}
-
 ScheduleService::Admission ScheduleService::submit(ScheduleRequest request) {
   if (stopping_.load(std::memory_order_acquire)) {
     throw std::runtime_error("ScheduleService: submit after shutdown");
   }
+  // Resolve the request's execution-lane hint against the service default
+  // before anything derives from the request. The lane count is NOT part of
+  // the machine cache_key() (results are bit-identical at every value), so
+  // this cannot change which cache entry the request maps to.
+  request.machine.intra_threads = request.intra_threads.value_or(intra_threads_);
   // Memoizes inside the request, so the worker (and a fronting ShardRouter)
   // never re-derives it.
   const std::string& key = request.key();
@@ -319,6 +293,7 @@ std::string ScheduleService::render_stats_json(const Stats& s, std::size_t worke
   json += ", " + field("cache_races", s.cache.races);
   json += ", " + field("cache_evictions", s.cache.evictions);
   json += ", " + field("cache_evicted_weight", s.cache.evicted_weight);
+  json += ", " + field("cache_expired", s.cache.expired);
   json += ", " + field("cache_size", cache_size);
   json += ", " + field("cache_weight", cache_weight);
   json += ", " + field("cache_capacity", cache_capacity);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -33,6 +34,18 @@ struct ServiceConfig {
   /// until a worker drains an entry and a `kReject` request come back with a
   /// typed `Rejected` outcome.
   std::size_t queue_depth = 0;
+
+  /// Default execution lanes for the scheduler's internal loops (1 = serial,
+  /// 0 = auto/hardware, N = up to N lanes), applied to every request that
+  /// does not set its own `ScheduleRequest::intra_threads`. A pure execution
+  /// knob: results are bit-identical at every value, so it never affects
+  /// request keys or cache hits.
+  std::int64_t intra_threads = 1;
+
+  /// Optional per-entry time-to-live for the service-owned ScheduleCache:
+  /// a cached result older than this reads as a miss and is recomputed
+  /// (counted in the `cache_expired` stat). nullopt = results never age out.
+  std::optional<std::chrono::nanoseconds> cache_ttl;
 };
 
 /// Concurrent scheduling front end: a worker thread pool serving
@@ -121,21 +134,6 @@ class ScheduleService {
   /// Synchronous convenience: `submit(request).wait()`.
   [[nodiscard]] ScheduleResponse schedule(ScheduleRequest request);
 
-  /// Deprecated positional shims (one release): thin wrappers that assemble
-  /// a ScheduleRequest and forward to `submit(ScheduleRequest)`.
-  [[deprecated("assemble a ScheduleRequest and call submit(request)")]] [[nodiscard]]
-  std::future<ResultPtr> submit(const TaskGraph& graph, std::string scheduler,
-                                MachineConfig machine);
-
-  [[deprecated(
-      "set ScheduleRequest::admission = AdmissionPolicy::kReject and call "
-      "submit(request)")]] [[nodiscard]]
-  Admission try_submit(const TaskGraph& graph, std::string scheduler, MachineConfig machine);
-
-  [[deprecated("set ScheduleRequest::sim and call submit(request)")]] [[nodiscard]]
-  std::future<ResultPtr> submit_simulated(const TaskGraph& graph, std::string scheduler,
-                                          MachineConfig machine, SimOptions sim = {});
-
   /// Blocks until every accepted job submitted so far has completed.
   void wait_idle();
 
@@ -186,6 +184,7 @@ class ScheduleService {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;
   std::size_t queue_depth_ = 0;
+  std::int64_t intra_threads_ = 1;  ///< ServiceConfig default, see submit()
   std::atomic<bool> stopping_{false};
 
   mutable std::mutex stats_mutex_;

@@ -24,6 +24,7 @@ void accumulate(ScheduleService::Stats& into, const ScheduleService::Stats& from
   into.cache.races += from.cache.races;
   into.cache.evictions += from.cache.evictions;
   into.cache.evicted_weight += from.cache.evicted_weight;
+  into.cache.expired += from.cache.expired;
   into.shard_max_depth.insert(into.shard_max_depth.end(), from.shard_max_depth.begin(),
                               from.shard_max_depth.end());
 }
@@ -202,6 +203,7 @@ std::string ShardRouter::stats_json() const {
   json += ", " + field("cache_races", s.cache.races);
   json += ", " + field("cache_evictions", s.cache.evictions);
   json += ", " + field("cache_evicted_weight", s.cache.evicted_weight);
+  json += ", " + field("cache_expired", s.cache.expired);
   std::size_t peak = 0;
   for (const std::size_t depth : s.shard_max_depth) peak = std::max(peak, depth);
   json += ", " + field("max_queue_depth", peak);

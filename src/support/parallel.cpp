@@ -1,0 +1,125 @@
+#include "support/parallel.hpp"
+
+#include <algorithm>
+
+namespace sts {
+namespace {
+
+/// Set on pool threads so nested Parallel regions run inline instead of
+/// trying to re-enter the (single-slot) pool.
+thread_local bool t_on_worker_thread = false;
+
+int default_worker_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int extra = hw > 1 ? static_cast<int>(hw) - 1 : 1;
+  // At least one worker even on single-core machines (the parallel code
+  // paths must be exercised everywhere); capped so a big host doesn't spawn
+  // threads no scheduling loop can feed.
+  return std::clamp(extra, 1, 15);
+}
+
+}  // namespace
+
+TaskPool& TaskPool::global() {
+  static TaskPool* pool = new TaskPool();  // leaked: workers outlive main()
+  return *pool;
+}
+
+TaskPool::TaskPool() {
+  const int count = default_worker_count();
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+    workers_.back().detach();
+  }
+}
+
+bool TaskPool::on_worker_thread() noexcept { return t_on_worker_thread; }
+
+void TaskPool::work_on(Job& job) noexcept {
+  for (;;) {
+    const int chunk = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job.chunks) return;
+    job.fn(job.ctx, chunk);
+    job.done.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void TaskPool::worker_main() {
+  t_on_worker_thread = true;
+  std::uint64_t seen_generation = generation_.load(std::memory_order_acquire);
+  for (;;) {
+    // Spin briefly for the next region, then park on the condition variable.
+    bool woke = false;
+    for (int spin = 0; spin < 512; ++spin) {
+      if (generation_.load(std::memory_order_acquire) != seen_generation) {
+        woke = true;
+        break;
+      }
+      if ((spin & 63) == 63) std::this_thread::yield();
+    }
+    if (!woke) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] {
+        return generation_.load(std::memory_order_acquire) != seen_generation;
+      });
+    }
+    seen_generation = generation_.load(std::memory_order_acquire);
+
+    // Lifetime protocol: announce participation BEFORE loading the job
+    // pointer. try_run waits for active_ == 0 after clearing job_, so the
+    // Job (which lives on the caller's stack) cannot be destroyed while any
+    // worker still holds a pointer to it. The fetch_add and the job_ load
+    // must be seq_cst, paired with the seq_cst null-store + active_ check in
+    // try_run: the single total order guarantees a worker that checked in
+    // after the caller observed active_ == 0 reads job_ as null rather than
+    // a dangling pointer.
+    active_.fetch_add(1);
+    if (Job* job = job_.load()) work_on(*job);
+    active_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+bool TaskPool::try_run(int chunks, ChunkFn fn, void* ctx) {
+  if (busy_.exchange(true, std::memory_order_acquire)) return false;
+
+  Job job;
+  job.fn = fn;
+  job.ctx = ctx;
+  job.chunks = chunks;
+
+  job_.store(&job);  // seq_cst: see the lifetime-protocol comment in worker_main
+  {
+    // The generation bump must be visible to a worker the moment it wakes
+    // from cv_.wait, hence under the same mutex.
+    std::lock_guard<std::mutex> lock(mutex_);
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  cv_.notify_all();
+
+  // The caller is a full participant — with no free workers the region still
+  // completes (serially, on this thread).
+  work_on(job);
+  while (job.done.load(std::memory_order_acquire) < chunks) std::this_thread::yield();
+
+  // Tear down in order: unpublish the job, then wait for every worker that
+  // may have loaded its address to leave before the stack frame dies (both
+  // seq_cst, pairing with worker_main's check-in).
+  job_.store(nullptr);
+  while (active_.load() != 0) std::this_thread::yield();
+  busy_.store(false, std::memory_order_release);
+  return true;
+}
+
+Parallel::Parallel(std::int64_t intra_threads) noexcept {
+  const int max_lanes = TaskPool::global().worker_count() + 1;  // workers + caller
+  if (intra_threads == 1) {
+    lanes_ = 1;
+  } else if (intra_threads <= 0) {
+    lanes_ = max_lanes;
+  } else {
+    lanes_ = static_cast<int>(std::min<std::int64_t>(intra_threads, max_lanes));
+  }
+}
+
+}  // namespace sts

@@ -291,5 +291,79 @@ TEST(ScheduleCacheWeighted, ZeroWeightIsClampedToOne) {
   EXPECT_EQ(cache.size(), 2u) << "weight-0 entries must still occupy capacity";
 }
 
+// ---------------------------------------------------------------- ttl expiry
+// A ttl of zero makes every resident entry expired on its next probe, which
+// turns wall-clock expiry into a deterministic test (no sleeps).
+
+TEST(ScheduleCacheTtl, NoTtlNeverExpires) {
+  ScheduleCache cache(8);
+  EXPECT_FALSE(cache.ttl().has_value());
+  std::atomic<int> computed{0};
+  (void)cache.get_or_compute("k", counted_result(computed, 1));
+  ASSERT_NE(cache.try_get("k"), nullptr);
+  EXPECT_EQ(cache.stats().expired, 0u);
+}
+
+TEST(ScheduleCacheTtl, ZeroTtlExpiresOnNextProbe) {
+  ScheduleCache cache(8, std::chrono::nanoseconds{0});
+  std::atomic<int> computed{0};
+  (void)cache.get_or_compute("k", counted_result(computed, 1), 3);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.total_weight(), 3u);
+
+  EXPECT_EQ(cache.try_get("k"), nullptr) << "entry past its ttl must read as absent";
+  EXPECT_EQ(cache.size(), 0u) << "the expired probe physically drops the entry";
+  EXPECT_EQ(cache.total_weight(), 0u) << "expiry must release the entry's weight";
+  const ScheduleCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.evictions, 0u) << "expiry is not an eviction";
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(ScheduleCacheTtl, ExpiredEntryRecomputes) {
+  ScheduleCache cache(8, std::chrono::nanoseconds{0});
+  std::atomic<int> computed{0};
+  (void)cache.get_or_compute("k", counted_result(computed, 1));
+  (void)cache.get_or_compute("k", counted_result(computed, 2));
+  EXPECT_EQ(computed.load(), 2) << "a lookup that expires the entry is a miss";
+  const ScheduleCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(ScheduleCacheTtl, ContainsReportsExpiredWithoutErasing) {
+  ScheduleCache cache(8, std::chrono::nanoseconds{0});
+  std::atomic<int> computed{0};
+  (void)cache.get_or_compute("k", counted_result(computed, 1));
+  EXPECT_FALSE(cache.contains("k")) << "contains must see through the ttl";
+  EXPECT_EQ(cache.size(), 1u) << "const inspection must not mutate the cache";
+  EXPECT_EQ(cache.stats().expired, 0u);
+}
+
+TEST(ScheduleCacheTtl, LongTtlKeepsEntriesAlive) {
+  ScheduleCache cache(8, std::chrono::hours{1});
+  std::atomic<int> computed{0};
+  (void)cache.get_or_compute("k", counted_result(computed, 1));
+  (void)cache.get_or_compute("k", counted_result(computed, 2));
+  EXPECT_EQ(computed.load(), 1);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().expired, 0u);
+}
+
+TEST(ScheduleCacheTtl, SetTtlAppliesToResidentEntries) {
+  ScheduleCache cache(8);
+  std::atomic<int> computed{0};
+  (void)cache.get_or_compute("k", counted_result(computed, 1));
+  ASSERT_TRUE(cache.contains("k"));
+  cache.set_ttl(std::chrono::nanoseconds{0});
+  ASSERT_TRUE(cache.ttl().has_value());
+  EXPECT_EQ(cache.try_get("k"), nullptr) << "insertion times predate the ttl change";
+  cache.set_ttl(std::nullopt);
+  (void)cache.get_or_compute("k", counted_result(computed, 2));
+  ASSERT_NE(cache.try_get("k"), nullptr) << "clearing the ttl disables expiry again";
+  EXPECT_EQ(computed.load(), 2);
+}
+
 }  // namespace
 }  // namespace sts

@@ -205,8 +205,8 @@ TEST(ScheduleService, ShutdownDrainsQueuedJobsAndRejectsNewOnes) {
 }
 
 TEST(ScheduleService, SimRequestsCacheSeparatelyFromPlain) {
-  // The envelope-level counterpart of the old submit vs submit_simulated
-  // split: presence of `sim` is part of the request identity.
+  // Presence of `sim` is part of the request identity: a simulated and a
+  // plain request for the same scenario must not share a cache entry.
   ScheduleService service(ServiceConfig{2, 4096});
   ScheduleRequest plain = request_for(testing::figure8_graph(), "streaming-rlx", 8);
   ScheduleRequest simulated = plain;

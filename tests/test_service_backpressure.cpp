@@ -3,8 +3,8 @@
 // parks the single worker inside a compute, so the shard queue can be filled
 // to its configured depth limit without racing the drain. Every scenario the
 // paper pipeline would schedule normally once the gate opens. All
-// submissions are ScheduleRequest envelopes; AdmissionPolicy::kReject
-// replaces the old try_submit entry point.
+// submissions are ScheduleRequest envelopes; AdmissionPolicy::kReject is
+// the non-blocking admission path.
 
 #include "service/schedule_service.hpp"
 
