@@ -9,7 +9,7 @@
 //                    [--simulate] [--sim-engine bulk|tick] [--timings] [--cached]
 //   sts_schedule_cli sweep <scenario-file|-> [--threads N] [--cache-capacity N]
 //                    [--repeat K] [--queue-depth N] [--backends N]
-//                    [--simulate] [--sim-engine bulk|tick]
+//                    [--simulate] [--sim-engine bulk|tick] [--incremental]
 //   sts_schedule_cli --list-schedulers
 //
 // `--variant X` is shorthand for `--scheduler streaming-X`. `--cached` routes
@@ -36,7 +36,16 @@
 //    "seed": 7}}
 // with `graph` either a generator ref (chain | fft | gaussian | cholesky)
 // or an inline {"nodes": [...], "edges": [...]} spec; optional members:
-// sim, admission, priority, label. The pre-envelope text form is still
+// sim, admission, priority, label. A line may instead be a delta envelope —
+// `"base_key"` plus an `"edits"` list (see graph/graph_edit.hpp) in place of
+// `"graph"` — rescheduling an edited variant of an earlier request. As sugar,
+// `base_key` may name an earlier scenario line's label instead of a 16-hex
+// digest; the sweep resolves it to that scenario's key_digest() before
+// submitting (deltas themselves cannot be targets — their graph only
+// materializes inside the service). `--incremental` turns on subgraph-level
+// schedule memoization in the serving stack (per-partition fragment reuse
+// across near-duplicate and delta requests); without it the sweep serves
+// whole-graph cache entries only. The pre-envelope text form is still
 // accepted per line:
 //   chain    <tasks>  <seed> <scheduler> <pes>
 //   fft      <points> <seed> <scheduler> <pes>
@@ -60,6 +69,7 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/schedule_export.hpp"
@@ -67,6 +77,7 @@
 #include "graph/serialization.hpp"
 #include "pipeline/registry.hpp"
 #include "pipeline/schedule_cache.hpp"
+#include "pipeline/subgraph_cache.hpp"
 #include "service/request.hpp"
 #include "service/schedule_service.hpp"
 #include "service/shard_router.hpp"
@@ -86,7 +97,7 @@ int usage(const char* argv0) {
             << argv0
             << " sweep <scenario-file|-> [--threads N] [--cache-capacity N] [--repeat K]\n"
                "                        [--queue-depth N] [--backends N] [--simulate]\n"
-               "                        [--sim-engine bulk|tick]\n"
+               "                        [--sim-engine bulk|tick] [--incremental]\n"
                "       "
             << argv0 << " --list-schedulers\n";
   return 2;
@@ -228,6 +239,7 @@ int run_sweep(int argc, char** argv) {
   std::size_t backends = 0;  // 0 = single service, >= 1 = ShardRouter
   int repeat = 1;
   bool simulate = false;
+  bool incremental = false;
   SimOptions sim_options;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -249,6 +261,8 @@ int run_sweep(int argc, char** argv) {
         if (repeat < 1) throw std::invalid_argument("--repeat must be >= 1");
       } else if (arg == "--simulate") {
         simulate = true;
+      } else if (arg == "--incremental") {
+        incremental = true;
       } else if (arg == "--sim-engine") {
         const std::string which = next();
         if (which == "bulk") {
@@ -291,10 +305,33 @@ int run_sweep(int argc, char** argv) {
     }
   }
 
+  // Delta label sugar: resolve a `base_key` that names an earlier scenario's
+  // label into that scenario's key_digest() — what the service registers the
+  // base graph under. Runs after the --simulate splice above (sim options are
+  // part of the digest). Deltas are not resolvable targets themselves: their
+  // graph only materializes inside the service. An unresolved base_key is
+  // forwarded verbatim (a real digest, or a typed error at the service).
+  {
+    std::unordered_map<std::string, std::string> digests;
+    for (SweepScenario& s : scenarios) {
+      if (!s.error.empty()) continue;
+      if (s.request.base_key) {
+        if (const auto it = digests.find(*s.request.base_key); it != digests.end()) {
+          s.request.base_key = it->second;
+        }
+      } else {
+        digests.emplace(s.label, s.request.key_digest());
+      }
+    }
+  }
+
   ServiceConfig config;
   config.num_workers = threads;
   config.cache_capacity = cache_capacity;
   config.queue_depth = queue_depth;
+  // Off by default in the sweep so plain runs serve the exact whole-graph
+  // cache path; --incremental layers per-partition fragment reuse under it.
+  config.subgraph_cache_capacity = incremental ? SubgraphCache::kDefaultCapacity : 0;
   std::unique_ptr<ScheduleService> service;
   std::unique_ptr<ShardRouter> router;
   std::size_t workers_total = 0;
@@ -384,7 +421,8 @@ int run_sweep(int argc, char** argv) {
       "\"bench\": \"sweep\", \"wall_seconds\": " + fmt(seconds, 6) +
       ", \"jobs_per_second\": " + fmt(stats.submitted / seconds, 1) +
       ", \"scenarios\": " + std::to_string(scenarios.size()) +
-      ", \"rounds\": " + std::to_string(repeat);
+      ", \"rounds\": " + std::to_string(repeat) +
+      ", \"incremental\": " + (incremental ? "1" : "0");
   std::string stats_line = router ? router->stats_json() : service->stats_json();
   if (!stats_line.empty() && stats_line.front() == '{') {
     stats_line.insert(1, sweep_fields + ", ");

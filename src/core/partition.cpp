@@ -34,11 +34,19 @@ class PartitionBuilder {
       chain_min_[static_cast<std::size_t>(v)] = kNoConstraint;
       if (graph.occupies_pe(v)) ++remaining_;
     }
-    for (NodeId v = 0; static_cast<std::size_t>(v) < graph.node_count(); ++v) {
+  }
+
+  /// Activates one connected partition: its in-degree-0 nodes enter the ready
+  /// set (components are edge-closed, so nothing else can be pending-free).
+  /// Callers drive components one at a time; the ready set only ever holds
+  /// nodes of the active one.
+  void seed(std::span<const NodeId> nodes) {
+    for (const NodeId v : nodes) {
       if (pending_in_[static_cast<std::size_t>(v)] == 0) on_ready(v);
     }
   }
 
+  [[nodiscard]] std::size_t remaining() const noexcept { return remaining_; }
   [[nodiscard]] bool done() const noexcept { return remaining_ == 0; }
   [[nodiscard]] std::span<const NodeId> ready() const noexcept {
     return ready_storage_.subspan(0, ready_size_);
@@ -145,6 +153,14 @@ class PartitionBuilder {
 /// (a few thousand candidates) across all four lanes of the latency gate.
 constexpr std::int64_t kArgminGrain = 256;
 
+std::size_t pe_node_count(const TaskGraph& graph, std::span<const NodeId> nodes) {
+  std::size_t count = 0;
+  for (const NodeId v : nodes) {
+    if (graph.occupies_pe(v)) ++count;
+  }
+  return count;
+}
+
 }  // namespace
 
 const char* to_string(PartitionVariant variant) noexcept {
@@ -152,11 +168,18 @@ const char* to_string(PartitionVariant variant) noexcept {
 }
 
 SpatialPartition partition_spatial_blocks(const TaskGraph& graph, std::int64_t num_pes,
-                                          PartitionVariant variant, Workspace* ws) {
+                                          PartitionVariant variant, Workspace* ws,
+                                          const CanonicalPartitionIndex* index) {
   Workspace local;
   Workspace& work = ws ? *ws : local;
   PartitionBuilder builder(graph, num_pes, work);
   const std::vector<Rational> level = node_levels(graph, &work);
+  CanonicalPartitionIndex owned_index;
+  if (!index) {
+    owned_index = canonical_partition_index(graph);
+    index = &owned_index;
+  }
+  const std::vector<std::int32_t>& rank = index->rank;
 
   // Strict-total-order comparators ("does v beat the incumbent b?"). The
   // serial loop's first-then-strict-improve scan computes the unique minimum
@@ -166,75 +189,93 @@ SpatialPartition partition_spatial_blocks(const TaskGraph& graph, std::int64_t n
     if (b == kInvalidNode) return v != kInvalidNode;
     if (v == kInvalidNode) return false;
     // Primary criterion per Algorithm 1; ties broken by node level, then
-    // produced volume, then id (deterministic).
+    // produced volume, then canonical rank (deterministic AND invariant
+    // under node-id renumbering — candidates are always same-component, so
+    // ranks never collide).
     const auto& lv = level[static_cast<std::size_t>(v)];
     const auto& lb = level[static_cast<std::size_t>(b)];
     if (lv != lb) return lv < lb;
     const auto ov = graph.output_volume(v);
     const auto ob = graph.output_volume(b);
     if (ov != ob) return ov < ob;
-    return v < b;
+    return rank[static_cast<std::size_t>(v)] < rank[static_cast<std::size_t>(b)];
   };
   const auto relaxed_beats = [&](NodeId v, NodeId b) {
     if (b == kInvalidNode) return v != kInvalidNode;
     if (v == kInvalidNode) return false;
-    // SB-RLX fallback: least produced volume, then level, then id.
+    // SB-RLX fallback: least produced volume, then level, then rank.
     const auto ov = graph.output_volume(v);
     const auto ob = graph.output_volume(b);
     if (ov != ob) return ov < ob;
     const auto& lv = level[static_cast<std::size_t>(v)];
     const auto& lb = level[static_cast<std::size_t>(b)];
     if (lv != lb) return lv < lb;
-    return v < b;
+    return rank[static_cast<std::size_t>(v)] < rank[static_cast<std::size_t>(b)];
   };
 
   struct Best {
     NodeId eligible = kInvalidNode;
     NodeId relaxed = kInvalidNode;
   };
-  while (!builder.done()) {
-    const std::span<const NodeId> ready = builder.ready();
-    if (ready.empty()) {
-      throw std::logic_error("partition: no ready node (cyclic graph?)");
-    }
-    const Best best = work.parallel.map_reduce(
-        static_cast<std::int64_t>(ready.size()), kArgminGrain, Best{},
-        [&](std::int64_t lo, std::int64_t hi, Best& acc) {
-          for (std::int64_t i = lo; i < hi; ++i) {
-            const NodeId v = ready[static_cast<std::size_t>(i)];
-            const std::int64_t bound = builder.source_volume_bound(v);
-            if (bound == kNoConstraint || graph.output_volume(v) <= bound) {
-              if (eligible_beats(v, acc.eligible)) acc.eligible = v;
-            } else if (variant == PartitionVariant::kRLX) {
-              if (relaxed_beats(v, acc.relaxed)) acc.relaxed = v;
+  for (std::int32_t c = 0; c < index->count; ++c) {
+    const std::span<const NodeId> component = index->nodes(c);
+    builder.seed(component);
+    const std::size_t target = builder.remaining() - pe_node_count(graph, component);
+    while (builder.remaining() > target) {
+      const std::span<const NodeId> ready = builder.ready();
+      if (ready.empty()) {
+        throw std::logic_error("partition: no ready node (cyclic graph?)");
+      }
+      const Best best = work.parallel.map_reduce(
+          static_cast<std::int64_t>(ready.size()), kArgminGrain, Best{},
+          [&](std::int64_t lo, std::int64_t hi, Best& acc) {
+            for (std::int64_t i = lo; i < hi; ++i) {
+              const NodeId v = ready[static_cast<std::size_t>(i)];
+              const std::int64_t bound = builder.source_volume_bound(v);
+              if (bound == kNoConstraint || graph.output_volume(v) <= bound) {
+                if (eligible_beats(v, acc.eligible)) acc.eligible = v;
+              } else if (variant == PartitionVariant::kRLX) {
+                if (relaxed_beats(v, acc.relaxed)) acc.relaxed = v;
+              }
             }
-          }
-        },
-        [&](Best& into, const Best& from) {
-          if (eligible_beats(from.eligible, into.eligible)) into.eligible = from.eligible;
-          if (relaxed_beats(from.relaxed, into.relaxed)) into.relaxed = from.relaxed;
-        });
-    if (best.eligible != kInvalidNode) {
-      builder.assign(best.eligible);
-    } else if (variant == PartitionVariant::kRLX && best.relaxed != kInvalidNode) {
-      builder.assign(best.relaxed);
-    } else {
-      // SB-LTS: nothing safe to add; seal the block and start a fresh one
-      // (every candidate is then a block source and becomes eligible).
-      builder.close_block();
+          },
+          [&](Best& into, const Best& from) {
+            if (eligible_beats(from.eligible, into.eligible)) into.eligible = from.eligible;
+            if (relaxed_beats(from.relaxed, into.relaxed)) into.relaxed = from.relaxed;
+          });
+      if (best.eligible != kInvalidNode) {
+        builder.assign(best.eligible);
+      } else if (variant == PartitionVariant::kRLX && best.relaxed != kInvalidNode) {
+        builder.assign(best.relaxed);
+      } else {
+        // SB-LTS: nothing safe to add; seal the block and start a fresh one
+        // (every candidate is then a block source and becomes eligible).
+        builder.close_block();
+      }
     }
+    // Component boundary: blocks never span components, so the per-component
+    // schedule fragments downstream stay independently reusable.
+    builder.close_block();
   }
   return builder.take();
 }
 
-SpatialPartition partition_by_work(const TaskGraph& graph, std::int64_t num_pes, Workspace* ws) {
+SpatialPartition partition_by_work(const TaskGraph& graph, std::int64_t num_pes, Workspace* ws,
+                                   const CanonicalPartitionIndex* index) {
   Workspace local;
   Workspace& work = ws ? *ws : local;
   PartitionBuilder builder(graph, num_pes, work);
   const std::vector<Rational> level = node_levels(graph, &work);
+  CanonicalPartitionIndex owned_index;
+  if (!index) {
+    owned_index = canonical_partition_index(graph);
+    index = &owned_index;
+  }
+  const std::vector<std::int32_t>& rank = index->rank;
 
-  // Highest work first, ties by lowest level then id — a strict total order,
-  // so the chunked reduction is exact (see partition_spatial_blocks).
+  // Highest work first, ties by lowest level then canonical rank — a strict
+  // total order, so the chunked reduction is exact (see
+  // partition_spatial_blocks).
   const auto beats = [&](NodeId v, NodeId b) {
     if (b == kInvalidNode) return v != kInvalidNode;
     if (v == kInvalidNode) return false;
@@ -244,26 +285,32 @@ SpatialPartition partition_by_work(const TaskGraph& graph, std::int64_t num_pes,
     const auto& lv = level[static_cast<std::size_t>(v)];
     const auto& lb = level[static_cast<std::size_t>(b)];
     if (lv != lb) return lv < lb;
-    return v < b;
+    return rank[static_cast<std::size_t>(v)] < rank[static_cast<std::size_t>(b)];
   };
 
-  while (!builder.done()) {
-    const std::span<const NodeId> ready = builder.ready();
-    if (ready.empty()) {
-      throw std::logic_error("partition_by_work: no ready node (cyclic graph?)");
+  for (std::int32_t c = 0; c < index->count; ++c) {
+    const std::span<const NodeId> component = index->nodes(c);
+    builder.seed(component);
+    const std::size_t target = builder.remaining() - pe_node_count(graph, component);
+    while (builder.remaining() > target) {
+      const std::span<const NodeId> ready = builder.ready();
+      if (ready.empty()) {
+        throw std::logic_error("partition_by_work: no ready node (cyclic graph?)");
+      }
+      const NodeId best = work.parallel.map_reduce(
+          static_cast<std::int64_t>(ready.size()), kArgminGrain, kInvalidNode,
+          [&](std::int64_t lo, std::int64_t hi, NodeId& acc) {
+            for (std::int64_t i = lo; i < hi; ++i) {
+              const NodeId v = ready[static_cast<std::size_t>(i)];
+              if (beats(v, acc)) acc = v;
+            }
+          },
+          [&](NodeId& into, const NodeId& from) {
+            if (beats(from, into)) into = from;
+          });
+      builder.assign(best);  // blocks cut automatically every num_pes nodes
     }
-    const NodeId best = work.parallel.map_reduce(
-        static_cast<std::int64_t>(ready.size()), kArgminGrain, kInvalidNode,
-        [&](std::int64_t lo, std::int64_t hi, NodeId& acc) {
-          for (std::int64_t i = lo; i < hi; ++i) {
-            const NodeId v = ready[static_cast<std::size_t>(i)];
-            if (beats(v, acc)) acc = v;
-          }
-        },
-        [&](NodeId& into, const NodeId& from) {
-          if (beats(from, into)) into = from;
-        });
-    builder.assign(best);  // blocks cut automatically every num_pes nodes
+    builder.close_block();  // blocks never span components
   }
   return builder.take();
 }

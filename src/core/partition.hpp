@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/serialization.hpp"
 #include "graph/task_graph.hpp"
 #include "support/workspace.hpp"
 
@@ -40,7 +41,17 @@ struct SpatialPartition {
 /// Eligibility (see DESIGN.md §2.7): a candidate with no direct (non-buffer)
 /// predecessor in the open block always qualifies; otherwise its output
 /// volume must not exceed the smallest output volume among the open block's
-/// sources it depends on. Ties break by (level, volume, id).
+/// sources it depends on. Ties break by (level, volume, canonical rank).
+///
+/// Both partitioners process the graph's connected partitions (weakly
+/// connected components, see canonical_partition_index) one at a time in
+/// minimal-node-id order, sealing the open block at every component
+/// boundary: blocks never mix components. Together with canonical-rank
+/// (renumbering-invariant) tie-breaking this makes the partition — and every
+/// downstream pipeline stage — compose per component, which is what lets the
+/// SubgraphCache assemble whole-graph results from per-component fragments
+/// bit-identically to a cold run. Pass a precomputed `index` to skip the
+/// internal canonicalization (it must describe `graph`).
 ///
 /// When a Workspace is given, its arena backs the builder scratch (no
 /// per-node heap allocations) and its lanes fan out the per-iteration argmin
@@ -50,14 +61,18 @@ struct SpatialPartition {
 [[nodiscard]] SpatialPartition partition_spatial_blocks(const TaskGraph& graph,
                                                         std::int64_t num_pes,
                                                         PartitionVariant variant,
-                                                        Workspace* ws = nullptr);
+                                                        Workspace* ws = nullptr,
+                                                        const CanonicalPartitionIndex* index = nullptr);
 
 /// Work-ordered partitioning for graphs of element-wise and downsampler
 /// nodes (Algorithm 2, Appendix A.2): repeatedly pick the ready node with the
-/// highest work (ties by lowest level), cutting blocks every P nodes. Carries
-/// the T_P <= T1/P + T_s_inf + min(n-1, (x-1)(L-1)) guarantee.
+/// highest work (ties by lowest level), cutting blocks every P nodes within
+/// each connected partition (same component-sequential order as
+/// partition_spatial_blocks). Carries the
+/// T_P <= T1/P + T_s_inf + min(n-1, (x-1)(L-1)) guarantee per component.
 [[nodiscard]] SpatialPartition partition_by_work(const TaskGraph& graph, std::int64_t num_pes,
-                                                 Workspace* ws = nullptr);
+                                                 Workspace* ws = nullptr,
+                                                 const CanonicalPartitionIndex* index = nullptr);
 
 /// Checks structural sanity of a partition (used by tests and assertions):
 /// every PE node in exactly one block, capacity respected, dependencies flow

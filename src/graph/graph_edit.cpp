@@ -1,0 +1,279 @@
+#include "graph/graph_edit.hpp"
+
+#include <cstddef>
+#include <stdexcept>
+#include <string_view>
+
+#include "support/text.hpp"
+
+namespace sts {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("graph edit: " + what);
+}
+
+std::string_view op_name(GraphEdit::Op op) {
+  switch (op) {
+    case GraphEdit::Op::kAddNode: return "add_node";
+    case GraphEdit::Op::kRemoveNode: return "remove_node";
+    case GraphEdit::Op::kAddEdge: return "add_edge";
+    case GraphEdit::Op::kRemoveEdge: return "remove_edge";
+    case GraphEdit::Op::kSetOutput: return "set_output";
+    case GraphEdit::Op::kSetEdgeVolume: return "set_edge_volume";
+  }
+  fail("unknown op enum");
+}
+
+std::string_view kind_name(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kSource: return "source";
+    case NodeKind::kSink: return "sink";
+    case NodeKind::kCompute: return "compute";
+    case NodeKind::kBuffer: return "buffer";
+  }
+  fail("unknown node kind enum");
+}
+
+NodeKind kind_from(const std::string& token) {
+  if (token == "source") return NodeKind::kSource;
+  if (token == "sink") return NodeKind::kSink;
+  if (token == "compute") return NodeKind::kCompute;
+  if (token == "buffer") return NodeKind::kBuffer;
+  fail("unknown node kind '" + token + "'");
+}
+
+NodeId node_from(const JsonValue& json, std::string_view key) {
+  const std::int64_t value = json.at(key).as_int();
+  if (value < 0 || value > INT32_MAX) {
+    fail("member '" + std::string(key) + "' out of NodeId range");
+  }
+  return static_cast<NodeId>(value);
+}
+
+}  // namespace
+
+void append_graph_edit_json(std::string& out, const GraphEdit& edit) {
+  out += "{\"op\": \"";
+  out += op_name(edit.op);
+  out += '"';
+  switch (edit.op) {
+    case GraphEdit::Op::kAddNode:
+      out += ", \"kind\": \"";
+      out += kind_name(edit.kind);
+      out += '"';
+      if (edit.volume != 0) {
+        out += ", \"output\": ";
+        append_number(out, edit.volume);
+      }
+      if (!edit.name.empty()) {
+        out += ", \"name\": ";
+        append_json_quoted(out, edit.name);
+      }
+      break;
+    case GraphEdit::Op::kRemoveNode:
+      out += ", \"node\": ";
+      append_number(out, edit.node);
+      break;
+    case GraphEdit::Op::kAddEdge:
+    case GraphEdit::Op::kSetEdgeVolume:
+      out += ", \"src\": ";
+      append_number(out, edit.src);
+      out += ", \"dst\": ";
+      append_number(out, edit.dst);
+      out += ", \"volume\": ";
+      append_number(out, edit.volume);
+      break;
+    case GraphEdit::Op::kRemoveEdge:
+      out += ", \"src\": ";
+      append_number(out, edit.src);
+      out += ", \"dst\": ";
+      append_number(out, edit.dst);
+      break;
+    case GraphEdit::Op::kSetOutput:
+      out += ", \"node\": ";
+      append_number(out, edit.node);
+      out += ", \"volume\": ";
+      append_number(out, edit.volume);
+      break;
+  }
+  out += '}';
+}
+
+GraphEdit graph_edit_from_json(const JsonValue& json) {
+  GraphEdit edit;
+  const std::string& op = json.at("op").as_string();
+  if (op == "add_node") {
+    reject_unknown_members(json, {"op", "kind", "output", "name"}, "graph edit", "add_node");
+    edit.op = GraphEdit::Op::kAddNode;
+    edit.kind = kind_from(json.at("kind").as_string());
+    if (const JsonValue* output = json.find("output")) {
+      edit.volume = output->as_int();
+      if (edit.volume <= 0) fail("add_node output must be positive");
+    }
+    if (const JsonValue* name = json.find("name")) edit.name = name->as_string();
+  } else if (op == "remove_node") {
+    reject_unknown_members(json, {"op", "node"}, "graph edit", "remove_node");
+    edit.op = GraphEdit::Op::kRemoveNode;
+    edit.node = node_from(json, "node");
+  } else if (op == "add_edge") {
+    reject_unknown_members(json, {"op", "src", "dst", "volume"}, "graph edit", "add_edge");
+    edit.op = GraphEdit::Op::kAddEdge;
+    edit.src = node_from(json, "src");
+    edit.dst = node_from(json, "dst");
+    edit.volume = json.at("volume").as_int();
+    if (edit.volume <= 0) fail("add_edge volume must be positive");
+  } else if (op == "remove_edge") {
+    reject_unknown_members(json, {"op", "src", "dst"}, "graph edit", "remove_edge");
+    edit.op = GraphEdit::Op::kRemoveEdge;
+    edit.src = node_from(json, "src");
+    edit.dst = node_from(json, "dst");
+  } else if (op == "set_output") {
+    reject_unknown_members(json, {"op", "node", "volume"}, "graph edit", "set_output");
+    edit.op = GraphEdit::Op::kSetOutput;
+    edit.node = node_from(json, "node");
+    edit.volume = json.at("volume").as_int();
+    if (edit.volume <= 0) fail("set_output volume must be positive");
+  } else if (op == "set_edge_volume") {
+    reject_unknown_members(json, {"op", "src", "dst", "volume"}, "graph edit",
+                           "set_edge_volume");
+    edit.op = GraphEdit::Op::kSetEdgeVolume;
+    edit.src = node_from(json, "src");
+    edit.dst = node_from(json, "dst");
+    edit.volume = json.at("volume").as_int();
+    if (edit.volume <= 0) fail("set_edge_volume volume must be positive");
+  } else {
+    fail("unknown op '" + op + "'");
+  }
+  return edit;
+}
+
+TaskGraph apply_graph_edits(const TaskGraph& base, std::span<const GraphEdit> edits) {
+  struct NodeDraft {
+    NodeKind kind;
+    std::string name;
+    std::int64_t declared_output;
+    bool alive;
+  };
+  struct EdgeDraft {
+    NodeId src;
+    NodeId dst;
+    std::int64_t volume;
+    bool alive;
+  };
+
+  std::vector<NodeDraft> nodes;
+  nodes.reserve(base.node_count() + edits.size());
+  for (NodeId v = 0; static_cast<std::size_t>(v) < base.node_count(); ++v) {
+    nodes.push_back({base.kind(v), base.name(v), base.declared_output(v), true});
+  }
+  std::vector<EdgeDraft> edges;
+  edges.reserve(base.edge_count() + edits.size());
+  for (const Edge& edge : base.edges()) {
+    edges.push_back({edge.src, edge.dst, edge.volume, true});
+  }
+
+  const auto check_alive = [&nodes](NodeId v, const char* role) {
+    if (v < 0 || static_cast<std::size_t>(v) >= nodes.size()) {
+      fail(std::string(role) + " node " + std::to_string(v) + " out of range");
+    }
+    if (!nodes[static_cast<std::size_t>(v)].alive) {
+      fail(std::string(role) + " node " + std::to_string(v) + " was removed");
+    }
+  };
+  // First not-yet-removed edge with the given endpoints, in insertion order.
+  const auto find_edge = [&edges](NodeId src, NodeId dst) -> EdgeDraft* {
+    for (EdgeDraft& edge : edges) {
+      if (edge.alive && edge.src == src && edge.dst == dst) return &edge;
+    }
+    return nullptr;
+  };
+
+  for (const GraphEdit& edit : edits) {
+    switch (edit.op) {
+      case GraphEdit::Op::kAddNode:
+        if (edit.kind == NodeKind::kSource && edit.volume <= 0) {
+          fail("add_node source requires a positive output");
+        }
+        nodes.push_back({edit.kind, edit.name, edit.volume, true});
+        break;
+      case GraphEdit::Op::kRemoveNode:
+        check_alive(edit.node, "remove_node");
+        nodes[static_cast<std::size_t>(edit.node)].alive = false;
+        for (EdgeDraft& edge : edges) {
+          if (edge.src == edit.node || edge.dst == edit.node) edge.alive = false;
+        }
+        break;
+      case GraphEdit::Op::kAddEdge:
+        check_alive(edit.src, "add_edge src");
+        check_alive(edit.dst, "add_edge dst");
+        edges.push_back({edit.src, edit.dst, edit.volume, true});
+        break;
+      case GraphEdit::Op::kRemoveEdge: {
+        check_alive(edit.src, "remove_edge src");
+        check_alive(edit.dst, "remove_edge dst");
+        EdgeDraft* edge = find_edge(edit.src, edit.dst);
+        if (!edge) {
+          fail("remove_edge: no edge " + std::to_string(edit.src) + " -> " +
+               std::to_string(edit.dst));
+        }
+        edge->alive = false;
+        break;
+      }
+      case GraphEdit::Op::kSetOutput:
+        check_alive(edit.node, "set_output");
+        nodes[static_cast<std::size_t>(edit.node)].declared_output = edit.volume;
+        break;
+      case GraphEdit::Op::kSetEdgeVolume: {
+        check_alive(edit.src, "set_edge_volume src");
+        check_alive(edit.dst, "set_edge_volume dst");
+        EdgeDraft* edge = find_edge(edit.src, edit.dst);
+        if (!edge) {
+          fail("set_edge_volume: no edge " + std::to_string(edit.src) + " -> " +
+               std::to_string(edit.dst));
+        }
+        edge->volume = edit.volume;
+        break;
+      }
+    }
+  }
+
+  // Dense renumbering in draft order; dead nodes drop out, everything else
+  // keeps its relative position so an undo list round-trips exactly.
+  std::vector<NodeId> remap(nodes.size(), -1);
+  TaskGraph out;
+  for (std::size_t v = 0; v < nodes.size(); ++v) {
+    const NodeDraft& draft = nodes[v];
+    if (!draft.alive) continue;
+    NodeId mapped = -1;
+    switch (draft.kind) {
+      case NodeKind::kSource:
+        if (draft.declared_output <= 0) {
+          fail("node " + std::to_string(v) + ": source lost its declared output");
+        }
+        mapped = out.add_source(draft.declared_output, draft.name);
+        break;
+      case NodeKind::kCompute:
+        mapped = out.add_compute(draft.name);
+        if (draft.declared_output > 0) out.declare_output(mapped, draft.declared_output);
+        break;
+      case NodeKind::kBuffer:
+        mapped = out.add_buffer(draft.name);
+        if (draft.declared_output > 0) out.declare_output(mapped, draft.declared_output);
+        break;
+      case NodeKind::kSink:
+        mapped = out.add_sink(draft.name);
+        break;
+    }
+    remap[v] = mapped;
+  }
+  for (const EdgeDraft& edge : edges) {
+    if (!edge.alive) continue;
+    out.add_edge(remap[static_cast<std::size_t>(edge.src)],
+                 remap[static_cast<std::size_t>(edge.dst)], edge.volume);
+  }
+  return out;
+}
+
+}  // namespace sts

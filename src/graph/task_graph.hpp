@@ -167,6 +167,13 @@ class TaskGraph {
   /// (common) out-edge volume. 0 for sinks.
   [[nodiscard]] std::int64_t output_volume(NodeId v) const;
 
+  /// The declared output volume record (0 = none declared). Distinct from
+  /// output_volume(): exact replication of declarations is what graph edits
+  /// and partition extraction need to rebuild a graph record-for-record.
+  [[nodiscard]] std::int64_t declared_output(NodeId v) const {
+    return nodes_[static_cast<std::size_t>(v)].declared_output;
+  }
+
   /// R(v) = O(v)/I(v); only defined for compute and buffer nodes.
   [[nodiscard]] Rational rate(NodeId v) const;
 

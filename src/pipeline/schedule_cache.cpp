@@ -200,7 +200,18 @@ std::optional<std::chrono::nanoseconds> ScheduleCache::ttl() const {
 
 ScheduleCache::Stats ScheduleCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats out = stats_;
+  if (ttl_) {
+    // Expiry is lazy: an entry past its ttl is only physically dropped by the
+    // next mutating probe of its key, yet contains()/try_get already read it
+    // as absent. Count such residents here so stats().expired agrees with the
+    // lookup behavior at all times, not just after the drop.
+    const std::chrono::steady_clock::time_point now = std::chrono::steady_clock::now();
+    for (const Entry& entry : lru_) {
+      if (now - entry.inserted >= *ttl_) ++out.expired;
+    }
+  }
+  return out;
 }
 
 std::size_t ScheduleCache::size() const {

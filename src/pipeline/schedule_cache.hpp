@@ -77,7 +77,10 @@ class ScheduleCache {
     std::uint64_t races = 0;      ///< joined another thread's in-flight computation
     std::uint64_t evictions = 0;  ///< entries dropped by the weight bound
     std::uint64_t evicted_weight = 0;  ///< total weight of those dropped entries
-    std::uint64_t expired = 0;         ///< entries dropped by the ttl on lookup
+    std::uint64_t expired = 0;  ///< entries aged out by the ttl: dropped on a
+                                ///< mutating probe, or still resident but past
+                                ///< the ttl at the stats() snapshot (so this
+                                ///< always agrees with what contains() reads)
   };
 
   /// Default total-weight bound: with schedule entries weighing their graph's

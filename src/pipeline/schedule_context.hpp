@@ -14,6 +14,7 @@
 #include "graph/task_graph.hpp"
 #include "noc/placement.hpp"
 #include "sim/dataflow_sim.hpp"
+#include "support/rational.hpp"
 
 namespace sts {
 
@@ -88,6 +89,10 @@ struct ScheduleContext {
 
   /// Makespan of whichever schedule the pipeline produced.
   std::int64_t makespan = 0;
+
+  /// Exact streaming depth bound behind metrics.slr (MetricsPass, streaming
+  /// schedulers only); forwarded into ScheduleResult::depth.
+  Rational streaming_depth_bound{0};
 
   /// Per-pass wall-clock timings recorded by Pipeline::run.
   std::vector<PassTiming> timings;

@@ -60,6 +60,7 @@ ScheduleResult Scheduler::schedule(const TaskGraph& graph, const MachineConfig& 
   result.sim = std::move(ctx.sim);
   if (ctx.metrics) result.metrics = *ctx.metrics;
   result.makespan = ctx.makespan;
+  result.depth = ctx.streaming_depth_bound;
   result.timings = std::move(ctx.timings);
   return result;
 }

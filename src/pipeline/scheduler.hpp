@@ -4,6 +4,7 @@
 
 #include "pipeline/pipeline.hpp"
 #include "pipeline/schedule_context.hpp"
+#include "support/rational.hpp"
 
 namespace sts {
 
@@ -22,6 +23,13 @@ struct ScheduleResult {
 
   ScheduleMetrics metrics;
   std::int64_t makespan = 0;
+
+  /// Streaming depth bound T_s_inf that produced metrics.slr, kept as the
+  /// exact rational. Decomposes over connected partitions as a plain max,
+  /// which is how fragment assembly reproduces a cold run's slr bit-for-bit
+  /// without re-deriving whole-graph levels. Zero for non-streaming results.
+  Rational depth{0};
+
   std::vector<PassTiming> timings;
 
   [[nodiscard]] bool is_streaming() const noexcept { return streaming.has_value(); }

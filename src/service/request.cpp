@@ -116,6 +116,16 @@ std::string ScheduleRequest::release_key() {
   return std::move(key_.value);
 }
 
+std::string ScheduleRequest::key_digest() const {
+  std::uint64_t hash = fnv1a64(key());
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = "0123456789abcdef"[hash & 0xf];
+    hash >>= 4;
+  }
+  return out;
+}
+
 std::string ScheduleRequest::to_json() const {
   std::string out;
   out.reserve(128 + (graph_ref ? 0 : 40 * graph.node_count() + 24 * graph.edge_count()));
@@ -136,9 +146,20 @@ std::string ScheduleRequest::to_json() const {
     }
     out += ']';
   }
-  out += "}, \"graph\": ";
-  if (graph_ref) {
-    out += "{\"generator\": ";
+  if (base_key) {
+    // Delta envelope: the scenario is (base identity, edit list); the
+    // materialized graph, if any, is a service-side artifact and would bloat
+    // the line without adding identity.
+    out += "}, \"base_key\": ";
+    append_json_quoted(out, *base_key);
+    out += ", \"edits\": [";
+    for (std::size_t i = 0; i < edits.size(); ++i) {
+      if (i > 0) out += ", ";
+      append_graph_edit_json(out, edits[i]);
+    }
+    out += ']';
+  } else if (graph_ref) {
+    out += "}, \"graph\": {\"generator\": ";
     append_json_quoted(out, graph_ref->generator);
     out += ", \"param\": ";
     append_number(out, graph_ref->param);
@@ -146,6 +167,7 @@ std::string ScheduleRequest::to_json() const {
     append_number(out, graph_ref->seed);
     out += '}';
   } else {
+    out += "}, \"graph\": ";
     append_task_graph_json(out, graph);
   }
   if (sim) {
@@ -179,8 +201,8 @@ std::string ScheduleRequest::to_json() const {
 ScheduleRequest ScheduleRequest::from_json(std::string_view text) {
   const JsonValue json = parse_json(text);
   reject_unknown(json,
-                 {"schema_version", "scheduler", "machine", "graph", "sim", "admission",
-                  "intra_threads", "priority", "label"},
+                 {"schema_version", "scheduler", "machine", "graph", "base_key", "edits",
+                  "sim", "admission", "intra_threads", "priority", "label"},
                  "request");
 
   ScheduleRequest request;
@@ -198,12 +220,26 @@ ScheduleRequest ScheduleRequest::from_json(std::string_view text) {
     request.machine = machine_from_json(*machine);
   }
 
-  const JsonValue& graph = json.at("graph");
-  if (graph.find("generator") != nullptr) {
-    request.graph_ref = graph_ref_from_json(graph);
-    request.graph = materialize(*request.graph_ref);
+  if (const JsonValue* base = json.find("base_key")) {
+    if (json.find("graph") != nullptr) fail("base_key excludes an inline graph");
+    if (version < 2) fail("base_key requires schema_version >= 2");
+    request.base_key = base->as_string();
+    if (request.base_key->empty()) fail("base_key must be non-empty");
+    if (const JsonValue* edits = json.find("edits")) {
+      request.edits.reserve(edits->items().size());
+      for (const JsonValue& edit : edits->items()) {
+        request.edits.push_back(graph_edit_from_json(edit));
+      }
+    }
   } else {
-    request.graph = task_graph_from_json(graph);
+    if (json.find("edits") != nullptr) fail("edits require a base_key");
+    const JsonValue& graph = json.at("graph");
+    if (graph.find("generator") != nullptr) {
+      request.graph_ref = graph_ref_from_json(graph);
+      request.graph = materialize(*request.graph_ref);
+    } else {
+      request.graph = task_graph_from_json(graph);
+    }
   }
 
   if (const JsonValue* sim = json.find("sim")) request.sim = sim_from_json(*sim);

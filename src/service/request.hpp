@@ -5,7 +5,9 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "graph/graph_edit.hpp"
 #include "graph/task_graph.hpp"
 #include "pipeline/schedule_context.hpp"
 #include "pipeline/scheduler.hpp"
@@ -17,7 +19,12 @@ namespace sts {
 /// spans). Bump it when scheduler implementations change observably: the
 /// version is the first line of every request key, so stale cached results
 /// from an older schema can never be served for a newer one.
-inline constexpr int kScheduleSchemaVersion = 1;
+///
+/// v2: the partitioners became component-sequential with canonical-rank
+/// tie-breaking (blocks never mix connected partitions), which can change
+/// block assignments for multi-component or tie-heavy graphs; the envelope
+/// gained `base_key` + `edits` (incremental delta rescheduling).
+inline constexpr int kScheduleSchemaVersion = 2;
 
 /// What a service should do with a request that lands on a full shard:
 /// apply backpressure (block the submitter until space frees up) or refuse
@@ -60,19 +67,37 @@ struct GraphRef {
 ///
 /// JSON shape (defaults may be omitted; unknown members are rejected):
 ///
-///     {"schema_version": 1, "scheduler": "streaming-rlx",
+///     {"schema_version": 2, "scheduler": "streaming-rlx",
 ///      "machine": {"pes": 8, "fifo": 2, "mesh": false, "pe_speed": []},
 ///      "graph": {"nodes": [...], "edges": [...]},      // or
-///      "graph": {"generator": "fft", "param": 16, "seed": 7},
+///      "graph": {"generator": "fft", "param": 16, "seed": 7},    // or
+///      "base_key": "f06b75c22ef6b297",
+///      "edits": [{"op": "set_edge_volume", "src": 1, "dst": 2, "volume": 8}],
 ///      "sim": {"engine": "bulk", "max_ticks": 50000000, "trace": false},
 ///      "admission": "block", "intra_threads": 4, "priority": 0,
 ///      "label": "warmup"}
+///
+/// A delta request carries `base_key` (the key_digest() of a previously
+/// submitted request) plus an `edits` list instead of a graph; the service
+/// materializes the edited graph from its base-request registry at
+/// submission, so downstream (key, cache, scheduling) a delta is
+/// indistinguishable from the equivalent whole-graph request.
 struct ScheduleRequest {
   int schema_version = kScheduleSchemaVersion;
   TaskGraph graph;
   /// Set when the graph came from (or should serialize as) a generator
   /// reference; `graph` always holds the materialized graph either way.
   std::optional<GraphRef> graph_ref;
+  /// Delta rescheduling: key_digest() of the base request whose graph the
+  /// `edits` apply to. When set, `graph` stays empty until the service
+  /// materializes it (JSON serialization then carries base_key + edits, not
+  /// the graph). A ShardRouter routes delta requests by this digest — the
+  /// same hash the base request was routed by — so they land where the
+  /// base's partition fragments are warm.
+  std::optional<std::string> base_key;
+  /// Edit list applied (in order) to the base graph; meaningful only with
+  /// `base_key`.
+  std::vector<GraphEdit> edits;
   std::string scheduler = "streaming-rlx";
   MachineConfig machine;
   /// Present = chain a SimulationPass after scheduling (the worker-side
@@ -104,6 +129,16 @@ struct ScheduleRequest {
   /// first if needed — the service worker hands it to the cache without
   /// re-copying. The memo is left empty; a later key() recomputes.
   [[nodiscard]] std::string release_key();
+
+  /// 16-hex-digit digest of key(): the compact request identity delta
+  /// requests name in `base_key`, and exactly the fnv1a64 hash a ShardRouter
+  /// routes the request by.
+  [[nodiscard]] std::string key_digest() const;
+
+  /// Drops the key() memo. Must be called after mutating any key-relevant
+  /// field in place (the service does this when it materializes a delta
+  /// request's graph) — a stale memo would serve the wrong identity.
+  void invalidate_key() noexcept { key_.value.clear(); }
 
   /// One-line JSON rendering of the envelope (the sweep scenario-file
   /// format). Omits members that hold their default value.

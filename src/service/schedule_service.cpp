@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "graph/graph_edit.hpp"
 #include "pipeline/passes.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/registry.hpp"
@@ -14,9 +15,13 @@ namespace sts {
 ScheduleService::ScheduleService(ServiceConfig config)
     : cache_(config.cache_capacity, config.cache_ttl),
       queue_depth_(config.queue_depth),
-      intra_threads_(config.intra_threads) {
+      intra_threads_(config.intra_threads),
+      base_registry_capacity_(config.base_registry_capacity) {
   if (intra_threads_ < 0) {
     throw std::invalid_argument("ScheduleService: intra_threads must be >= 0 (0 = auto)");
+  }
+  if (config.subgraph_cache_capacity > 0) {
+    subgraph_cache_ = std::make_unique<SubgraphCache>(config.subgraph_cache_capacity);
   }
   std::size_t n = config.num_workers;
   if (n == 0) {
@@ -61,6 +66,53 @@ ScheduleService::Admission ScheduleService::submit(ScheduleRequest request) {
   if (stopping_.load(std::memory_order_acquire)) {
     throw std::runtime_error("ScheduleService: submit after shutdown");
   }
+  // A delta request names its base by digest and carries edits instead of a
+  // graph: materialize the edited graph here, before anything derives from
+  // the request — downstream (key, cache, scheduling) a delta is then
+  // indistinguishable from the equivalent whole-graph request. Resolution
+  // failures (unknown base, invalid edit) settle through the returned future
+  // so the service itself stays healthy.
+  if (request.base_key.has_value()) {
+    const bool delta_simulate = request.sim.has_value();
+    try {
+      const std::shared_ptr<const TaskGraph> base = find_base(*request.base_key);
+      if (!base) {
+        throw std::invalid_argument("ScheduleService: unknown base_key '" + *request.base_key +
+                                    "' (never submitted here, or aged out of the base registry)");
+      }
+      request.graph = apply_graph_edits(*base, request.edits);
+      // Validate the composed graph NOW, not at schedule time: the cache key
+      // hashes *derived* volumes (canonical_fingerprint uses out-edge
+      // volumes, not declared-output records), so an edit list composing a
+      // non-canonical graph — say a retuned output contradicting its
+      // out-edge volume — would alias its still-valid base's key and
+      // silently return the base's cached result instead of failing.
+      if (const std::vector<std::string> violations = request.graph.validate();
+          !violations.empty()) {
+        std::string message = "ScheduleService: edits compose an invalid graph:";
+        for (const std::string& v : violations) {
+          message += "\n  - ";
+          message += v;
+        }
+        throw std::invalid_argument(message);
+      }
+      // The request identity changed with the graph: drop any memoized key.
+      // (A fronting ShardRouter routes deltas by base_key without touching
+      // key(), but a caller may have.)
+      request.invalidate_key();
+    } catch (...) {
+      std::promise<ResultPtr> failed;
+      Admission admission{failed.get_future(), std::nullopt};
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++counters_.submitted;
+        if (delta_simulate) ++counters_.simulated;
+      }
+      failed.set_exception(std::current_exception());
+      finish_one(true);
+      return admission;
+    }
+  }
   // Resolve the request's execution-lane hint against the service default
   // before anything derives from the request. The lane count is NOT part of
   // the machine cache_key() (results are bit-identical at every value), so
@@ -69,6 +121,9 @@ ScheduleService::Admission ScheduleService::submit(ScheduleRequest request) {
   // Memoizes inside the request, so the worker (and a fronting ShardRouter)
   // never re-derives it.
   const std::string& key = request.key();
+  // Every submitted request can serve as a delta base — including a
+  // materialized delta, so edit chains resolve link by link.
+  remember_base(request.key_digest(), request.graph);
   const bool simulate = request.sim.has_value();
   std::promise<ResultPtr> promise;
   Admission admission{promise.get_future(), std::nullopt};
@@ -155,7 +210,14 @@ ScheduleService::Admission ScheduleService::submit(ScheduleRequest request) {
 
 ScheduleResult ScheduleService::compute_job(const Job& job) {
   const ScheduleRequest& request = job.request;
-  ScheduleResult result = schedule_by_name(request.scheduler, request.graph, request.machine);
+  // With subgraph memoization on, a whole-graph cache miss still reuses every
+  // cached per-partition fragment and schedules only the partitions a delta
+  // (or a fresh near-duplicate) actually changed.
+  ScheduleResult result =
+      subgraph_cache_ ? schedule_with_subgraph_cache(request.scheduler, request.graph,
+                                                     request.machine, *subgraph_cache_,
+                                                     request.base_key.has_value())
+                      : schedule_by_name(request.scheduler, request.graph, request.machine);
   if (!request.sim) return result;
   if (!result.streaming || !result.buffers) {
     throw std::invalid_argument(
@@ -199,7 +261,7 @@ void ScheduleService::worker_loop(Shard& shard) {
     bool failed = false;
     try {
       ResultPtr result = cache_.get_or_compute(
-          job.request.release_key(), [&job] { return compute_job(job); },
+          job.request.release_key(), [this, &job] { return compute_job(job); },
           job.request.graph.node_count());
       job.promise.set_value(std::move(result));
     } catch (...) {
@@ -208,6 +270,30 @@ void ScheduleService::worker_loop(Shard& shard) {
     }
     finish_one(failed);
   }
+}
+
+void ScheduleService::remember_base(const std::string& digest, const TaskGraph& graph) {
+  if (base_registry_capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(bases_mutex_);
+  if (const auto it = bases_.find(digest); it != bases_.end()) {
+    // Known digest: just refresh recency, sparing the graph copy.
+    bases_lru_.splice(bases_lru_.begin(), bases_lru_, it->second);
+    return;
+  }
+  bases_lru_.emplace_front(digest, std::make_shared<const TaskGraph>(graph));
+  bases_.emplace(digest, bases_lru_.begin());
+  while (bases_.size() > base_registry_capacity_) {
+    bases_.erase(bases_lru_.back().first);
+    bases_lru_.pop_back();
+  }
+}
+
+std::shared_ptr<const TaskGraph> ScheduleService::find_base(const std::string& digest) {
+  std::lock_guard<std::mutex> lock(bases_mutex_);
+  const auto it = bases_.find(digest);
+  if (it == bases_.end()) return nullptr;
+  bases_lru_.splice(bases_lru_.begin(), bases_lru_, it->second);
+  return it->second->second;
 }
 
 void ScheduleService::finish_one(bool failed) {
@@ -255,6 +341,7 @@ ScheduleService::Stats ScheduleService::stats() const {
     out.shard_max_depth.push_back(shard->max_depth);
   }
   out.cache = cache_.stats();
+  if (subgraph_cache_) out.subgraph = subgraph_cache_->stats();
   return out;
 }
 
@@ -297,6 +384,10 @@ std::string ScheduleService::render_stats_json(const Stats& s, std::size_t worke
   json += ", " + field("cache_size", cache_size);
   json += ", " + field("cache_weight", cache_weight);
   json += ", " + field("cache_capacity", cache_capacity);
+  json += ", " + field("partition_hits", s.subgraph.partition_hits);
+  json += ", " + field("partition_misses", s.subgraph.partition_misses);
+  json += ", " + field("fragments_assembled", s.subgraph.fragments_assembled);
+  json += ", " + field("delta_invalidated", s.subgraph.delta_invalidated);
   json += "}";
   return json;
 }

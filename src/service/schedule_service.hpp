@@ -6,15 +6,19 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/task_graph.hpp"
 #include "pipeline/schedule_cache.hpp"
+#include "pipeline/subgraph_cache.hpp"
 #include "service/request.hpp"
 #include "sim/dataflow_sim.hpp"
 
@@ -46,6 +50,18 @@ struct ServiceConfig {
   /// a cached result older than this reads as a miss and is recomputed
   /// (counted in the `cache_expired` stat). nullopt = results never age out.
   std::optional<std::chrono::nanoseconds> cache_ttl;
+
+  /// Total-weight capacity of the per-partition fragment cache (SubgraphCache;
+  /// entries weigh their partition's node count). 0 disables subgraph
+  /// memoization entirely — workers fall back to whole-graph scheduling, the
+  /// PR-6 behavior.
+  std::size_t subgraph_cache_capacity = SubgraphCache::kDefaultCapacity;
+
+  /// Entries kept in the base-request registry that delta requests resolve
+  /// their `base_key` against (LRU of materialized graphs, keyed by
+  /// key_digest()). Every submitted request is remembered, so any recent
+  /// request — including a materialized delta — can serve as a base.
+  std::size_t base_registry_capacity = 1024;
 };
 
 /// Concurrent scheduling front end: a worker thread pool serving
@@ -115,6 +131,7 @@ class ScheduleService {
     std::uint64_t fast_path_hits = 0;  ///< completed synchronously in submit()
     std::vector<std::size_t> shard_max_depth;  ///< per-shard queue high-water mark
     ScheduleCache::Stats cache;
+    SubgraphCache::Stats subgraph;  ///< zeros when subgraph memoization is off
   };
 
   explicit ScheduleService(ServiceConfig config = {});
@@ -160,6 +177,8 @@ class ScheduleService {
                                                      std::size_t cache_capacity);
 
   [[nodiscard]] ScheduleCache& cache() noexcept { return cache_; }
+  /// The fragment cache, or nullptr when subgraph memoization is disabled.
+  [[nodiscard]] SubgraphCache* subgraph_cache() noexcept { return subgraph_cache_.get(); }
   [[nodiscard]] std::size_t worker_count() const noexcept { return shards_.size(); }
   [[nodiscard]] std::size_t queue_depth_limit() const noexcept { return queue_depth_; }
 
@@ -176,16 +195,29 @@ class ScheduleService {
     std::size_t max_depth = 0;  ///< high-water mark, under mutex
   };
 
-  [[nodiscard]] static ScheduleResult compute_job(const Job& job);
+  [[nodiscard]] ScheduleResult compute_job(const Job& job);
   void worker_loop(Shard& shard);
   void finish_one(bool failed);
 
+  /// Remembers `graph` as a possible delta base under the request digest
+  /// (bounded LRU; an already-known digest is just refreshed, sparing the
+  /// graph copy on repeated submissions of one scenario).
+  void remember_base(const std::string& digest, const TaskGraph& graph);
+  [[nodiscard]] std::shared_ptr<const TaskGraph> find_base(const std::string& digest);
+
   ScheduleCache cache_;
+  std::unique_ptr<SubgraphCache> subgraph_cache_;  ///< null = disabled
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;
   std::size_t queue_depth_ = 0;
   std::int64_t intra_threads_ = 1;  ///< ServiceConfig default, see submit()
   std::atomic<bool> stopping_{false};
+
+  /// Base-request registry for delta resolution: digest -> materialized graph.
+  mutable std::mutex bases_mutex_;
+  std::list<std::pair<std::string, std::shared_ptr<const TaskGraph>>> bases_lru_;
+  std::unordered_map<std::string, decltype(bases_lru_)::iterator> bases_;
+  std::size_t base_registry_capacity_ = 0;
 
   mutable std::mutex stats_mutex_;
   std::condition_variable idle_cv_;  ///< signalled on every job completion/rejection

@@ -25,8 +25,45 @@ void accumulate(ScheduleService::Stats& into, const ScheduleService::Stats& from
   into.cache.evictions += from.cache.evictions;
   into.cache.evicted_weight += from.cache.evicted_weight;
   into.cache.expired += from.cache.expired;
+  into.subgraph.partition_hits += from.subgraph.partition_hits;
+  into.subgraph.partition_misses += from.subgraph.partition_misses;
+  into.subgraph.fragments_assembled += from.subgraph.fragments_assembled;
+  into.subgraph.delta_invalidated += from.subgraph.delta_invalidated;
   into.shard_max_depth.insert(into.shard_max_depth.end(), from.shard_max_depth.begin(),
                               from.shard_max_depth.end());
+}
+
+bool parse_digest(std::string_view digest, std::uint64_t& hash) {
+  if (digest.size() != 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : digest) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  hash = value;
+  return true;
+}
+
+/// The 64-bit hash a request routes by. A delta request routes by the digest
+/// it names: `key_digest()` is the hex form of fnv1a64(key), i.e. exactly the
+/// hash its base request was routed by — so the delta lands on the backend
+/// whose base registry holds the graph and whose fragment cache is warm.
+/// key() must not be touched on a delta (its graph is not materialized yet;
+/// the memo would serve a stale identity). A malformed digest still routes
+/// deterministically and fails with "unknown base_key" at the backend.
+std::uint64_t routing_hash(const ScheduleRequest& request) {
+  if (request.base_key.has_value()) {
+    std::uint64_t hash = 0;
+    if (parse_digest(*request.base_key, hash)) return hash;
+    return fnv1a64(*request.base_key);
+  }
+  return fnv1a64(request.key());
 }
 
 }  // namespace
@@ -83,7 +120,8 @@ std::size_t ShardRouter::backend_for_key(std::string_view key) const {
 }
 
 std::size_t ShardRouter::backend_for(const ScheduleRequest& request) const {
-  return backend_for_key(request.key());
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return backend_for_hash(routing_hash(request));
 }
 
 ScheduleService::Admission ShardRouter::submit(ScheduleRequest request) {
@@ -93,7 +131,7 @@ ScheduleService::Admission ShardRouter::submit(ScheduleRequest request) {
   std::size_t index = 0;
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
-    index = backend_for_hash(fnv1a64(request.key()));
+    index = backend_for_hash(routing_hash(request));
     backend = backends_[index];
   }
   ScheduleService::Admission admission = backend->submit(std::move(request));
@@ -178,13 +216,15 @@ std::string ShardRouter::stats_json() const {
   const std::size_t live = backends.size();
   std::vector<std::string> per_backend;
   per_backend.reserve(live);
+  std::size_t cache_weight = 0;  // live backends' resident cache weight
   for (const auto& backend : backends) {
     const ScheduleService::Stats snapshot = backend->stats();
     accumulate(total, snapshot);
+    const std::size_t weight = backend->cache().total_weight();
+    cache_weight += weight;
     per_backend.push_back(ScheduleService::render_stats_json(
         snapshot, backend->worker_count(), backend->queue_depth_limit(),
-        backend->cache().size(), backend->cache().total_weight(),
-        backend->cache().capacity()));
+        backend->cache().size(), weight, backend->cache().capacity()));
   }
   const ScheduleService::Stats& s = total;
   const auto field = [](const char* key, std::uint64_t value) {
@@ -204,6 +244,11 @@ std::string ShardRouter::stats_json() const {
   json += ", " + field("cache_evictions", s.cache.evictions);
   json += ", " + field("cache_evicted_weight", s.cache.evicted_weight);
   json += ", " + field("cache_expired", s.cache.expired);
+  json += ", " + field("cache_weight", cache_weight);
+  json += ", " + field("partition_hits", s.subgraph.partition_hits);
+  json += ", " + field("partition_misses", s.subgraph.partition_misses);
+  json += ", " + field("fragments_assembled", s.subgraph.fragments_assembled);
+  json += ", " + field("delta_invalidated", s.subgraph.delta_invalidated);
   std::size_t peak = 0;
   for (const std::size_t depth : s.shard_max_depth) peak = std::max(peak, depth);
   json += ", " + field("max_queue_depth", peak);

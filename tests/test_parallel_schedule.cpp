@@ -370,9 +370,12 @@ TEST(ParallelRequestEnvelope, ServiceTtlExpiresCachedResults) {
 
   const ScheduleService::Stats stats = service.stats();
   EXPECT_EQ(stats.cache.misses, 2u) << "a zero ttl must force recomputation";
-  EXPECT_EQ(stats.cache.expired, 1u);
+  // One entry dropped by the second submission's probe, plus the second
+  // result which (zero ttl) is already expired-but-resident at the snapshot
+  // — stats() reports both so it always agrees with lookup behavior.
+  EXPECT_EQ(stats.cache.expired, 2u);
   EXPECT_EQ(stats.fast_path_hits, 0u);
-  EXPECT_NE(service.stats_json().find("\"cache_expired\": 1"), std::string::npos);
+  EXPECT_NE(service.stats_json().find("\"cache_expired\": 2"), std::string::npos);
 }
 
 }  // namespace

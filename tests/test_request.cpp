@@ -87,7 +87,7 @@ TEST(ScheduleRequestJson, InlineGraphPreservesNamesAndStructure) {
 
 TEST(ScheduleRequestJson, GeneratorRefMaterializesTheSameScenario) {
   const ScheduleRequest parsed = ScheduleRequest::from_json(
-      R"({"schema_version": 1, "scheduler": "streaming-rlx", "machine": {"pes": 16},)"
+      R"({"schema_version": 2, "scheduler": "streaming-rlx", "machine": {"pes": 16},)"
       R"( "graph": {"generator": "fft", "param": 16, "seed": 7}})");
   ASSERT_TRUE(parsed.graph_ref.has_value());
   EXPECT_EQ(parsed.graph_ref->label(), "fft 16 7");
