@@ -20,6 +20,9 @@ int main() {
   std::cout << "Ablation: spatial block partitioning variants\n"
             << graphs << " random graphs per configuration\n\n";
 
+  BenchReport report("ablation_partition");
+  report.add("graphs", graphs);
+  std::vector<double> all_sp_lts, all_sp_rlx, all_sp_work;
   for (const Topology& topo : paper_topologies()) {
     Table table({"PEs", "blocks LTS", "blocks RLX", "blocks WORK", "speedup LTS",
                  "speedup RLX", "speedup WORK"});
@@ -46,6 +49,9 @@ int main() {
                      fmt(median_of(blocks_rlx), 1), fmt(median_of(blocks_work), 1),
                      box_stats(sp_lts).summary(), box_stats(sp_rlx).summary(),
                      box_stats(sp_work).summary()});
+      all_sp_lts.insert(all_sp_lts.end(), sp_lts.begin(), sp_lts.end());
+      all_sp_rlx.insert(all_sp_rlx.end(), sp_rlx.begin(), sp_rlx.end());
+      all_sp_work.insert(all_sp_work.end(), sp_work.begin(), sp_work.end());
     }
     std::cout << topo.name << " (#Tasks = " << topo.tasks << ")\n";
     table.print(std::cout);
@@ -54,5 +60,10 @@ int main() {
   std::cout << "Expected: RLX produces <= as many blocks as LTS and wins when\n"
                "#PEs approaches #tasks; the work-ordered variant ignores volume\n"
                "safety and pays for it on upsampler-heavy graphs.\n";
+  report.add("samples", static_cast<std::int64_t>(all_sp_lts.size()));
+  report.add("median_speedup_lts", median_of(all_sp_lts));
+  report.add("median_speedup_rlx", median_of(all_sp_rlx));
+  report.add("median_speedup_work", median_of(all_sp_work));
+  report.write();
   return 0;
 }

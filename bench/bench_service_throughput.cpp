@@ -79,7 +79,7 @@ sts::ScheduleRequest make_request(const Scenario& s,
 template <typename SubmitFn>
 double run_sweep(SubmitFn&& submit, const std::vector<Scenario>& scenarios, int copies) {
   const sts::bench::Stopwatch clock;
-  std::vector<std::future<sts::ScheduleService::ResultPtr>> futures;
+  std::vector<sts::ScheduleService::Future> futures;
   futures.reserve(scenarios.size() * static_cast<std::size_t>(copies));
   for (int copy = 0; copy < copies; ++copy) {
     for (const Scenario& s : scenarios) {
@@ -183,7 +183,7 @@ int main() {
   bp_config.queue_depth = kQueueDepth;
   ScheduleService bp_service(bp_config);
   const Stopwatch bp_clock;
-  std::vector<std::future<ScheduleService::ResultPtr>> bp_futures;
+  std::vector<ScheduleService::Future> bp_futures;
   std::uint64_t bp_rejections = 0;
   bool bp_depths_accurate = true;
   for (const Scenario& s : scenarios) {

@@ -13,8 +13,8 @@
 
 namespace {
 
-void run_model(const char* title, const sts::TaskGraph& graph,
-               const std::vector<std::int64_t>& pe_sweep) {
+void run_model(const char* title, const std::string& report_key, const sts::TaskGraph& graph,
+               const std::vector<std::int64_t>& pe_sweep, sts::bench::BenchReport& report) {
   using namespace sts;
   const ModelStats stats = stats_of(graph);
   std::cout << title << ": " << stats.nodes << " nodes (" << stats.buffer_nodes
@@ -28,6 +28,7 @@ void run_model(const char* title, const sts::TaskGraph& graph,
     const double s_nstr = schedule_by_name("list", graph, machine).metrics.speedup;
     table.add_row({std::to_string(pes), fmt(s_str, 1), fmt(s_nstr, 1),
                    fmt(s_str / s_nstr, 1)});
+    report.add(report_key + "_g_at_" + std::to_string(pes), s_str / s_nstr);
   }
   table.print(std::cout);
   std::cout << "\n";
@@ -40,11 +41,14 @@ int main() {
   std::cout << "Table 2: real ML inference task graphs, streaming (SB-LTS) vs\n"
                "non-streaming scheduling; G = streaming gain\n\n";
 
-  run_model("Resnet-50 (im2col)", build_resnet50(ResNetConfig{}), {512, 1024, 1536, 2048});
-  run_model("Transformer encoder layer (base)", build_transformer_encoder(TransformerConfig{}),
-            {256, 512, 768, 1024});
+  bench::BenchReport report("table2_ml");
+  run_model("Resnet-50 (im2col)", "resnet50", build_resnet50(ResNetConfig{}),
+            {512, 1024, 1536, 2048}, report);
+  run_model("Transformer encoder layer (base)", "transformer",
+            build_transformer_encoder(TransformerConfig{}), {256, 512, 768, 1024}, report);
 
   std::cout << "Expected shape (paper): G ~ 1.3-1.5 for Resnet-50, ~1.4-2.0 for the\n"
                "encoder, both growing with the PE count.\n";
+  report.write();
   return 0;
 }

@@ -330,7 +330,7 @@ std::uint64_t digest_bytes(const std::string& bytes) {
   std::uint64_t h = avalanche(0x706d656dULL);  // arbitrary fixed seed
   std::size_t i = 0;
   for (; i + 8 <= bytes.size(); i += 8) {
-    std::uint64_t chunk;
+    std::uint64_t chunk = 0;
     std::memcpy(&chunk, bytes.data() + i, 8);
     h = hash_combine(h, chunk);
   }
@@ -641,7 +641,7 @@ CanonicalPartitionIndex canonical_partition_index(
 std::shared_ptr<const PartitionCanonMemo::Ranks> PartitionCanonMemo::find(
     const std::string& raw) {
   const std::uint64_t digest = digest_bytes(raw);
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (const auto bucket = buckets_.find(digest); bucket != buckets_.end()) {
     for (const auto it : bucket->second) {
       if (it->raw == raw) {
@@ -660,7 +660,7 @@ std::shared_ptr<const PartitionCanonMemo::Ranks> PartitionCanonMemo::insert(std:
   const std::size_t weight = ranks.hash.size();
   auto owned = std::make_shared<const Ranks>(std::move(ranks));
   const std::uint64_t digest = digest_bytes(raw);
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   auto& bucket = buckets_[digest];
   for (const auto it : bucket) {
     if (it->raw == raw) return it->ranks;  // lost a benign compute race
@@ -669,11 +669,11 @@ std::shared_ptr<const PartitionCanonMemo::Ranks> PartitionCanonMemo::insert(std:
   lru_.push_front(Entry{digest, std::move(raw), weight, owned});
   bucket.push_back(lru_.begin());
   weight_ += weight;
-  evict_to_capacity();
+  evict_to_capacity_locked();
   return owned;
 }
 
-void PartitionCanonMemo::evict_to_capacity() {
+void PartitionCanonMemo::evict_to_capacity_locked() {
   while (weight_ > capacity_ && !lru_.empty()) {
     const auto victim = std::prev(lru_.end());
     auto& bucket = buckets_[victim->digest];
@@ -685,17 +685,17 @@ void PartitionCanonMemo::evict_to_capacity() {
 }
 
 PartitionCanonMemo::Stats PartitionCanonMemo::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return stats_;
 }
 
 std::size_t PartitionCanonMemo::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return lru_.size();
 }
 
 std::size_t PartitionCanonMemo::total_weight() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return weight_;
 }
 

@@ -4,7 +4,6 @@
 #include <iosfwd>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -12,6 +11,7 @@
 
 #include "graph/task_graph.hpp"
 #include "support/json.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace sts {
 
@@ -145,16 +145,18 @@ class PartitionCanonMemo {
 
   /// Looks up a partition's canonicalization by raw content; counts a hit or
   /// a miss.
-  [[nodiscard]] std::shared_ptr<const Ranks> find(const std::string& raw);
+  [[nodiscard]] std::shared_ptr<const Ranks> find(const std::string& raw)
+      EXCLUDES(mutex_);
 
   /// Inserts a canonicalization computed after a find() miss and returns the
   /// resident entry (the already-cached one if a concurrent insert won the
   /// race; the caller's own, uncached, if it outweighs the whole memo).
-  [[nodiscard]] std::shared_ptr<const Ranks> insert(std::string raw, Ranks ranks);
+  [[nodiscard]] std::shared_ptr<const Ranks> insert(std::string raw, Ranks ranks)
+      EXCLUDES(mutex_);
 
-  [[nodiscard]] Stats stats() const;
-  [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::size_t total_weight() const;
+  [[nodiscard]] Stats stats() const EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t total_weight() const EXCLUDES(mutex_);
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
@@ -165,14 +167,15 @@ class PartitionCanonMemo {
     std::shared_ptr<const Ranks> ranks;
   };
 
-  void evict_to_capacity();  // requires mutex_ held
+  void evict_to_capacity_locked() REQUIRES(mutex_);
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  ///< front = most recent
-  std::unordered_map<std::uint64_t, std::vector<std::list<Entry>::iterator>> buckets_;
-  std::size_t weight_ = 0;
-  Stats stats_;
+  mutable Mutex mutex_;
+  std::list<Entry> lru_ GUARDED_BY(mutex_);  ///< front = most recent
+  std::unordered_map<std::uint64_t, std::vector<std::list<Entry>::iterator>> buckets_
+      GUARDED_BY(mutex_);
+  std::size_t weight_ GUARDED_BY(mutex_) = 0;
+  Stats stats_ GUARDED_BY(mutex_);
 };
 
 /// As above, but reuses (and fills) `memo` so partitions whose raw content

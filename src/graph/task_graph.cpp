@@ -1,7 +1,6 @@
 #include "graph/task_graph.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
@@ -71,9 +70,13 @@ void TaskGraph::check_node(NodeId v) const {
 void TaskGraph::rebuild_csr() const {
   // Serialize the rare rebuild so threads sharing a const graph (e.g. the
   // ScheduleCache scheduling path) cannot race on the cache vectors; the
-  // release store below publishes the built arrays to acquire loads in
-  // ensure_csr().
-  const std::scoped_lock lock(rebuild_mutex_);
+  // release store at the end of rebuild_csr_locked() publishes the built
+  // arrays to acquire loads in ensure_csr().
+  const MutexLock lock(rebuild_mutex_);
+  rebuild_csr_locked();
+}
+
+void TaskGraph::rebuild_csr_locked() const {
   if (csr_ready_.load(std::memory_order_relaxed)) return;  // lost the race
 
   const std::size_t n = nodes_.size();

@@ -2,12 +2,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "support/rational.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace sts {
 
@@ -213,7 +213,8 @@ class TaskGraph {
   void ensure_csr() const {
     if (!csr_ready_.load(std::memory_order_acquire)) rebuild_csr();
   }
-  void rebuild_csr() const;
+  void rebuild_csr() const EXCLUDES(rebuild_mutex_);
+  void rebuild_csr_locked() const REQUIRES(rebuild_mutex_);
 
   std::vector<NodeRec> nodes_;
   std::vector<Edge> edges_;
@@ -221,6 +222,11 @@ class TaskGraph {
   // CSR adjacency + profile caches; rebuilt lazily after mutation. Edge ids
   // within each node's span appear in edge-insertion order, matching the
   // historical vector-of-vectors layout exactly.
+  //
+  // Deliberately NOT GUARDED_BY(rebuild_mutex_): readers never take the lock
+  // — they go through ensure_csr(), whose csr_ready_ acquire load pairs with
+  // the release store at the end of rebuild_csr_locked() to publish the
+  // built arrays. The mutex only serializes concurrent rebuilders.
   mutable std::vector<std::int32_t> in_off_;   // size N+1
   mutable std::vector<std::int32_t> out_off_;  // size N+1
   mutable std::vector<EdgeId> in_csr_;         // size E
@@ -229,7 +235,7 @@ class TaskGraph {
   mutable std::atomic<bool> csr_ready_{false};
   // Per-instance rebuild guard (never copied/moved: each graph owns its own,
   // and copy/move require exclusive access anyway).
-  mutable std::mutex rebuild_mutex_;
+  mutable Mutex rebuild_mutex_;
 };
 
 }  // namespace sts

@@ -29,7 +29,7 @@ class Digest {
     // Bit pattern, not value: distinguishes -0.0 from 0.0 and keeps NaNs
     // stable. Metrics are products of deterministic arithmetic, so equal
     // results have equal bit patterns.
-    std::uint64_t bits;
+    std::uint64_t bits = 0;
     std::memcpy(&bits, &v, sizeof(bits));
     u64(bits);
   }

@@ -10,6 +10,23 @@
 
 namespace sts {
 
+ScheduleCache::Flight ScheduleCache::settle_current_exception() {
+  Flight flight;
+  try {
+    throw;
+  } catch (const std::invalid_argument& e) {
+    flight.error = e.what();
+    flight.invalid = true;
+  } catch (const std::exception& e) {
+    flight.error = e.what();
+  } catch (...) {
+    flight.error = "unknown error";
+  }
+  // A failure must read as one downstream even if what() was empty.
+  if (flight.error.empty()) flight.error = "unknown error";
+  return flight;
+}
+
 std::string canonical_cache_key(const TaskGraph& graph, std::string_view scheduler,
                                 const MachineConfig& machine) {
   std::string key;
@@ -32,7 +49,7 @@ std::uint64_t fnv1a64(std::string_view text) noexcept {
   const char* p = text.data();
   std::size_t n = text.size();
   while (n >= 8) {
-    std::uint64_t word;
+    std::uint64_t word = 0;
     std::memcpy(&word, p, 8);
     hash = (hash ^ word) * 0x100000001b3ULL;
     p += 8;
@@ -52,7 +69,7 @@ ScheduleCache::ScheduleCache(std::size_t capacity, std::optional<std::chrono::na
   if (capacity_ == 0) throw std::invalid_argument("ScheduleCache: capacity must be >= 1");
 }
 
-ScheduleCache::Lru::const_iterator ScheduleCache::find_entry(std::uint64_t hash,
+ScheduleCache::Lru::const_iterator ScheduleCache::find_entry_locked(std::uint64_t hash,
                                                              std::string_view key) const {
   const auto bucket = buckets_.find(hash);
   if (bucket == buckets_.end()) return lru_.end();
@@ -62,14 +79,14 @@ ScheduleCache::Lru::const_iterator ScheduleCache::find_entry(std::uint64_t hash,
   return lru_.end();
 }
 
-bool ScheduleCache::is_expired(const Entry& entry) const {
+bool ScheduleCache::is_expired_locked(const Entry& entry) const {
   // One steady_clock read per probe, and only when a ttl is configured at
   // all — the default (no ttl) pays nothing. ttl == 0 expires every entry
   // on its next probe, which tests use for deterministic expiry.
   return ttl_ && std::chrono::steady_clock::now() - entry.inserted >= *ttl_;
 }
 
-void ScheduleCache::erase_expired(Lru::const_iterator it) {
+void ScheduleCache::erase_expired_locked(Lru::const_iterator it) {
   auto& bucket = buckets_[it->hash];
   std::erase(bucket, it);
   if (bucket.empty()) buckets_.erase(it->hash);
@@ -78,7 +95,7 @@ void ScheduleCache::erase_expired(Lru::const_iterator it) {
   lru_.erase(it);
 }
 
-void ScheduleCache::evict_to_capacity() {
+void ScheduleCache::evict_to_capacity_locked() {
   // Weight-aware LRU eviction; oversize entries are refused at admission
   // (get_or_compute / set_capacity keep weight_ <= capacity_ reachable), so
   // this always terminates with the bound restored.
@@ -106,19 +123,19 @@ ScheduleCache::ResultPtr ScheduleCache::get_or_compute(
     std::string key, const std::function<ScheduleResult()>& compute, std::size_t weight) {
   const std::uint64_t hash = fnv1a64(key);
 
-  std::shared_future<ResultPtr> pending;
+  std::shared_future<Flight> pending;
   // Constructed only on the miss path: a promise allocates shared state,
   // which the hit path (the whole point of the cache) must not pay for.
-  std::optional<std::promise<ResultPtr>> promise;
+  std::optional<std::promise<Flight>> promise;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (const Lru::const_iterator it = find_entry(hash, key); it != lru_.cend()) {
-      if (!is_expired(*it)) {
+    const MutexLock lock(mutex_);
+    if (const Lru::const_iterator it = find_entry_locked(hash, key); it != lru_.cend()) {
+      if (!is_expired_locked(*it)) {
         ++stats_.hits;
         lru_.splice(lru_.begin(), lru_, it);
         return it->result;
       }
-      erase_expired(it);  // fall through: this lookup is a miss (or a race)
+      erase_expired_locked(it);  // fall through: this lookup is a miss (or a race)
     }
     if (const auto flight = in_flight_.find(key); flight != in_flight_.end()) {
       ++stats_.races;
@@ -129,8 +146,14 @@ ScheduleCache::ResultPtr ScheduleCache::get_or_compute(
       in_flight_.emplace(key, promise->get_future().share());
     }
   }
-  // Race loser: share the in-flight computation (and its exception, if any).
-  if (pending.valid()) return pending.get();
+  // Race loser: share the in-flight computation. A failure arrives as a
+  // value and is rethrown here, on this thread.
+  if (pending.valid()) {
+    const Flight& flight = pending.get();
+    if (flight.error.empty()) return flight.result;
+    if (flight.invalid) throw std::invalid_argument(flight.error);
+    throw std::runtime_error(flight.error);
+  }
 
   // Miss: compute outside the lock — scheduling dominates, and concurrent
   // misses on distinct keys must not serialize behind each other.
@@ -139,14 +162,16 @@ ScheduleCache::ResultPtr ScheduleCache::get_or_compute(
     result = std::make_shared<const ScheduleResult>(compute());
   } catch (...) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       in_flight_.erase(key);  // next request for this key retries
     }
-    promise->set_exception(std::current_exception());
+    // Settle the losers with the error detail as a value, then rethrow the
+    // original exception locally for this caller.
+    promise->set_value(settle_current_exception());
     throw;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     in_flight_.erase(key);
     if (weight == 0) weight = 1;
     if (weight > capacity_) {
@@ -160,20 +185,20 @@ ScheduleCache::ResultPtr ScheduleCache::get_or_compute(
       weight_ += weight;
       lru_.push_front(Entry{hash, std::move(key), weight, result, std::chrono::steady_clock::now()});
       buckets_[hash].push_back(lru_.begin());
-      evict_to_capacity();
+      evict_to_capacity_locked();
     }
   }
-  promise->set_value(result);
+  promise->set_value(Flight{result, {}, false});
   return result;
 }
 
 ScheduleCache::ResultPtr ScheduleCache::try_get(std::string_view key) {
   const std::uint64_t hash = fnv1a64(key);
-  std::lock_guard<std::mutex> lock(mutex_);
-  const Lru::const_iterator it = find_entry(hash, key);
+  const MutexLock lock(mutex_);
+  const Lru::const_iterator it = find_entry_locked(hash, key);
   if (it == lru_.cend()) return nullptr;
-  if (is_expired(*it)) {
-    erase_expired(it);
+  if (is_expired_locked(*it)) {
+    erase_expired_locked(it);
     return nullptr;
   }
   ++stats_.hits;
@@ -183,23 +208,23 @@ ScheduleCache::ResultPtr ScheduleCache::try_get(std::string_view key) {
 
 bool ScheduleCache::contains(std::string_view key) const {
   const std::uint64_t hash = fnv1a64(key);
-  std::lock_guard<std::mutex> lock(mutex_);
-  const Lru::const_iterator it = find_entry(hash, key);
-  return it != lru_.cend() && !is_expired(*it);
+  const MutexLock lock(mutex_);
+  const Lru::const_iterator it = find_entry_locked(hash, key);
+  return it != lru_.cend() && !is_expired_locked(*it);
 }
 
 void ScheduleCache::set_ttl(std::optional<std::chrono::nanoseconds> ttl) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ttl_ = ttl;
 }
 
 std::optional<std::chrono::nanoseconds> ScheduleCache::ttl() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return ttl_;
 }
 
 ScheduleCache::Stats ScheduleCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   Stats out = stats_;
   if (ttl_) {
     // Expiry is lazy: an entry past its ttl is only physically dropped by the
@@ -215,29 +240,29 @@ ScheduleCache::Stats ScheduleCache::stats() const {
 }
 
 std::size_t ScheduleCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return lru_.size();
 }
 
 std::size_t ScheduleCache::total_weight() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return weight_;
 }
 
 std::size_t ScheduleCache::capacity() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return capacity_;
 }
 
 void ScheduleCache::set_capacity(std::size_t capacity) {
   if (capacity == 0) throw std::invalid_argument("ScheduleCache: capacity must be >= 1");
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   capacity_ = capacity;
-  evict_to_capacity();
+  evict_to_capacity_locked();
 }
 
 void ScheduleCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   lru_.clear();
   buckets_.clear();
   weight_ = 0;

@@ -7,13 +7,13 @@
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "pipeline/scheduler.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace sts {
 
@@ -53,8 +53,9 @@ namespace sts {
 /// Single-flight: concurrent requests for the same missing key compute the
 /// result exactly once. The first thread computes (a `miss`); every thread
 /// that arrives while that computation is in flight blocks on it and shares
-/// the result (a `race`). A compute that throws propagates the exception to
-/// all waiters and leaves the key uncached, so the next request retries.
+/// the result (a `race`). A compute that throws propagates the failure to
+/// all waiters (race losers rethrow a locally reconstructed exception — see
+/// `Flight`) and leaves the key uncached, so the next request retries.
 /// Consequently `Stats::misses` equals the number of schedules actually
 /// computed, and hits + misses + races equals the number of lookups.
 ///
@@ -70,6 +71,25 @@ namespace sts {
 class ScheduleCache {
  public:
   using ResultPtr = std::shared_ptr<const ScheduleResult>;
+
+  /// A settled computation shared across threads as a plain value: exactly
+  /// one of `result` (success) or `error` (failure detail) is populated.
+  /// Errors deliberately cross thread boundaries as strings rather than as
+  /// a stored `exception_ptr`: libstdc++ refcounts exception objects inside
+  /// uninstrumented runtime code, so ThreadSanitizer cannot order a
+  /// cross-thread rethrow against the thrower and reports a false data
+  /// race. Consumers rebuild the exception locally (`invalid` selects
+  /// std::invalid_argument over std::runtime_error).
+  struct Flight {
+    ResultPtr result;
+    std::string error;     ///< non-empty iff the computation failed
+    bool invalid = false;  ///< failure maps to std::invalid_argument
+  };
+
+  /// Folds the in-flight exception into a `Flight` failure value. Must be
+  /// called from inside a catch block; the rethrow-and-classify stays on
+  /// the calling thread, which is the whole point — see `Flight`.
+  [[nodiscard]] static Flight settle_current_exception();
 
   struct Stats {
     std::uint64_t hits = 0;       ///< completed entry found in the cache
@@ -98,7 +118,7 @@ class ScheduleCache {
   /// and inserting it through the global SchedulerRegistry on a miss. The
   /// entry weighs the graph's node count.
   [[nodiscard]] ResultPtr get_or_schedule(const TaskGraph& graph, std::string_view scheduler,
-                                          const MachineConfig& machine);
+                                          const MachineConfig& machine) EXCLUDES(mutex_);
 
   /// Core single-flight lookup under an arbitrary precomputed key: returns
   /// the cached result, or runs `compute` (outside the cache lock, exactly
@@ -106,36 +126,37 @@ class ScheduleCache {
   /// given admission weight (clamped to >= 1).
   [[nodiscard]] ResultPtr get_or_compute(std::string key,
                                          const std::function<ScheduleResult()>& compute,
-                                         std::size_t weight = 1);
+                                         std::size_t weight = 1) EXCLUDES(mutex_);
 
   /// Non-blocking probe: the completed entry for `key` (bumping its recency
   /// and counting a hit), or nullptr. Absence is not counted as a miss —
   /// callers fall through to get_or_compute, which classifies the lookup.
-  [[nodiscard]] ResultPtr try_get(std::string_view key);
+  [[nodiscard]] ResultPtr try_get(std::string_view key) EXCLUDES(mutex_);
 
   /// True if a completed, unexpired entry for `key` is cached. No recency
   /// bump, no stats, and no erasure of an expired entry (this is a const
   /// inspection hook for tests and monitoring): an entry past its ttl reads
   /// as absent here and is physically dropped by the next mutating probe.
-  [[nodiscard]] bool contains(std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const EXCLUDES(mutex_);
 
   /// Re-configures the ttl for subsequent lookups; applies to already
   /// resident entries too (their insertion times are always recorded).
-  void set_ttl(std::optional<std::chrono::nanoseconds> ttl);
-  [[nodiscard]] std::optional<std::chrono::nanoseconds> ttl() const;
+  void set_ttl(std::optional<std::chrono::nanoseconds> ttl) EXCLUDES(mutex_);
+  [[nodiscard]] std::optional<std::chrono::nanoseconds> ttl() const EXCLUDES(mutex_);
 
-  [[nodiscard]] Stats stats() const;
-  [[nodiscard]] std::size_t size() const;          ///< resident entry count
-  [[nodiscard]] std::size_t total_weight() const;  ///< resident weight, <= capacity()
-  [[nodiscard]] std::size_t capacity() const;      ///< total-weight bound
+  [[nodiscard]] Stats stats() const EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const EXCLUDES(mutex_);  ///< resident entry count
+  /// Resident weight, <= capacity().
+  [[nodiscard]] std::size_t total_weight() const EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t capacity() const EXCLUDES(mutex_);  ///< total-weight bound
 
   /// Re-bounds the cache, evicting LRU entries if shrinking below the
   /// current total weight. Throws std::invalid_argument on zero.
-  void set_capacity(std::size_t capacity);
+  void set_capacity(std::size_t capacity) EXCLUDES(mutex_);
 
   /// Drops all completed entries and resets stats. In-flight computations
   /// are unaffected and will insert their results afterwards.
-  void clear();
+  void clear() EXCLUDES(mutex_);
 
   /// The process-wide cache used by cached convenience entry points.
   [[nodiscard]] static ScheduleCache& global();
@@ -153,20 +174,25 @@ class ScheduleCache {
   };
   using Lru = std::list<Entry>;
 
-  // All require mutex_ held.
-  [[nodiscard]] Lru::const_iterator find_entry(std::uint64_t hash, std::string_view key) const;
-  [[nodiscard]] bool is_expired(const Entry& entry) const;
-  void erase_expired(Lru::const_iterator it);
-  void evict_to_capacity();
+  [[nodiscard]] Lru::const_iterator find_entry_locked(std::uint64_t hash,
+                                                      std::string_view key) const
+      REQUIRES(mutex_);
+  [[nodiscard]] bool is_expired_locked(const Entry& entry) const REQUIRES(mutex_);
+  void erase_expired_locked(Lru::const_iterator it) REQUIRES(mutex_);
+  void evict_to_capacity_locked() REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  Lru lru_;  ///< front = most recently used
-  std::unordered_map<std::uint64_t, std::vector<Lru::const_iterator>> buckets_;
-  std::unordered_map<std::string, std::shared_future<ResultPtr>> in_flight_;
-  std::size_t capacity_;
-  std::optional<std::chrono::nanoseconds> ttl_;  ///< nullopt = never expire
-  std::size_t weight_ = 0;  ///< Σ entry weight, <= capacity_ outside evict
-  Stats stats_;
+  mutable Mutex mutex_;
+  Lru lru_ GUARDED_BY(mutex_);  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::vector<Lru::const_iterator>> buckets_
+      GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::shared_future<Flight>> in_flight_
+      GUARDED_BY(mutex_);
+  std::size_t capacity_ GUARDED_BY(mutex_);
+  /// nullopt = never expire.
+  std::optional<std::chrono::nanoseconds> ttl_ GUARDED_BY(mutex_);
+  /// Σ entry weight, <= capacity_ outside evict.
+  std::size_t weight_ GUARDED_BY(mutex_) = 0;
+  Stats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace sts

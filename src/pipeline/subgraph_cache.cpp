@@ -16,7 +16,7 @@ namespace sts {
 std::shared_ptr<const ScheduleResult> SubgraphCache::find(std::uint64_t hash,
                                                           const std::string& context,
                                                           const std::string& form, bool delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (const auto bucket = buckets_.find(hash); bucket != buckets_.end()) {
     for (const auto it : bucket->second) {
       if (it->context == context && it->form == form) {
@@ -37,7 +37,7 @@ std::shared_ptr<const ScheduleResult> SubgraphCache::insert(std::uint64_t hash,
                                                             ScheduleResult fragment,
                                                             std::size_t weight) {
   auto owned = std::make_shared<const ScheduleResult>(std::move(fragment));
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   auto& bucket = buckets_[hash];
   for (const auto it : bucket) {
     if (it->context == context && it->form == form) {
@@ -48,11 +48,11 @@ std::shared_ptr<const ScheduleResult> SubgraphCache::insert(std::uint64_t hash,
   lru_.push_front(Entry{hash, std::move(context), std::move(form), weight, owned});
   bucket.push_back(lru_.begin());
   weight_ += weight;
-  evict_to_capacity();
+  evict_to_capacity_locked();
   return owned;
 }
 
-void SubgraphCache::evict_to_capacity() {
+void SubgraphCache::evict_to_capacity_locked() {
   while (weight_ > capacity_ && !lru_.empty()) {
     const auto victim = std::prev(lru_.end());
     auto& bucket = buckets_[victim->hash];
@@ -64,22 +64,22 @@ void SubgraphCache::evict_to_capacity() {
 }
 
 void SubgraphCache::note_assembled(std::size_t fragment_count) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   stats_.fragments_assembled += fragment_count;
 }
 
 SubgraphCache::Stats SubgraphCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return stats_;
 }
 
 std::size_t SubgraphCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return lru_.size();
 }
 
 std::size_t SubgraphCache::total_weight() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return weight_;
 }
 

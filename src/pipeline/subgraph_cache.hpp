@@ -3,12 +3,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "graph/serialization.hpp"
+#include "support/thread_annotations.hpp"
 #include "graph/task_graph.hpp"
 #include "pipeline/schedule_context.hpp"
 #include "pipeline/scheduler.hpp"
@@ -64,7 +64,8 @@ class SubgraphCache {
   /// matching insert used).
   [[nodiscard]] std::shared_ptr<const ScheduleResult> find(std::uint64_t hash,
                                                            const std::string& context,
-                                                           const std::string& form, bool delta);
+                                                           const std::string& form, bool delta)
+      EXCLUDES(mutex_);
 
   /// Inserts a fragment computed after a find() miss and returns the resident
   /// pointer (the already-cached one if a concurrent insert won the race; the
@@ -74,14 +75,15 @@ class SubgraphCache {
                                                              std::string context,
                                                              std::string form,
                                                              ScheduleResult fragment,
-                                                             std::size_t weight);
+                                                             std::size_t weight)
+      EXCLUDES(mutex_);
 
   /// Records that an assembly stitched `fragment_count` fragments.
-  void note_assembled(std::size_t fragment_count);
+  void note_assembled(std::size_t fragment_count) EXCLUDES(mutex_);
 
-  [[nodiscard]] Stats stats() const;
-  [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::size_t total_weight() const;
+  [[nodiscard]] Stats stats() const EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t total_weight() const EXCLUDES(mutex_);
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
   /// Canonicalization memo shared by every request served through this
@@ -100,15 +102,16 @@ class SubgraphCache {
     std::shared_ptr<const ScheduleResult> fragment;
   };
 
-  void evict_to_capacity();  // requires mutex_ held
+  void evict_to_capacity_locked() REQUIRES(mutex_);
 
   const std::size_t capacity_;
   PartitionCanonMemo canon_memo_;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  ///< front = most recent
-  std::unordered_map<std::uint64_t, std::vector<std::list<Entry>::iterator>> buckets_;
-  std::size_t weight_ = 0;
-  Stats stats_;
+  mutable Mutex mutex_;
+  std::list<Entry> lru_ GUARDED_BY(mutex_);  ///< front = most recent
+  std::unordered_map<std::uint64_t, std::vector<std::list<Entry>::iterator>> buckets_
+      GUARDED_BY(mutex_);
+  std::size_t weight_ GUARDED_BY(mutex_) = 0;
+  Stats stats_ GUARDED_BY(mutex_);
 };
 
 /// Schedules `graph` through the fragment cache: canonicalizes its connected

@@ -45,15 +45,13 @@ ScheduleResponse ScheduleService::Admission::wait() {
     response.rejected = rejected;
     return response;
   }
-  try {
-    response.result = future.get();
+  Settled settled = future.settled();
+  if (settled.error.empty()) {
+    response.result = std::move(settled.result);
     response.status = ScheduleResponse::Status::kOk;
-  } catch (const std::exception& e) {
+  } else {
     response.status = ScheduleResponse::Status::kError;
-    response.error = e.what();
-  } catch (...) {
-    response.status = ScheduleResponse::Status::kError;
-    response.error = "unknown error";
+    response.error = std::move(settled.error);
   }
   return response;
 }
@@ -101,14 +99,14 @@ ScheduleService::Admission ScheduleService::submit(ScheduleRequest request) {
       // key(), but a caller may have.)
       request.invalidate_key();
     } catch (...) {
-      std::promise<ResultPtr> failed;
-      Admission admission{failed.get_future(), std::nullopt};
+      std::promise<Settled> failed;
+      Admission admission{Future(failed.get_future()), std::nullopt};
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        const MutexLock lock(stats_mutex_);
         ++counters_.submitted;
         if (delta_simulate) ++counters_.simulated;
       }
-      failed.set_exception(std::current_exception());
+      failed.set_value(ScheduleCache::settle_current_exception());
       finish_one(true);
       return admission;
     }
@@ -125,10 +123,10 @@ ScheduleService::Admission ScheduleService::submit(ScheduleRequest request) {
   // materialized delta, so edit chains resolve link by link.
   remember_base(request.key_digest(), request.graph);
   const bool simulate = request.sim.has_value();
-  std::promise<ResultPtr> promise;
-  Admission admission{promise.get_future(), std::nullopt};
+  std::promise<Settled> promise;
+  Admission admission{Future(promise.get_future()), std::nullopt};
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    const MutexLock lock(stats_mutex_);
     ++counters_.submitted;
     if (simulate) ++counters_.simulated;
   }
@@ -136,9 +134,9 @@ ScheduleService::Admission ScheduleService::submit(ScheduleRequest request) {
   // Fast path: an already-completed result resolves synchronously without a
   // queue round trip. Admission control never refuses a cached answer.
   if (ResultPtr hit = cache_.try_get(key)) {
-    promise.set_value(std::move(hit));
+    promise.set_value(Settled{std::move(hit), {}, false});
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      const MutexLock lock(stats_mutex_);
       ++counters_.completed;
       ++counters_.fast_path_hits;
     }
@@ -151,7 +149,7 @@ ScheduleService::Admission ScheduleService::submit(ScheduleRequest request) {
   const std::size_t shard_index = fnv1a64(key) % shards_.size();
   Shard& shard = *shards_[shard_index];
   try {
-    std::unique_lock<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     // Re-check under the shard lock: a shutdown() racing with this submit
     // may already have drained and joined the workers, and a job pushed now
     // would leave its future forever pending.
@@ -163,21 +161,23 @@ ScheduleService::Admission ScheduleService::submit(ScheduleRequest request) {
         const std::size_t depth = shard.queue.size();
         lock.unlock();
         {
-          std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+          const MutexLock stats_lock(stats_mutex_);
           ++counters_.rejected;
         }
         // A rejection settles a submission just like a completion does.
         idle_cv_.notify_all();
-        admission.future = std::future<ResultPtr>();
+        admission.future = Future();
         admission.rejected = Rejected{shard_index, depth, queue_depth_, std::nullopt};
         return admission;
       }
       // Backpressure: wait for a worker to drain an entry (or for shutdown,
-      // which must not leave us waiting on a dead pool).
-      shard.space_cv.wait(lock, [&] {
-        return stopping_.load(std::memory_order_acquire) ||
-               shard.queue.size() < queue_depth_;
-      });
+      // which must not leave us waiting on a dead pool). An explicit while
+      // loop, not a predicate lambda: the guarded queue read must sit in
+      // this (annotated) scope for the thread-safety analysis to verify it.
+      while (!stopping_.load(std::memory_order_acquire) &&
+             shard.queue.size() >= queue_depth_) {
+        shard.space_cv.wait(shard.mutex);
+      }
       if (stopping_.load(std::memory_order_acquire)) {
         throw std::runtime_error("ScheduleService: submit after shutdown");
       }
@@ -194,7 +194,7 @@ ScheduleService::Admission ScheduleService::submit(ScheduleRequest request) {
     // Nothing was enqueued (shutdown race, or the Job move threw): roll the
     // submission count back so wait_idle can still balance.
     {
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      const MutexLock stats_lock(stats_mutex_);
       --counters_.submitted;
       if (simulate) --counters_.simulated;
     }
@@ -248,33 +248,33 @@ void ScheduleService::worker_loop(Shard& shard) {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(shard.mutex);
-      shard.cv.wait(lock, [&] {
-        return stopping_.load(std::memory_order_acquire) || !shard.queue.empty();
-      });
+      const MutexLock lock(shard.mutex);
+      while (!stopping_.load(std::memory_order_acquire) && shard.queue.empty()) {
+        shard.cv.wait(shard.mutex);
+      }
       if (shard.queue.empty()) return;  // stopping, and fully drained
       job = std::move(shard.queue.front());
       shard.queue.pop_front();
       // The pop opened one queue slot: wake one backpressured submitter.
       if (queue_depth_ > 0) shard.space_cv.notify_one();
     }
-    bool failed = false;
+    Settled settled;
     try {
-      ResultPtr result = cache_.get_or_compute(
+      settled.result = cache_.get_or_compute(
           job.request.release_key(), [this, &job] { return compute_job(job); },
           job.request.graph.node_count());
-      job.promise.set_value(std::move(result));
     } catch (...) {
-      failed = true;
-      job.promise.set_exception(std::current_exception());
+      settled = ScheduleCache::settle_current_exception();
     }
+    const bool failed = !settled.error.empty();
+    job.promise.set_value(std::move(settled));
     finish_one(failed);
   }
 }
 
 void ScheduleService::remember_base(const std::string& digest, const TaskGraph& graph) {
   if (base_registry_capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(bases_mutex_);
+  const MutexLock lock(bases_mutex_);
   if (const auto it = bases_.find(digest); it != bases_.end()) {
     // Known digest: just refresh recency, sparing the graph copy.
     bases_lru_.splice(bases_lru_.begin(), bases_lru_, it->second);
@@ -289,7 +289,7 @@ void ScheduleService::remember_base(const std::string& digest, const TaskGraph& 
 }
 
 std::shared_ptr<const TaskGraph> ScheduleService::find_base(const std::string& digest) {
-  std::lock_guard<std::mutex> lock(bases_mutex_);
+  const MutexLock lock(bases_mutex_);
   const auto it = bases_.find(digest);
   if (it == bases_.end()) return nullptr;
   bases_lru_.splice(bases_lru_.begin(), bases_lru_, it->second);
@@ -298,7 +298,7 @@ std::shared_ptr<const TaskGraph> ScheduleService::find_base(const std::string& d
 
 void ScheduleService::finish_one(bool failed) {
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    const MutexLock lock(stats_mutex_);
     ++counters_.completed;
     if (failed) ++counters_.failed;
   }
@@ -306,18 +306,19 @@ void ScheduleService::finish_one(bool failed) {
 }
 
 void ScheduleService::wait_idle() {
-  std::unique_lock<std::mutex> lock(stats_mutex_);
-  idle_cv_.wait(lock,
-                [&] { return counters_.completed + counters_.rejected == counters_.submitted; });
+  const MutexLock lock(stats_mutex_);
+  while (counters_.completed + counters_.rejected != counters_.submitted) {
+    idle_cv_.wait(stats_mutex_);
+  }
 }
 
 void ScheduleService::shutdown() {
   stopping_.store(true, std::memory_order_release);
   for (const auto& shard : shards_) {
     // Acquire/release each shard mutex so a worker (or a backpressured
-    // submitter) between its predicate check and cv.wait cannot miss the
-    // stop signal.
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    // submitter) between its wait-loop condition check and cv wait cannot
+    // miss the stop signal.
+    const MutexLock lock(shard->mutex);
   }
   for (const auto& shard : shards_) {
     shard->cv.notify_all();
@@ -332,16 +333,19 @@ void ScheduleService::shutdown() {
 ScheduleService::Stats ScheduleService::stats() const {
   Stats out;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    const MutexLock lock(stats_mutex_);
     out = counters_;
   }
   out.shard_max_depth.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    const MutexLock lock(shard->mutex);
     out.shard_max_depth.push_back(shard->max_depth);
   }
   out.cache = cache_.stats();
-  if (subgraph_cache_) out.subgraph = subgraph_cache_->stats();
+  if (subgraph_cache_) {
+    out.subgraph = subgraph_cache_->stats();
+    out.canon = subgraph_cache_->canon_memo().stats();
+  }
   return out;
 }
 
@@ -388,6 +392,8 @@ std::string ScheduleService::render_stats_json(const Stats& s, std::size_t worke
   json += ", " + field("partition_misses", s.subgraph.partition_misses);
   json += ", " + field("fragments_assembled", s.subgraph.fragments_assembled);
   json += ", " + field("delta_invalidated", s.subgraph.delta_invalidated);
+  json += ", " + field("canon_hits", s.canon.hits);
+  json += ", " + field("canon_misses", s.canon.misses);
   json += "}";
   return json;
 }

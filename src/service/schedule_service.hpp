@@ -2,14 +2,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -21,6 +20,7 @@
 #include "pipeline/subgraph_cache.hpp"
 #include "service/request.hpp"
 #include "sim/dataflow_sim.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace sts {
 
@@ -96,8 +96,8 @@ struct ServiceConfig {
 /// simulated and plain results never collide.
 ///
 /// Scheduling errors (unknown scheduler name, invalid graph, a simulated
-/// schedule that deadlocks) surface as the exception of the returned
-/// future — or as `ScheduleResponse::error` through `Admission::wait()` /
+/// schedule that deadlocks) surface as the exception of `Future::get()` —
+/// or as `ScheduleResponse::error` through `Admission::wait()` /
 /// `schedule()`; the service itself stays healthy. Destruction (or
 /// `shutdown()`) drains every queued job before joining the workers, so no
 /// future is ever abandoned; submitters blocked on backpressure are woken
@@ -107,10 +107,51 @@ class ScheduleService {
   using ResultPtr = ScheduleCache::ResultPtr;
   using Rejected = sts::Rejected;
 
+  /// A settled job: exactly one of `result` (success) or `error` (failure
+  /// detail) is populated. Workers settle failures as plain values — never
+  /// as a stored exception — for the reason documented on
+  /// `ScheduleCache::Flight`; the original exception is reconstructed on
+  /// the *consuming* thread by `Future::get()`.
+  using Settled = ScheduleCache::Flight;
+
+  /// Future over a `Settled` outcome with the classic throwing contract:
+  /// `get()` returns the result or throws `std::invalid_argument` /
+  /// `std::runtime_error` built from the transported error detail — thrown
+  /// locally on the calling thread, so no exception object ever crosses
+  /// threads.
+  class Future {
+   public:
+    Future() = default;
+    explicit Future(std::future<Settled> settled) : settled_(std::move(settled)) {}
+
+    [[nodiscard]] bool valid() const noexcept { return settled_.valid(); }
+    template <typename Rep, typename Period>
+    [[nodiscard]] std::future_status wait_for(
+        const std::chrono::duration<Rep, Period>& timeout) const {
+      return settled_.wait_for(timeout);
+    }
+
+    /// Blocks; returns the result or throws on a failed job. Consumes the
+    /// future; call once.
+    [[nodiscard]] ResultPtr get() {
+      Settled settled = settled_.get();
+      if (settled.error.empty()) return std::move(settled.result);
+      if (settled.invalid) throw std::invalid_argument(settled.error);
+      throw std::runtime_error(settled.error);
+    }
+
+    /// Blocks; the raw settled outcome, never throwing. Consumes the
+    /// future; call once.
+    [[nodiscard]] Settled settled() { return settled_.get(); }
+
+   private:
+    std::future<Settled> settled_;
+  };
+
   /// Outcome of `submit`: exactly one of `future` (valid iff accepted)
   /// or `rejected` is populated.
   struct Admission {
-    std::future<ResultPtr> future;
+    Future future;
     std::optional<Rejected> rejected;
 
     [[nodiscard]] bool accepted() const noexcept { return !rejected.has_value(); }
@@ -132,6 +173,10 @@ class ScheduleService {
     std::vector<std::size_t> shard_max_depth;  ///< per-shard queue high-water mark
     ScheduleCache::Stats cache;
     SubgraphCache::Stats subgraph;  ///< zeros when subgraph memoization is off
+    /// Canonicalization-memo counters of the subgraph cache (zeros when
+    /// subgraph memoization is off): partitions whose structural refinement
+    /// was skipped vs. refined from scratch.
+    PartitionCanonMemo::Stats canon;
   };
 
   explicit ScheduleService(ServiceConfig config = {});
@@ -146,19 +191,21 @@ class ScheduleService {
   /// a worker drains an entry — so `.future` can be used directly; with
   /// `kReject` a full shard yields `rejected` instead of waiting. Throws
   /// std::runtime_error after shutdown().
-  [[nodiscard]] Admission submit(ScheduleRequest request);
+  [[nodiscard]] Admission submit(ScheduleRequest request)
+      EXCLUDES(stats_mutex_, bases_mutex_);
 
   /// Synchronous convenience: `submit(request).wait()`.
-  [[nodiscard]] ScheduleResponse schedule(ScheduleRequest request);
+  [[nodiscard]] ScheduleResponse schedule(ScheduleRequest request)
+      EXCLUDES(stats_mutex_, bases_mutex_);
 
   /// Blocks until every accepted job submitted so far has completed.
-  void wait_idle();
+  void wait_idle() EXCLUDES(stats_mutex_);
 
   /// Drains all queued jobs, joins the workers, and rejects further
   /// submissions. Idempotent; called by the destructor.
   void shutdown();
 
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const EXCLUDES(stats_mutex_);
 
   /// Machine-readable JSON rendering of stats() plus cache size and sizing
   /// knobs: one object of scalar keys in the style of the BENCH_*.json bench
@@ -185,25 +232,27 @@ class ScheduleService {
  private:
   struct Job {
     ScheduleRequest request;  ///< request.key() is memoized before enqueue
-    std::promise<ResultPtr> promise;
+    std::promise<Settled> promise;
   };
   struct Shard {
-    std::mutex mutex;
-    std::condition_variable cv;        ///< workers: queue non-empty or stopping
-    std::condition_variable space_cv;  ///< producers: queue below the depth limit
-    std::deque<Job> queue;
-    std::size_t max_depth = 0;  ///< high-water mark, under mutex
+    Mutex mutex;
+    CondVar cv;        ///< workers: queue non-empty or stopping
+    CondVar space_cv;  ///< producers: queue below the depth limit
+    std::deque<Job> queue GUARDED_BY(mutex);
+    std::size_t max_depth GUARDED_BY(mutex) = 0;  ///< high-water mark
   };
 
   [[nodiscard]] ScheduleResult compute_job(const Job& job);
-  void worker_loop(Shard& shard);
-  void finish_one(bool failed);
+  void worker_loop(Shard& shard) EXCLUDES(stats_mutex_);
+  void finish_one(bool failed) EXCLUDES(stats_mutex_);
 
   /// Remembers `graph` as a possible delta base under the request digest
   /// (bounded LRU; an already-known digest is just refreshed, sparing the
   /// graph copy on repeated submissions of one scenario).
-  void remember_base(const std::string& digest, const TaskGraph& graph);
-  [[nodiscard]] std::shared_ptr<const TaskGraph> find_base(const std::string& digest);
+  void remember_base(const std::string& digest, const TaskGraph& graph)
+      EXCLUDES(bases_mutex_);
+  [[nodiscard]] std::shared_ptr<const TaskGraph> find_base(const std::string& digest)
+      EXCLUDES(bases_mutex_);
 
   ScheduleCache cache_;
   std::unique_ptr<SubgraphCache> subgraph_cache_;  ///< null = disabled
@@ -214,14 +263,17 @@ class ScheduleService {
   std::atomic<bool> stopping_{false};
 
   /// Base-request registry for delta resolution: digest -> materialized graph.
-  mutable std::mutex bases_mutex_;
-  std::list<std::pair<std::string, std::shared_ptr<const TaskGraph>>> bases_lru_;
-  std::unordered_map<std::string, decltype(bases_lru_)::iterator> bases_;
+  mutable Mutex bases_mutex_;
+  std::list<std::pair<std::string, std::shared_ptr<const TaskGraph>>> bases_lru_
+      GUARDED_BY(bases_mutex_);
+  std::unordered_map<std::string, decltype(bases_lru_)::iterator> bases_
+      GUARDED_BY(bases_mutex_);
   std::size_t base_registry_capacity_ = 0;
 
-  mutable std::mutex stats_mutex_;
-  std::condition_variable idle_cv_;  ///< signalled on every job completion/rejection
-  Stats counters_;  ///< cache and shard_max_depth fields filled lazily by stats()
+  mutable Mutex stats_mutex_;
+  CondVar idle_cv_;  ///< signalled on every job completion/rejection
+  /// Cache and shard_max_depth fields filled lazily by stats().
+  Stats counters_ GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace sts

@@ -1,7 +1,6 @@
 #include "service/shard_router.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -29,6 +28,8 @@ void accumulate(ScheduleService::Stats& into, const ScheduleService::Stats& from
   into.subgraph.partition_misses += from.subgraph.partition_misses;
   into.subgraph.fragments_assembled += from.subgraph.fragments_assembled;
   into.subgraph.delta_invalidated += from.subgraph.delta_invalidated;
+  into.canon.hits += from.canon.hits;
+  into.canon.misses += from.canon.misses;
   into.shard_max_depth.insert(into.shard_max_depth.end(), from.shard_max_depth.begin(),
                               from.shard_max_depth.end());
 }
@@ -75,19 +76,20 @@ ShardRouter::ShardRouter(RouterConfig config) : config_(std::move(config)) {
   if (config_.virtual_nodes == 0) {
     throw std::invalid_argument("ShardRouter: virtual_nodes must be >= 1");
   }
+  const ExclusiveLock lock(mutex_);
   backends_.reserve(config_.num_backends);
   for (std::size_t i = 0; i < config_.num_backends; ++i) {
     backends_.push_back(std::make_shared<ScheduleService>(config_.backend));
   }
-  rebuild_ring();
+  rebuild_ring_locked();
 }
 
 std::vector<std::shared_ptr<ScheduleService>> ShardRouter::snapshot_backends() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  const SharedLock lock(mutex_);
   return backends_;
 }
 
-void ShardRouter::rebuild_ring() {
+void ShardRouter::rebuild_ring_locked() {
   ring_.clear();
   ring_.reserve(backends_.size() * config_.virtual_nodes);
   for (std::size_t b = 0; b < backends_.size(); ++b) {
@@ -107,7 +109,7 @@ void ShardRouter::rebuild_ring() {
   });
 }
 
-std::size_t ShardRouter::backend_for_hash(std::uint64_t hash) const {
+std::size_t ShardRouter::backend_for_hash_locked(std::uint64_t hash) const {
   const auto it = std::lower_bound(
       ring_.begin(), ring_.end(), hash,
       [](const RingPoint& point, std::uint64_t value) { return point.hash < value; });
@@ -115,13 +117,13 @@ std::size_t ShardRouter::backend_for_hash(std::uint64_t hash) const {
 }
 
 std::size_t ShardRouter::backend_for_key(std::string_view key) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return backend_for_hash(fnv1a64(key));
+  const SharedLock lock(mutex_);
+  return backend_for_hash_locked(fnv1a64(key));
 }
 
 std::size_t ShardRouter::backend_for(const ScheduleRequest& request) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return backend_for_hash(routing_hash(request));
+  const SharedLock lock(mutex_);
+  return backend_for_hash_locked(routing_hash(request));
 }
 
 ScheduleService::Admission ShardRouter::submit(ScheduleRequest request) {
@@ -130,8 +132,8 @@ ScheduleService::Admission ShardRouter::submit(ScheduleRequest request) {
   std::shared_ptr<ScheduleService> backend;
   std::size_t index = 0;
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
-    index = backend_for_hash(routing_hash(request));
+    const SharedLock lock(mutex_);
+    index = backend_for_hash_locked(routing_hash(request));
     backend = backends_[index];
   }
   ScheduleService::Admission admission = backend->submit(std::move(request));
@@ -144,18 +146,18 @@ ScheduleResponse ShardRouter::schedule(ScheduleRequest request) {
 }
 
 std::size_t ShardRouter::backend_count() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  const SharedLock lock(mutex_);
   return backends_.size();
 }
 
 ScheduleService& ShardRouter::backend(std::size_t index) {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  const SharedLock lock(mutex_);
   return *backends_.at(index);
 }
 
 void ShardRouter::set_backend_count(std::size_t count) {
   if (count == 0) throw std::invalid_argument("ShardRouter: num_backends must be >= 1");
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  const ExclusiveLock lock(mutex_);
   while (backends_.size() > count) {
     // Retire the highest-index backend: drain it, keep its counters, drop
     // its cache. Its ring points disappear with the rebuild below, and the
@@ -170,13 +172,13 @@ void ShardRouter::set_backend_count(std::size_t count) {
     backends_.push_back(std::make_shared<ScheduleService>(config_.backend));
   }
   config_.num_backends = count;
-  rebuild_ring();
+  rebuild_ring_locked();
 }
 
 void ShardRouter::drain(std::size_t index) {
   std::shared_ptr<ScheduleService> backend;
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const SharedLock lock(mutex_);
     backend = backends_.at(index);
   }
   backend->wait_idle();  // outside the lock: draining must not block routing
@@ -190,7 +192,7 @@ ShardRouter::Stats ShardRouter::stats() const {
   Stats out;
   std::vector<std::shared_ptr<ScheduleService>> backends;
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const SharedLock lock(mutex_);
     backends = backends_;
     out.total = retired_;
   }
@@ -209,7 +211,7 @@ std::string ShardRouter::stats_json() const {
   std::vector<std::shared_ptr<ScheduleService>> backends;
   ScheduleService::Stats total;
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const SharedLock lock(mutex_);
     backends = backends_;
     total = retired_;
   }
@@ -249,6 +251,8 @@ std::string ShardRouter::stats_json() const {
   json += ", " + field("partition_misses", s.subgraph.partition_misses);
   json += ", " + field("fragments_assembled", s.subgraph.fragments_assembled);
   json += ", " + field("delta_invalidated", s.subgraph.delta_invalidated);
+  json += ", " + field("canon_hits", s.canon.hits);
+  json += ", " + field("canon_misses", s.canon.misses);
   std::size_t peak = 0;
   for (const std::size_t depth : s.shard_max_depth) peak = std::max(peak, depth);
   json += ", " + field("max_queue_depth", peak);

@@ -2,13 +2,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "service/request.hpp"
 #include "service/schedule_service.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace sts {
 
@@ -64,21 +64,23 @@ class ShardRouter {
   /// Routes the request to its backend and forwards to
   /// `ScheduleService::submit`. A rejected admission carries the backend
   /// index in `rejected->backend`.
-  [[nodiscard]] ScheduleService::Admission submit(ScheduleRequest request);
+  [[nodiscard]] ScheduleService::Admission submit(ScheduleRequest request)
+      EXCLUDES(mutex_);
 
   /// Synchronous convenience: `submit(request).wait()`.
-  [[nodiscard]] ScheduleResponse schedule(ScheduleRequest request);
+  [[nodiscard]] ScheduleResponse schedule(ScheduleRequest request) EXCLUDES(mutex_);
 
   /// The backend a request (or a raw request key) routes to. Deterministic:
   /// depends only on the key and the current backend count / ring layout.
-  [[nodiscard]] std::size_t backend_for(const ScheduleRequest& request) const;
-  [[nodiscard]] std::size_t backend_for_key(std::string_view key) const;
+  [[nodiscard]] std::size_t backend_for(const ScheduleRequest& request) const
+      EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t backend_for_key(std::string_view key) const EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t backend_count() const;
+  [[nodiscard]] std::size_t backend_count() const EXCLUDES(mutex_);
 
   /// Direct access to one backend (tests, per-backend cache inspection).
   /// The reference is invalidated by set_backend_count.
-  [[nodiscard]] ScheduleService& backend(std::size_t index);
+  [[nodiscard]] ScheduleService& backend(std::size_t index) EXCLUDES(mutex_);
 
   /// Rebalances to `count` backends. Growing adds fresh services (cold
   /// caches) and moves only the keys the new ring points claim; shrinking
@@ -86,13 +88,13 @@ class ShardRouter {
   /// totals, and destroys it (its cached entries are recomputed on their
   /// new backends on demand). Blocks until in-flight work on retired
   /// backends finishes. Throws std::invalid_argument on zero.
-  void set_backend_count(std::size_t count);
+  void set_backend_count(std::size_t count) EXCLUDES(mutex_);
 
   /// Blocks until every job accepted by backend `index` has completed.
-  void drain(std::size_t index);
+  void drain(std::size_t index) EXCLUDES(mutex_);
 
   /// Blocks until every backend is idle.
-  void wait_idle();
+  void wait_idle() EXCLUDES(mutex_);
 
   struct Stats {
     ScheduleService::Stats total;  ///< Σ over live + retired backends;
@@ -100,12 +102,12 @@ class ShardRouter {
                                    ///< live backends in index order
     std::vector<ScheduleService::Stats> backends;  ///< per live backend
   };
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const EXCLUDES(mutex_);
 
   /// Aggregate stats in the flat BENCH_*.json shape of
   /// ScheduleService::stats_json, plus `backends` (live count) and a
   /// `per_backend` array of each live backend's own stats object.
-  [[nodiscard]] std::string stats_json() const;
+  [[nodiscard]] std::string stats_json() const EXCLUDES(mutex_);
 
  private:
   struct RingPoint {
@@ -113,19 +115,22 @@ class ShardRouter {
     std::uint32_t backend = 0;
   };
 
-  // Both require mutex_ held (shared suffices).
-  [[nodiscard]] std::size_t backend_for_hash(std::uint64_t hash) const;
-  void rebuild_ring();
+  [[nodiscard]] std::size_t backend_for_hash_locked(std::uint64_t hash) const
+      REQUIRES_SHARED(mutex_);
+  void rebuild_ring_locked() REQUIRES(mutex_);
 
   // Takes the shared lock itself; callers operate on the returned snapshot
   // with the lock released, so blocking backend calls never pin it.
-  [[nodiscard]] std::vector<std::shared_ptr<ScheduleService>> snapshot_backends() const;
+  [[nodiscard]] std::vector<std::shared_ptr<ScheduleService>> snapshot_backends() const
+      EXCLUDES(mutex_);
 
-  mutable std::shared_mutex mutex_;
-  RouterConfig config_;
-  std::vector<std::shared_ptr<ScheduleService>> backends_;
-  std::vector<RingPoint> ring_;  ///< sorted by (hash, backend)
-  ScheduleService::Stats retired_;  ///< counters of destroyed backends
+  mutable SharedMutex mutex_;
+  RouterConfig config_ GUARDED_BY(mutex_);
+  std::vector<std::shared_ptr<ScheduleService>> backends_ GUARDED_BY(mutex_);
+  /// Sorted by (hash, backend).
+  std::vector<RingPoint> ring_ GUARDED_BY(mutex_);
+  /// Counters of destroyed backends.
+  ScheduleService::Stats retired_ GUARDED_BY(mutex_);
 };
 
 }  // namespace sts

@@ -59,10 +59,10 @@ void TaskPool::worker_main() {
       if ((spin & 63) == 63) std::this_thread::yield();
     }
     if (!woke) {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] {
-        return generation_.load(std::memory_order_acquire) != seen_generation;
-      });
+      const MutexLock lock(mutex_);
+      while (generation_.load(std::memory_order_acquire) == seen_generation) {
+        cv_.wait(mutex_);
+      }
     }
     seen_generation = generation_.load(std::memory_order_acquire);
 
@@ -92,7 +92,7 @@ bool TaskPool::try_run(int chunks, ChunkFn fn, void* ctx) {
   {
     // The generation bump must be visible to a worker the moment it wakes
     // from cv_.wait, hence under the same mutex.
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     generation_.fetch_add(1, std::memory_order_acq_rel);
   }
   cv_.notify_all();

@@ -1,13 +1,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace sts {
 
@@ -40,7 +40,7 @@ class TaskPool {
   /// returns true once all chunks finished. Returns false without running
   /// anything when another region is already in flight (including a region
   /// on this thread: run the chunks inline instead).
-  bool try_run(int chunks, ChunkFn fn, void* ctx);
+  bool try_run(int chunks, ChunkFn fn, void* ctx) EXCLUDES(mutex_);
 
   /// True on pool worker threads (nested regions must run inline).
   [[nodiscard]] static bool on_worker_thread() noexcept;
@@ -55,16 +55,19 @@ class TaskPool {
   };
 
   TaskPool();
-  void worker_main();
+  void worker_main() EXCLUDES(mutex_);
   static void work_on(Job& job) noexcept;
 
   std::vector<std::thread> workers_;
   std::atomic<bool> busy_{false};     ///< a region is in flight
   std::atomic<Job*> job_{nullptr};    ///< current region, null between regions
   std::atomic<int> active_{0};        ///< workers currently inside a region
+  /// Region sequence number. Deliberately NOT GUARDED_BY(mutex_): the worker
+  /// spin loop reads it lock-free; the mutex only makes the try_run bump
+  /// visible to a worker the instant it wakes from cv_.wait.
   std::atomic<std::uint64_t> generation_{0};
-  std::mutex mutex_;                  ///< parks idle workers
-  std::condition_variable cv_;
+  Mutex mutex_;  ///< parks idle workers
+  CondVar cv_;
 };
 
 /// Execution-lane handle for one scheduling request, resolved from the
@@ -141,9 +144,9 @@ class Parallel {
   template <typename Body>
   void run_chunks(int chunks, Body& body) const {
     struct Trampoline {
-      Body* body;
-      std::exception_ptr error;
-      std::mutex error_mutex;
+      Body* body = nullptr;
+      Mutex error_mutex{};
+      std::exception_ptr error GUARDED_BY(error_mutex) = nullptr;
       std::atomic<bool> failed{false};
       static void call(void* self_erased, int chunk) noexcept {
         auto* self = static_cast<Trampoline*>(self_erased);
@@ -151,18 +154,23 @@ class Parallel {
         try {
           (*self->body)(chunk);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(self->error_mutex);
+          const MutexLock lock(self->error_mutex);
           if (!self->error) self->error = std::current_exception();
           self->failed.store(true, std::memory_order_release);
         }
       }
     };
-    Trampoline trampoline{&body, nullptr, {}, {}};
+    Trampoline trampoline{&body};
     if (TaskPool::on_worker_thread() ||
         !TaskPool::global().try_run(chunks, &Trampoline::call, &trampoline)) {
       for (int c = 0; c < chunks; ++c) Trampoline::call(&trampoline, c);
     }
-    if (trampoline.error) std::rethrow_exception(trampoline.error);
+    std::exception_ptr error;
+    {
+      const MutexLock lock(trampoline.error_mutex);
+      error = trampoline.error;
+    }
+    if (error) std::rethrow_exception(error);
   }
 
   int lanes_;

@@ -89,7 +89,7 @@ TEST(ScheduleService, DuplicateSubmissionsComputeOnce) {
   ScheduleService service(ServiceConfig{4, 4096});
   const TaskGraph g = make_cholesky(6, 3);
 
-  std::vector<std::future<ScheduleService::ResultPtr>> futures;
+  std::vector<ScheduleService::Future> futures;
   futures.reserve(kCopies);
   for (int i = 0; i < kCopies; ++i) {
     futures.push_back(service.submit(request_for(g, "streaming-rlx", 16)).future);
@@ -122,7 +122,7 @@ TEST(ScheduleService, SweepAcrossWorkersMatchesDirect) {
     cases.push_back({make_chain(8, seed), 4});
   }
 
-  std::vector<std::future<ScheduleService::ResultPtr>> futures;
+  std::vector<ScheduleService::Future> futures;
   futures.reserve(cases.size());
   for (const Case& c : cases) {
     futures.push_back(service.submit(request_for(c.graph, "streaming-rlx", c.pes)).future);
@@ -167,7 +167,7 @@ TEST(ScheduleService, FailedComputationIsRetriedNotCached) {
 TEST(ScheduleService, WaitIdleDrainsEverything) {
   ScheduleService service(ServiceConfig{3, 1 << 16});
   constexpr int kJobs = 30;
-  std::vector<std::future<ScheduleService::ResultPtr>> futures;
+  std::vector<ScheduleService::Future> futures;
   futures.reserve(kJobs);
   for (int i = 0; i < kJobs; ++i) {
     futures.push_back(
@@ -187,7 +187,7 @@ TEST(ScheduleService, WaitIdleDrainsEverything) {
 }
 
 TEST(ScheduleService, ShutdownDrainsQueuedJobsAndRejectsNewOnes) {
-  std::vector<std::future<ScheduleService::ResultPtr>> futures;
+  std::vector<ScheduleService::Future> futures;
   ScheduleService service(ServiceConfig{1, 4096});
   for (int i = 0; i < 8; ++i) {
     futures.push_back(service

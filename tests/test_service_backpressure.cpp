@@ -126,7 +126,7 @@ struct FullShardFixture {
   Gate gate;
   GatedRegistration registration{&gate};
   ScheduleService service;
-  std::vector<std::future<ScheduleService::ResultPtr>> futures;
+  std::vector<ScheduleService::Future> futures;
 
   explicit FullShardFixture(std::size_t queue_depth = 2)
       : service(ServiceConfig{1, 4096, queue_depth}) {
@@ -175,7 +175,7 @@ TEST(ServiceBackpressure, BlockedSubmitWakesWhenWorkerDrains) {
   FullShardFixture fix(2);
 
   std::atomic<bool> admitted{false};
-  std::future<ScheduleService::ResultPtr> blocked_future;
+  ScheduleService::Future blocked_future;
   std::thread submitter([&] {
     // The shard is full: this kBlock submit must block until the worker pops.
     blocked_future = fix.service.submit(gated_chain(6, 3)).future;
@@ -213,7 +213,7 @@ TEST(ServiceBackpressure, CachedScenarioBypassesFullQueue) {
   const auto warm = service.submit(warm_request).future.get();
 
   // Park the worker and fill the queue.
-  std::vector<std::future<ScheduleService::ResultPtr>> futures;
+  std::vector<ScheduleService::Future> futures;
   futures.push_back(service.submit(gated_chain(6, 0)).future);
   gate.wait_arrived(1);
   futures.push_back(service.submit(gated_chain(6, 1)).future);
@@ -243,7 +243,7 @@ TEST(ServiceBackpressure, PriorityRequestJumpsTheQueue) {
   // Park the worker on a 6-node chain, queue a 7-node chain normally, then
   // a 5-node chain with priority: the priority job must run before the
   // earlier-submitted normal job (make_chain(n) has exactly n nodes).
-  std::vector<std::future<ScheduleService::ResultPtr>> futures;
+  std::vector<ScheduleService::Future> futures;
   futures.push_back(service.submit(gated_chain(6, 0)).future);
   gate.wait_arrived(1);
   futures.push_back(service.submit(gated_chain(7, 1)).future);
@@ -296,7 +296,7 @@ TEST(ServiceBackpressure, UnboundedServiceNeverRejects) {
   ScheduleService service(ServiceConfig{1, 4096});  // queue_depth = 0: unbounded
   EXPECT_EQ(service.queue_depth_limit(), 0u);
 
-  std::vector<std::future<ScheduleService::ResultPtr>> futures;
+  std::vector<ScheduleService::Future> futures;
   futures.push_back(service.submit(gated_chain(6, 0)).future);
   gate.wait_arrived(1);
   for (std::uint64_t seed = 1; seed <= 16; ++seed) {

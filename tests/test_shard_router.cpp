@@ -89,7 +89,7 @@ TEST(ShardRouter, SubmitLandsOnTheRoutedBackend) {
 TEST(ShardRouter, AggregateStatsSumOverBackends) {
   constexpr std::uint64_t kScenarios = 24;
   ShardRouter router(router_config(4));
-  std::vector<std::future<ScheduleService::ResultPtr>> futures;
+  std::vector<ScheduleService::Future> futures;
   for (std::uint64_t seed = 1; seed <= kScenarios; ++seed) {
     futures.push_back(router.submit(chain_request(6, seed)).future);
     // Every scenario twice: the duplicate hits its backend's cache.
@@ -170,7 +170,7 @@ TEST(ShardRouter, SetBackendCountRebalancesLive) {
 
 TEST(ShardRouter, RetiredBackendCountersFoldIntoTotals) {
   ShardRouter router(router_config(3));
-  std::vector<std::future<ScheduleService::ResultPtr>> futures;
+  std::vector<ScheduleService::Future> futures;
   for (std::uint64_t seed = 1; seed <= 18; ++seed) {
     futures.push_back(router.submit(chain_request(6, seed)).future);
   }
@@ -270,7 +270,7 @@ TEST(ShardRouter, RejectionCarriesTheBackendIndex) {
       if (router.backend_for(gated(seed)) == target) same_backend.push_back(seed);
     }
 
-    std::vector<std::future<ScheduleService::ResultPtr>> futures;
+    std::vector<ScheduleService::Future> futures;
     futures.push_back(router.submit(gated(same_backend[0])).future);
     gate.wait_arrived(1);  // the backend's worker is parked
     futures.push_back(router.submit(gated(same_backend[1])).future);

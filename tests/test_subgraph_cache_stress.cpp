@@ -1,0 +1,182 @@
+// Deterministic lock-contention stress for the two mutex-guarded caches every
+// concurrent service worker shares: the SubgraphCache fragment store and the
+// PartitionCanonMemo canonicalization memo. A latch releases all threads at
+// once onto a small keyspace with a capacity chosen to force constant
+// eviction, so insert/lookup/evict genuinely interleave; afterwards the stats
+// must balance exactly and every returned entry must carry the content of its
+// own key (an entry crossed between keys would be a real bug, not noise).
+// These suites run under TSan in CI (the SubgraphCache|PartitionCanonMemo
+// regex), where the annotated sts::Mutex shim is exercised end to end.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <latch>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/serialization.hpp"
+#include "pipeline/schedule_cache.hpp"
+#include "pipeline/subgraph_cache.hpp"
+
+namespace sts {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kOpsPerThread = 400;
+constexpr int kKeys = 32;
+constexpr std::size_t kEntryWeight = 8;
+// Holds kCapacity / kEntryWeight = 8 of the 32 keys: every thread keeps
+// evicting the others' entries, so the LRU head/tail and the buckets churn
+// under contention for the whole run.
+constexpr std::size_t kCapacity = 64;
+
+/// Deterministic per-thread key sequence (SplitMix-style mix of a counter
+/// seeded by the thread index — no std::random devices, identical on every
+/// run and platform).
+int key_for(int thread, int step) {
+  std::uint64_t x = static_cast<std::uint64_t>(thread) * 0x9e3779b97f4a7c15ull +
+                    static_cast<std::uint64_t>(step) + 1;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  return static_cast<int>(x % kKeys);
+}
+
+TEST(SubgraphCacheStress, ConcurrentInsertLookupEvictKeepsBooks) {
+  SubgraphCache cache(kCapacity);
+  std::latch start(kThreads);
+  std::atomic<std::uint64_t> finds{0};
+  std::atomic<std::uint64_t> wrong_content{0};
+  std::atomic<std::uint64_t> assemblies{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int key = key_for(t, i);
+        const std::string context = "scheduler streaming-rlx pes 8";
+        const std::string form = "canonical form of partition " + std::to_string(key);
+        const std::uint64_t hash = fnv1a64(context + form);
+        std::shared_ptr<const ScheduleResult> fragment =
+            cache.find(hash, context, form, /*delta=*/false);
+        finds.fetch_add(1, std::memory_order_relaxed);
+        if (!fragment) {
+          ScheduleResult computed;
+          computed.scheduler = "stress";
+          computed.makespan = key;  // the content check below keys on this
+          fragment = cache.insert(hash, context, form, std::move(computed), kEntryWeight);
+        }
+        if (fragment->makespan != key) wrong_content.fetch_add(1, std::memory_order_relaxed);
+        if (i % 64 == 0) {
+          cache.note_assembled(2);
+          assemblies.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // No entry ever crossed keys, and the books balance exactly: every find
+  // was either a hit or a miss, nothing was double counted under contention.
+  EXPECT_EQ(wrong_content.load(), 0u);
+  const SubgraphCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.partition_hits + stats.partition_misses, finds.load());
+  EXPECT_GT(stats.partition_hits, 0u);
+  EXPECT_GT(stats.partition_misses, 0u);
+  EXPECT_EQ(stats.delta_invalidated, 0u);  // no delta requests in this run
+  EXPECT_EQ(stats.fragments_assembled, 2 * assemblies.load());
+
+  // Eviction really ran (32 keys cannot fit in 8 slots) yet the weight bound
+  // held; uniform weights mean the resident weight is exactly size() slots.
+  EXPECT_LE(cache.total_weight(), kCapacity);
+  EXPECT_EQ(cache.total_weight(), cache.size() * kEntryWeight);
+  EXPECT_LE(cache.size(), kCapacity / kEntryWeight);
+  EXPECT_GT(stats.partition_misses, static_cast<std::uint64_t>(kKeys));
+}
+
+TEST(SubgraphCacheStress, DeltaFlagAttributesMissesUnderContention) {
+  SubgraphCache cache(kCapacity);
+  std::latch start(kThreads);
+  std::atomic<std::uint64_t> finds{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int key = key_for(t, i);
+        const std::string context = "ctx";
+        const std::string form = "form " + std::to_string(key);
+        const std::uint64_t hash = fnv1a64(context + form);
+        auto fragment = cache.find(hash, context, form, /*delta=*/true);
+        finds.fetch_add(1, std::memory_order_relaxed);
+        if (!fragment) {
+          ScheduleResult computed;
+          computed.makespan = key;
+          (void)cache.insert(hash, context, form, std::move(computed), kEntryWeight);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Every miss happened while serving a delta request, so the attribution
+  // counter must equal the miss count exactly — even under eviction churn.
+  const SubgraphCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.partition_hits + stats.partition_misses, finds.load());
+  EXPECT_EQ(stats.delta_invalidated, stats.partition_misses);
+}
+
+TEST(PartitionCanonMemoStress, ConcurrentFindInsertEvictKeepsBooks) {
+  PartitionCanonMemo memo(kCapacity);
+  std::latch start(kThreads);
+  std::atomic<std::uint64_t> finds{0};
+  std::atomic<std::uint64_t> wrong_content{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int key = key_for(t, i);
+        const std::string raw = "raw partition content " + std::to_string(key);
+        std::shared_ptr<const PartitionCanonMemo::Ranks> ranks = memo.find(raw);
+        finds.fetch_add(1, std::memory_order_relaxed);
+        if (!ranks) {
+          PartitionCanonMemo::Ranks computed;
+          // kEntryWeight nodes; rank[0] carries the key for the content check.
+          computed.hash.assign(kEntryWeight, static_cast<std::uint64_t>(key));
+          computed.rank.assign(kEntryWeight, 0);
+          computed.rank[0] = key;
+          computed.form = "form " + std::to_string(key);
+          computed.form_digest = static_cast<std::uint64_t>(key);
+          ranks = memo.insert(raw, std::move(computed));
+        }
+        if (ranks->rank.size() != kEntryWeight || ranks->rank[0] != key ||
+            ranks->form_digest != static_cast<std::uint64_t>(key)) {
+          wrong_content.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(wrong_content.load(), 0u);
+  const PartitionCanonMemo::Stats stats = memo.stats();
+  EXPECT_EQ(stats.hits + stats.misses, finds.load());
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, static_cast<std::uint64_t>(kKeys));  // eviction re-misses
+  EXPECT_LE(memo.total_weight(), kCapacity);
+  EXPECT_EQ(memo.total_weight(), memo.size() * kEntryWeight);
+  EXPECT_LE(memo.size(), kCapacity / kEntryWeight);
+}
+
+}  // namespace
+}  // namespace sts
