@@ -8,7 +8,7 @@
 //                    [--variant lts|rlx|work] [--format table|gantt|json|dot]
 //                    [--simulate] [--sim-engine bulk|tick] [--timings] [--cached]
 //   sts_schedule_cli sweep <scenario-file|-> [--threads N] [--cache-capacity N]
-//                    [--repeat K] [--queue-depth N] [--backends N]
+//                    [--repeat K] [--queue-depth N] [--backends N] [--spawn]
 //                    [--simulate] [--sim-engine bulk|tick] [--incremental]
 //   sts_schedule_cli --list-schedulers
 //
@@ -24,7 +24,13 @@
 // every submission goes through `submit(ScheduleRequest)`; with
 // `--backends N` the requests are consistent-hash routed across N in-process
 // ScheduleService backends by a ShardRouter (the cross-process sharding
-// seam), otherwise one service serves them. `--queue-depth` bounds every
+// seam), otherwise one service serves them. Adding `--spawn` makes the fleet
+// real: each backend becomes an sts-serve child process (fork/exec, see
+// net/server_process.hpp) reached over HTTP through a RemoteBackend — same
+// router, same envelopes, across actual process boundaries. The sts_serve
+// binary is resolved via $STS_SERVE_BIN, falling back to `sts_serve` next to
+// this executable; children are SIGTERM-drained when the sweep finishes.
+// `--queue-depth` bounds every
 // worker queue (submissions then apply backpressure instead of queueing
 // without limit); `--simulate` chains the dataflow simulation after
 // scheduling on the workers for scenarios that do not already request it.
@@ -75,6 +81,8 @@
 #include "core/schedule_export.hpp"
 #include "graph/dot_export.hpp"
 #include "graph/serialization.hpp"
+#include "net/remote_backend.hpp"
+#include "net/server_process.hpp"
 #include "pipeline/registry.hpp"
 #include "pipeline/schedule_cache.hpp"
 #include "pipeline/subgraph_cache.hpp"
@@ -96,8 +104,8 @@ int usage(const char* argv0) {
                "       "
             << argv0
             << " sweep <scenario-file|-> [--threads N] [--cache-capacity N] [--repeat K]\n"
-               "                        [--queue-depth N] [--backends N] [--simulate]\n"
-               "                        [--sim-engine bulk|tick] [--incremental]\n"
+               "                        [--queue-depth N] [--backends N] [--spawn]\n"
+               "                        [--simulate] [--sim-engine bulk|tick] [--incremental]\n"
                "       "
             << argv0 << " --list-schedulers\n";
   return 2;
@@ -237,6 +245,7 @@ int run_sweep(int argc, char** argv) {
   std::size_t cache_capacity = ScheduleCache::kDefaultCapacity;
   std::size_t queue_depth = 0;
   std::size_t backends = 0;  // 0 = single service, >= 1 = ShardRouter
+  bool spawn = false;        // with --backends: real sts-serve child processes
   int repeat = 1;
   bool simulate = false;
   bool incremental = false;
@@ -256,6 +265,8 @@ int run_sweep(int argc, char** argv) {
         queue_depth = static_cast<std::size_t>(std::stoull(next()));
       } else if (arg == "--backends") {
         backends = static_cast<std::size_t>(std::stoull(next()));
+      } else if (arg == "--spawn") {
+        spawn = true;
       } else if (arg == "--repeat") {
         repeat = std::stoi(next());
         if (repeat < 1) throw std::invalid_argument("--repeat must be >= 1");
@@ -332,20 +343,59 @@ int run_sweep(int argc, char** argv) {
   // Off by default in the sweep so plain runs serve the exact whole-graph
   // cache path; --incremental layers per-partition fragment reuse under it.
   config.subgraph_cache_capacity = incremental ? SubgraphCache::kDefaultCapacity : 0;
+  if (spawn && backends == 0) {
+    std::cerr << "error: --spawn requires --backends N\n";
+    return 2;
+  }
+
+  // Declared before service/router so the RemoteBackends (inside the router)
+  // close their connections before the children are SIGTERM-drained.
+  std::vector<std::unique_ptr<ServerProcess>> servers;
   std::unique_ptr<ScheduleService> service;
   std::unique_ptr<ShardRouter> router;
   std::size_t workers_total = 0;
-  if (backends > 0) {
-    RouterConfig router_config;
-    router_config.num_backends = backends;
-    router_config.backend = config;
-    router = std::make_unique<ShardRouter>(router_config);
-    for (std::size_t b = 0; b < router->backend_count(); ++b) {
-      workers_total += router->backend(b).worker_count();
+  try {
+    if (backends > 0) {
+      RouterConfig router_config;
+      router_config.num_backends = backends;
+      router_config.backend = config;
+      if (spawn) {
+        // A real fleet: one sts-serve child per backend, each on an ephemeral
+        // port, reached through RemoteBackend — the same router code path as
+        // the in-process fleet, across actual process boundaries.
+        const std::string binary = default_sts_serve_binary();
+        std::vector<std::string> child_args = {"--port", "0"};
+        if (threads > 0) {
+          child_args.insert(child_args.end(), {"--threads", std::to_string(threads)});
+        }
+        if (queue_depth > 0) {
+          child_args.insert(child_args.end(), {"--queue-depth", std::to_string(queue_depth)});
+        }
+        child_args.insert(child_args.end(),
+                          {"--cache-capacity", std::to_string(cache_capacity)});
+        if (incremental) child_args.push_back("--incremental");
+        servers.reserve(backends);
+        for (std::size_t b = 0; b < backends; ++b) {
+          servers.push_back(std::make_unique<ServerProcess>(binary, child_args));
+        }
+        router_config.backend_factory =
+            [&servers](std::size_t index) -> std::shared_ptr<ScheduleBackend> {
+          RemoteConfig remote;
+          remote.port = servers.at(index)->port();
+          return std::make_shared<RemoteBackend>(remote);
+        };
+      }
+      router = std::make_unique<ShardRouter>(router_config);
+      for (std::size_t b = 0; b < router->backend_count(); ++b) {
+        workers_total += router->backend(b).worker_count();
+      }
+    } else {
+      service = std::make_unique<ScheduleService>(config);
+      workers_total = service->worker_count();
     }
-  } else {
-    service = std::make_unique<ScheduleService>(config);
-    workers_total = service->worker_count();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
   const auto do_submit = [&](ScheduleRequest request) {
     return router ? router->submit(std::move(request)) : service->submit(std::move(request));
@@ -408,7 +458,10 @@ int run_sweep(int argc, char** argv) {
   std::cerr << "sweep: " << stats.submitted << " jobs (" << parsed_ok << " schedulable of "
             << scenarios.size() << " scenarios x " << repeat << " rounds) on " << workers_total
             << " workers";
-  if (router) std::cerr << " across " << router->backend_count() << " backends";
+  if (router) {
+    std::cerr << " across " << router->backend_count()
+              << (spawn ? " spawned sts-serve backends" : " backends");
+  }
   std::cerr << " in " << fmt(seconds, 3) << "s (" << fmt(stats.submitted / seconds, 1)
             << " jobs/s)\n"
             << "cache: " << stats.cache.hits << " hits, " << stats.cache.misses << " misses, "

@@ -1,0 +1,283 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace sts {
+
+namespace {
+
+constexpr std::string_view kHeadEnd = "\r\n\r\n";
+
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+[[nodiscard]] std::string_view trim_ows(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+/// Shared head scan: splits the start line off, then walks header lines
+/// calling `on_header(name, value)`. Returns false (setting `error`) on a
+/// malformed line.
+template <typename OnHeader>
+[[nodiscard]] bool parse_head(std::string_view head, std::string_view& start_line,
+                              OnHeader&& on_header, std::string& error) {
+  std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) {
+    error = "missing CRLF after start line";
+    return false;
+  }
+  start_line = head.substr(0, line_end);
+  std::size_t pos = line_end + 2;
+  while (pos < head.size()) {
+    line_end = head.find("\r\n", pos);
+    if (line_end == std::string_view::npos) line_end = head.size();
+    const std::string_view line = head.substr(pos, line_end - pos);
+    pos = line_end + 2;
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      error = "malformed header line";
+      return false;
+    }
+    on_header(trim_ows(line.substr(0, colon)), trim_ows(line.substr(colon + 1)));
+  }
+  return true;
+}
+
+struct CommonHeaders {
+  bool keep_alive = true;  ///< HTTP/1.1 default
+  bool has_length = false;
+  std::size_t content_length = 0;
+  bool bad_length = false;
+  bool transfer_encoding = false;
+};
+
+[[nodiscard]] CommonHeaders scan_header(std::string_view name, std::string_view value,
+                                        CommonHeaders headers) {
+  if (iequals(name, "content-length")) {
+    if (headers.has_length) {
+      headers.bad_length = true;  // duplicate framing header: request smuggling
+      return headers;
+    }
+    std::size_t length = 0;
+    const auto [end, ec] = std::from_chars(value.data(), value.data() + value.size(), length);
+    if (ec != std::errc() || end != value.data() + value.size()) {
+      headers.bad_length = true;
+      return headers;
+    }
+    headers.has_length = true;
+    headers.content_length = length;
+  } else if (iequals(name, "connection")) {
+    if (iequals(value, "close")) headers.keep_alive = false;
+    if (iequals(value, "keep-alive")) headers.keep_alive = true;
+  } else if (iequals(name, "transfer-encoding")) {
+    headers.transfer_encoding = true;
+  }
+  return headers;
+}
+
+}  // namespace
+
+HttpRequestParse parse_http_request(std::string_view input, const HttpLimits& limits) {
+  HttpRequestParse out;
+  const std::size_t head_end = input.find(kHeadEnd);
+  if (head_end == std::string_view::npos) {
+    if (input.size() > limits.max_head_bytes) {
+      out.status = HttpParseStatus::kError;
+      out.error_status = 413;
+      out.error = "request head exceeds " + std::to_string(limits.max_head_bytes) + " bytes";
+    }
+    return out;
+  }
+  if (head_end > limits.max_head_bytes) {
+    out.status = HttpParseStatus::kError;
+    out.error_status = 413;
+    out.error = "request head exceeds " + std::to_string(limits.max_head_bytes) + " bytes";
+    return out;
+  }
+
+  std::string_view start_line;
+  CommonHeaders headers;
+  const bool head_ok = parse_head(
+      input.substr(0, head_end + 2), start_line,
+      [&headers](std::string_view name, std::string_view value) {
+        headers = scan_header(name, value, headers);
+      },
+      out.error);
+  if (!head_ok) {
+    out.status = HttpParseStatus::kError;
+    out.error_status = 400;
+    return out;
+  }
+
+  // METHOD SP request-target SP HTTP-version
+  const std::size_t sp1 = start_line.find(' ');
+  const std::size_t sp2 = sp1 == std::string_view::npos
+                              ? std::string_view::npos
+                              : start_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp1 == 0 || sp2 == sp1 + 1 ||
+      start_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    out.status = HttpParseStatus::kError;
+    out.error_status = 400;
+    out.error = "malformed request line";
+    return out;
+  }
+  const std::string_view version = start_line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    out.status = HttpParseStatus::kError;
+    out.error_status = 400;
+    out.error = "unsupported HTTP version";
+    return out;
+  }
+  if (headers.transfer_encoding) {
+    out.status = HttpParseStatus::kError;
+    out.error_status = 501;
+    out.error = "Transfer-Encoding is not supported; use Content-Length";
+    return out;
+  }
+  if (headers.bad_length) {
+    out.status = HttpParseStatus::kError;
+    out.error_status = 400;
+    out.error = "invalid Content-Length";
+    return out;
+  }
+  if (headers.content_length > limits.max_body_bytes) {
+    out.status = HttpParseStatus::kError;
+    out.error_status = 413;
+    out.error = "body of " + std::to_string(headers.content_length) + " bytes exceeds the " +
+                std::to_string(limits.max_body_bytes) + "-byte limit";
+    return out;
+  }
+  const std::size_t total = head_end + kHeadEnd.size() + headers.content_length;
+  if (input.size() < total) return out;  // kNeedMore
+
+  out.status = HttpParseStatus::kComplete;
+  out.consumed = total;
+  out.request.method = std::string(start_line.substr(0, sp1));
+  out.request.target = std::string(start_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  out.request.keep_alive = headers.keep_alive && version == "HTTP/1.1";
+  out.request.body = std::string(input.substr(head_end + kHeadEnd.size(),
+                                              headers.content_length));
+  return out;
+}
+
+HttpResponseParse parse_http_response(std::string_view input, const HttpLimits& limits) {
+  HttpResponseParse out;
+  const std::size_t head_end = input.find(kHeadEnd);
+  if (head_end == std::string_view::npos) {
+    if (input.size() > limits.max_head_bytes) {
+      out.status = HttpParseStatus::kError;
+      out.error = "response head exceeds " + std::to_string(limits.max_head_bytes) + " bytes";
+    }
+    return out;
+  }
+
+  std::string_view start_line;
+  CommonHeaders headers;
+  const bool head_ok = parse_head(
+      input.substr(0, head_end + 2), start_line,
+      [&headers](std::string_view name, std::string_view value) {
+        headers = scan_header(name, value, headers);
+      },
+      out.error);
+  if (!head_ok) {
+    out.status = HttpParseStatus::kError;
+    return out;
+  }
+
+  // HTTP-version SP status-code SP reason-phrase
+  if (start_line.substr(0, 9) != "HTTP/1.1 " && start_line.substr(0, 9) != "HTTP/1.0 ") {
+    out.status = HttpParseStatus::kError;
+    out.error = "malformed status line";
+    return out;
+  }
+  const std::string_view rest = start_line.substr(9);
+  int code = 0;
+  const auto [end, ec] = std::from_chars(rest.data(), rest.data() + rest.size(), code);
+  if (ec != std::errc() || end != rest.data() + 3 || code < 100 || code > 599) {
+    out.status = HttpParseStatus::kError;
+    out.error = "malformed status code";
+    return out;
+  }
+  if (headers.transfer_encoding || headers.bad_length) {
+    out.status = HttpParseStatus::kError;
+    out.error = headers.transfer_encoding ? "Transfer-Encoding is not supported"
+                                          : "invalid Content-Length";
+    return out;
+  }
+  if (headers.content_length > limits.max_body_bytes) {
+    out.status = HttpParseStatus::kError;
+    out.error = "body of " + std::to_string(headers.content_length) + " bytes exceeds the " +
+                std::to_string(limits.max_body_bytes) + "-byte limit";
+    return out;
+  }
+  const std::size_t total = head_end + kHeadEnd.size() + headers.content_length;
+  if (input.size() < total) return out;  // kNeedMore
+
+  out.status = HttpParseStatus::kComplete;
+  out.consumed = total;
+  out.response.status = code;
+  out.response.keep_alive = headers.keep_alive && start_line.substr(0, 9) == "HTTP/1.1 ";
+  out.response.body = std::string(input.substr(head_end + kHeadEnd.size(),
+                                               headers.content_length));
+  return out;
+}
+
+const char* http_status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 413: return "Payload Too Large";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string render_http_response(int status, std::string_view body, bool keep_alive) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += http_status_reason(status);
+  out += "\r\nContent-Type: application/json\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += keep_alive ? "\r\nConnection: keep-alive" : "\r\nConnection: close";
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string render_http_request(std::string_view method, std::string_view target,
+                                std::string_view body) {
+  std::string out(method);
+  out += ' ';
+  out += target;
+  out += " HTTP/1.1\r\nHost: sts\r\n";
+  if (!body.empty()) {
+    out += "Content-Type: application/json\r\nContent-Length: ";
+    out += std::to_string(body.size());
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace sts

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace sts {
+
+/// Resource bounds applied while parsing HTTP messages off the wire. Both
+/// overruns produce a parse error (server side: a 413 reply) instead of
+/// unbounded buffering.
+struct HttpLimits {
+  std::size_t max_head_bytes = 16 * 1024;       ///< request/status line + headers
+  std::size_t max_body_bytes = 8 * 1024 * 1024; ///< Content-Length cap
+};
+
+/// One parsed HTTP/1.1 request (the subset the wire protocol uses:
+/// Content-Length framing only — no chunked encoding, no trailers).
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST"
+  std::string target;  ///< origin-form, e.g. "/v1/schedule"
+  bool keep_alive = true;
+  std::string body;
+};
+
+/// One parsed HTTP/1.1 response (client side).
+struct HttpResponse {
+  int status = 0;
+  bool keep_alive = true;
+  std::string body;
+};
+
+/// Incremental parse outcome over a growing connection buffer.
+enum class HttpParseStatus : int {
+  kNeedMore,  ///< the buffer does not hold a full message yet
+  kComplete,  ///< one message parsed; `consumed` bytes can be dropped
+  kError,     ///< protocol violation or limit overrun; close the connection
+};
+
+struct HttpRequestParse {
+  HttpParseStatus status = HttpParseStatus::kNeedMore;
+  HttpRequest request;        ///< valid iff kComplete
+  std::size_t consumed = 0;   ///< bytes of `input` the message occupied
+  int error_status = 0;       ///< suggested reply on kError: 400, 413, 501
+  std::string error;          ///< human detail on kError
+};
+
+struct HttpResponseParse {
+  HttpParseStatus status = HttpParseStatus::kNeedMore;
+  HttpResponse response;  ///< valid iff kComplete
+  std::size_t consumed = 0;
+  std::string error;  ///< human detail on kError
+};
+
+/// Tries to parse one complete HTTP/1.1 request from the front of `input`.
+/// Strict on what the wire protocol needs, tolerant of nothing it doesn't:
+/// HTTP/1.1 only, Content-Length framing (absent = no body), Connection
+/// close/keep-alive. Transfer-Encoding is refused with 501 — the protocol
+/// never chunks. Never throws: a violation comes back as kError with the
+/// status code the server should answer before closing.
+[[nodiscard]] HttpRequestParse parse_http_request(std::string_view input,
+                                                  const HttpLimits& limits);
+
+/// Tries to parse one complete HTTP/1.1 response from the front of `input`
+/// (client side). Same framing subset as parse_http_request.
+[[nodiscard]] HttpResponseParse parse_http_response(std::string_view input,
+                                                    const HttpLimits& limits);
+
+/// Serializes a response: status line, Content-Type: application/json,
+/// Content-Length, Connection (close unless `keep_alive`), then `body`.
+[[nodiscard]] std::string render_http_response(int status, std::string_view body,
+                                               bool keep_alive);
+
+/// Serializes a request with Content-Length framing (empty body = none).
+[[nodiscard]] std::string render_http_request(std::string_view method, std::string_view target,
+                                              std::string_view body);
+
+/// Canonical reason phrase for the status codes the protocol uses; "Unknown"
+/// otherwise.
+[[nodiscard]] const char* http_status_reason(int status) noexcept;
+
+}  // namespace sts

@@ -1,0 +1,166 @@
+#include "net/server_process.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace sts {
+
+namespace {
+
+constexpr std::string_view kListeningPrefix = "sts-serve listening on ";
+
+/// Parses the port off a "sts-serve listening on H:P" line; 0 = not this line.
+[[nodiscard]] std::uint16_t parse_listening_port(std::string_view line) {
+  if (line.substr(0, kListeningPrefix.size()) != kListeningPrefix) return 0;
+  const std::size_t colon = line.rfind(':');
+  if (colon == std::string_view::npos) return 0;
+  const std::string_view digits = line.substr(colon + 1);
+  std::uint32_t port = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return 0;
+    port = port * 10 + static_cast<std::uint32_t>(c - '0');
+    if (port > 65535) return 0;
+  }
+  return static_cast<std::uint16_t>(port);
+}
+
+[[nodiscard]] int wait_status_to_exit_code(int status) noexcept {
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+}  // namespace
+
+ServerProcess::ServerProcess(std::string binary, std::vector<std::string> args,
+                             std::chrono::milliseconds handshake_timeout)
+    : binary_(std::move(binary)) {
+  int fds[2];
+  if (::pipe2(fds, O_CLOEXEC) != 0) {
+    throw std::runtime_error(errno_message("spawn: pipe2"));
+  }
+  FdHandle read_end(fds[0]);
+  FdHandle write_end(fds[1]);
+
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 2);
+  argv.push_back(binary_.data());
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  pid_ = ::fork();
+  if (pid_ < 0) throw std::runtime_error(errno_message("spawn: fork"));
+  if (pid_ == 0) {
+    // Child: stdout becomes the handshake pipe (stderr stays inherited for
+    // logs). Only async-signal-safe calls between fork and exec.
+    if (::dup2(write_end.get(), STDOUT_FILENO) < 0) _exit(127);
+    ::execv(binary_.c_str(), argv.data());
+    _exit(127);  // exec failed; the parent sees EOF on the pipe
+  }
+
+  write_end.reset();  // parent keeps only the read end
+  stdout_fd_ = std::move(read_end);
+
+  // Read until the listening line, the timeout, or EOF (child died / exec
+  // failed). Line-buffered enough for one line; anything after it is left
+  // unread (the child writes nothing else to stdout).
+  std::string buf;
+  const auto deadline = std::chrono::steady_clock::now() + handshake_timeout;
+  for (;;) {
+    const std::size_t line_end = buf.find('\n');
+    if (line_end != std::string::npos) {
+      port_ = parse_listening_port(std::string_view(buf).substr(0, line_end));
+      if (port_ != 0) return;
+      buf.erase(0, line_end + 1);  // unrelated chatter; keep scanning
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline || buf.size() > 4096) {
+      (void)terminate(std::chrono::milliseconds(0));
+      throw std::runtime_error("spawn: " + binary_ + " never announced its port");
+    }
+    pollfd pfd{stdout_fd_.get(), POLLIN, 0};
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) {
+      (void)terminate(std::chrono::milliseconds(0));
+      throw std::runtime_error("spawn: " + binary_ + " never announced its port");
+    }
+    char chunk[512];
+    ssize_t n;
+    do {
+      n = ::read(stdout_fd_.get(), chunk, sizeof chunk);
+    } while (n < 0 && errno == EINTR);
+    if (n > 0) buf.append(chunk, static_cast<std::size_t>(n));
+    if (n == 0) {
+      // EOF: the child exited (or exec failed) before listening.
+      (void)terminate(std::chrono::milliseconds(0));
+      throw std::runtime_error("spawn: " + binary_ + " exited before listening (exit code " +
+                               std::to_string(exit_code_) + ")");
+    }
+    if (n < 0) {
+      (void)terminate(std::chrono::milliseconds(0));
+      throw std::runtime_error(errno_message("spawn: read handshake"));
+    }
+  }
+}
+
+ServerProcess::~ServerProcess() {
+  if (!reaped_ && pid_ > 0) (void)terminate();
+}
+
+int ServerProcess::terminate(std::chrono::milliseconds patience) {
+  if (reaped_ || pid_ <= 0) return exit_code_;
+  (void)::kill(pid_, SIGTERM);
+  const auto deadline = std::chrono::steady_clock::now() + patience;
+  for (;;) {
+    int status = 0;
+    const pid_t reaped = ::waitpid(pid_, &status, WNOHANG);
+    if (reaped == pid_) {
+      exit_code_ = wait_status_to_exit_code(status);
+      reaped_ = true;
+      return exit_code_;
+    }
+    if (reaped < 0 && errno != EINTR) break;  // already gone or not ours
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Out of patience: the drain is stuck (or the child ignored SIGTERM).
+  (void)::kill(pid_, SIGKILL);
+  int status = 0;
+  pid_t reaped;
+  do {
+    reaped = ::waitpid(pid_, &status, 0);
+  } while (reaped < 0 && errno == EINTR);
+  exit_code_ = reaped == pid_ ? wait_status_to_exit_code(status) : -1;
+  reaped_ = true;
+  return exit_code_;
+}
+
+std::string default_sts_serve_binary() {
+  if (const char* env = std::getenv("STS_SERVE_BIN"); env != nullptr && *env != '\0') {
+    return env;
+  }
+  char path[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", path, sizeof path - 1);
+  if (n <= 0) return "sts_serve";  // last resort: rely on PATH lookup failing loudly
+  path[n] = '\0';
+  std::string self(path);
+  const std::size_t slash = self.rfind('/');
+  if (slash == std::string::npos) return "sts_serve";
+  return self.substr(0, slash + 1) + "sts_serve";
+}
+
+}  // namespace sts

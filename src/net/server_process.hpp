@@ -1,0 +1,65 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace sts {
+
+/// One spawned sts-serve child process: fork/exec, handshake, and graceful
+/// SIGTERM teardown — how the sweep CLI's `--backends N --spawn` mode and the
+/// net bench stand up a real multi-process fleet.
+///
+/// The handshake is the child's single stdout line
+///
+///     sts-serve listening on 127.0.0.1:<port>
+///
+/// which the parent reads (with a timeout) off a pipe to learn the ephemeral
+/// port; everything else the child prints goes to inherited stderr.
+///
+/// terminate() sends SIGTERM and reaps the child, giving it time to run its
+/// drain sequence (stop accepting, settle in-flight requests, flush stats);
+/// a child that outlives the patience window is SIGKILLed. The destructor
+/// does the same, so a ServerProcess can never leak a child.
+class ServerProcess {
+ public:
+  /// fork/execs `binary` with `args` (argv[1..]) and blocks until the
+  /// listening line arrives. Throws std::runtime_error when the exec fails,
+  /// the child exits early, or the handshake times out (the child is
+  /// SIGKILLed and reaped before the throw).
+  explicit ServerProcess(std::string binary, std::vector<std::string> args = {},
+                         std::chrono::milliseconds handshake_timeout =
+                             std::chrono::milliseconds(10000));
+  ~ServerProcess();
+
+  ServerProcess(const ServerProcess&) = delete;
+  ServerProcess& operator=(const ServerProcess&) = delete;
+
+  /// The port announced in the handshake line.
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] pid_t pid() const noexcept { return pid_; }
+
+  /// SIGTERM, then waits up to `patience` for the drain to finish before
+  /// escalating to SIGKILL. Returns the child's exit code (128 + signal for
+  /// a signalled death). Idempotent: later calls return the first result.
+  int terminate(std::chrono::milliseconds patience = std::chrono::milliseconds(30000));
+
+ private:
+  std::string binary_;
+  pid_t pid_ = -1;
+  std::uint16_t port_ = 0;
+  FdHandle stdout_fd_;  ///< read end of the child's stdout pipe
+  bool reaped_ = false;
+  int exit_code_ = -1;
+};
+
+/// Resolves the sts-serve binary for spawning: the STS_SERVE_BIN environment
+/// variable when set, otherwise `sts_serve` next to the current executable
+/// (via /proc/self/exe) — the layout the build tree produces.
+[[nodiscard]] std::string default_sts_serve_binary();
+
+}  // namespace sts

@@ -1,0 +1,113 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace sts {
+
+void FdHandle::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+std::string errno_message(const char* context) {
+  return std::string(context) + " (" + std::strerror(errno) + ")";
+}
+
+namespace {
+
+[[nodiscard]] sockaddr_in make_address(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("net: invalid IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+FdHandle listen_tcp(const std::string& host, std::uint16_t port, int backlog) {
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw std::runtime_error(errno_message("net: socket"));
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) != 0) {
+    throw std::runtime_error(errno_message("net: setsockopt SO_REUSEADDR"));
+  }
+  const sockaddr_in addr = make_address(host, port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    throw std::runtime_error(errno_message("net: bind"));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    throw std::runtime_error(errno_message("net: listen"));
+  }
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw std::runtime_error(errno_message("net: getsockname"));
+  }
+  return ntohs(addr.sin_port);
+}
+
+FdHandle connect_tcp(const std::string& host, std::uint16_t port) {
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw std::runtime_error(errno_message("net: socket"));
+  // Request/response round trips are latency-bound: disable Nagle so the
+  // (small) envelope leaves in one segment instead of waiting on delayed ACK.
+  const int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  const sockaddr_in addr = make_address(host, port);
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) throw std::runtime_error(errno_message("net: connect"));
+  return fd;
+}
+
+void set_nonblocking(int fd, bool enabled) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw std::runtime_error(errno_message("net: fcntl F_GETFL"));
+  const int want = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) != 0) {
+    throw std::runtime_error(errno_message("net: fcntl F_SETFL"));
+  }
+}
+
+bool send_all(int fd, std::string_view data) noexcept {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+long recv_some(int fd, std::string& out, std::size_t max_bytes) noexcept {
+  char buf[16384];
+  const std::size_t want = max_bytes < sizeof buf ? max_bytes : sizeof buf;
+  ssize_t n;
+  do {
+    n = ::recv(fd, buf, want, 0);
+  } while (n < 0 && errno == EINTR);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+  return static_cast<long>(n);
+}
+
+}  // namespace sts

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sts {
+
+/// RAII owner of one POSIX file descriptor (socket, epoll, eventfd, pipe).
+/// Closing is best-effort: close(2) errors are swallowed — by then the fd's
+/// kernel resources are gone either way.
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) noexcept : fd_(fd) {}
+  ~FdHandle() { reset(); }
+
+  FdHandle(FdHandle&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FdHandle& operator=(FdHandle&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Transfers ownership out; the handle becomes invalid.
+  [[nodiscard]] int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the current fd (if any) and adopts `fd`.
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a TCP listen socket bound to `host:port` (port 0 = ephemeral,
+/// SO_REUSEADDR set). Throws std::runtime_error with errno detail on any
+/// failure. The serving stack binds loopback only — the wire protocol is
+/// unauthenticated, so it must never listen on a public interface.
+[[nodiscard]] FdHandle listen_tcp(const std::string& host, std::uint16_t port, int backlog);
+
+/// The locally bound port of a socket (resolves an ephemeral bind).
+[[nodiscard]] std::uint16_t local_port(int fd);
+
+/// Blocking TCP connect to `host:port`. Throws std::runtime_error on
+/// failure (including connection refused — callers that poll for a server
+/// starting up catch and retry).
+[[nodiscard]] FdHandle connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Sets/clears O_NONBLOCK. Throws std::runtime_error on fcntl failure.
+void set_nonblocking(int fd, bool enabled);
+
+/// Writes all of `data` to a blocking socket (EINTR-retrying, MSG_NOSIGNAL
+/// so a dead peer yields EPIPE instead of killing the process). Returns
+/// false on any error.
+[[nodiscard]] bool send_all(int fd, std::string_view data) noexcept;
+
+/// Reads up to `max_bytes` more bytes from a blocking socket into `out`
+/// (appending). Returns the count read, 0 on orderly EOF, -1 on error.
+[[nodiscard]] long recv_some(int fd, std::string& out, std::size_t max_bytes) noexcept;
+
+/// "context: detail (errno text)" — the std::runtime_error shape every
+/// transport failure in src/net/ uses.
+[[nodiscard]] std::string errno_message(const char* context);
+
+}  // namespace sts

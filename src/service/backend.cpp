@@ -1,0 +1,109 @@
+#include "service/backend.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "support/json.hpp"
+
+namespace sts {
+
+void accumulate_service_stats(ServiceStats& into, const ServiceStats& from) {
+  into.submitted += from.submitted;
+  into.completed += from.completed;
+  into.failed += from.failed;
+  into.rejected += from.rejected;
+  into.simulated += from.simulated;
+  into.fast_path_hits += from.fast_path_hits;
+  into.cache.hits += from.cache.hits;
+  into.cache.misses += from.cache.misses;
+  into.cache.races += from.cache.races;
+  into.cache.evictions += from.cache.evictions;
+  into.cache.evicted_weight += from.cache.evicted_weight;
+  into.cache.expired += from.cache.expired;
+  into.subgraph.partition_hits += from.subgraph.partition_hits;
+  into.subgraph.partition_misses += from.subgraph.partition_misses;
+  into.subgraph.fragments_assembled += from.subgraph.fragments_assembled;
+  into.subgraph.delta_invalidated += from.subgraph.delta_invalidated;
+  into.canon.hits += from.canon.hits;
+  into.canon.misses += from.canon.misses;
+  into.shard_max_depth.insert(into.shard_max_depth.end(), from.shard_max_depth.begin(),
+                              from.shard_max_depth.end());
+}
+
+ServiceStats service_stats_from_json(const JsonValue& json) {
+  const auto counter = [&json](const char* key) -> std::uint64_t {
+    const JsonValue* value = json.find(key);
+    if (value == nullptr) return 0;  // older server: counter not born yet
+    const std::int64_t v = value->as_int();
+    if (v < 0) throw std::invalid_argument(std::string("stats: negative counter ") + key);
+    return static_cast<std::uint64_t>(v);
+  };
+  ServiceStats stats;
+  stats.submitted = counter("submitted");
+  stats.completed = counter("completed");
+  stats.failed = counter("failed");
+  stats.rejected = counter("rejected");
+  stats.simulated = counter("simulated");
+  stats.fast_path_hits = counter("fast_path_hits");
+  stats.cache.hits = counter("cache_hits");
+  stats.cache.misses = counter("cache_misses");
+  stats.cache.races = counter("cache_races");
+  stats.cache.evictions = counter("cache_evictions");
+  stats.cache.evicted_weight = counter("cache_evicted_weight");
+  stats.cache.expired = counter("cache_expired");
+  stats.subgraph.partition_hits = counter("partition_hits");
+  stats.subgraph.partition_misses = counter("partition_misses");
+  stats.subgraph.fragments_assembled = counter("fragments_assembled");
+  stats.subgraph.delta_invalidated = counter("delta_invalidated");
+  stats.canon.hits = counter("canon_hits");
+  stats.canon.misses = counter("canon_misses");
+  if (const JsonValue* depths = json.find("shard_max_depth")) {
+    stats.shard_max_depth.reserve(depths->items().size());
+    for (const JsonValue& depth : depths->items()) {
+      const std::int64_t d = depth.as_int();
+      if (d < 0) throw std::invalid_argument("stats: negative shard_max_depth entry");
+      stats.shard_max_depth.push_back(static_cast<std::size_t>(d));
+    }
+  }
+  return stats;
+}
+
+std::shared_ptr<const ScheduleResult> ServiceFuture::get() {
+  Settled settled = settled_.get();
+  if (settled.rejected.has_value()) {
+    throw std::runtime_error("schedule request rejected on shard " +
+                             std::to_string(settled.rejected->shard) + " (depth " +
+                             std::to_string(settled.rejected->depth) + "/" +
+                             std::to_string(settled.rejected->limit) + ")");
+  }
+  if (settled.error.empty()) return std::move(settled.result);
+  if (settled.invalid) throw std::invalid_argument(settled.error);
+  throw std::runtime_error(settled.error);
+}
+
+ScheduleResponse ServiceAdmission::wait() {
+  ScheduleResponse response;
+  if (rejected.has_value()) {
+    response.status = ScheduleResponse::Status::kRejected;
+    response.rejected = rejected;
+    return response;
+  }
+  Settled settled = future.settled();
+  if (settled.rejected.has_value()) {
+    response.status = ScheduleResponse::Status::kRejected;
+    response.rejected = std::move(settled.rejected);
+  } else if (settled.error.empty()) {
+    response.result = std::move(settled.result);
+    response.status = ScheduleResponse::Status::kOk;
+  } else {
+    response.status = ScheduleResponse::Status::kError;
+    response.error = std::move(settled.error);
+  }
+  return response;
+}
+
+ScheduleResponse ScheduleBackend::schedule(ScheduleRequest request) {
+  return submit(std::move(request)).wait();
+}
+
+}  // namespace sts

@@ -326,4 +326,65 @@ std::string ScheduleResponse::to_json() const {
   return out;
 }
 
+ScheduleResponse ScheduleResponse::from_json(std::string_view text) {
+  // Response bodies are tiny (one flat object), so a tight depth bound is
+  // free hardening against a malicious or confused server.
+  const JsonValue json = parse_json(text, JsonLimits{8, 1u << 20});
+  ScheduleResponse response;
+  const std::string& status = json.at("status").as_string();
+  if (status == "ok") {
+    reject_unknown_members(json,
+                           {"status", "scheduler", "makespan", "speedup", "fifo_capacity",
+                            "sim_makespan", "sim_engine", "deadlocked"},
+                           "ScheduleResponse", "response");
+    auto result = std::make_shared<ScheduleResult>();
+    result->scheduler = json.at("scheduler").as_string();
+    result->makespan = json.at("makespan").as_int();
+    result->metrics.speedup = json.at("speedup").as_double();
+    result->metrics.fifo_capacity = json.at("fifo_capacity").as_int();
+    if (const JsonValue* sim_makespan = json.find("sim_makespan")) {
+      SimResult sim;
+      sim.makespan = sim_makespan->as_int();
+      const std::string& engine = json.at("sim_engine").as_string();
+      if (engine == "bulk-advance") {
+        sim.engine_used = SimEngine::kBulkAdvance;
+      } else if (engine == "tick-accurate") {
+        sim.engine_used = SimEngine::kTickAccurate;
+      } else {
+        throw std::invalid_argument("ScheduleResponse: unknown sim_engine '" + engine + "'");
+      }
+      if (const JsonValue* deadlocked = json.find("deadlocked")) {
+        sim.deadlocked = deadlocked->as_bool();
+      }
+      result->sim = std::move(sim);
+    }
+    response.status = Status::kOk;
+    response.result = std::move(result);
+  } else if (status == "rejected") {
+    reject_unknown_members(json, {"status", "shard", "depth", "limit", "backend"},
+                           "ScheduleResponse", "response");
+    Rejected rejected;
+    const auto index = [&json](const char* key) -> std::size_t {
+      const std::int64_t value = json.at(key).as_int();
+      if (value < 0) {
+        throw std::invalid_argument(std::string("ScheduleResponse: negative ") + key);
+      }
+      return static_cast<std::size_t>(value);
+    };
+    rejected.shard = index("shard");
+    rejected.depth = index("depth");
+    rejected.limit = index("limit");
+    if (json.find("backend") != nullptr) rejected.backend = index("backend");
+    response.status = Status::kRejected;
+    response.rejected = rejected;
+  } else if (status == "error") {
+    reject_unknown_members(json, {"status", "error"}, "ScheduleResponse", "response");
+    response.status = Status::kError;
+    response.error = json.at("error").as_string();
+  } else {
+    throw std::invalid_argument("ScheduleResponse: unknown status '" + status + "'");
+  }
+  return response;
+}
+
 }  // namespace sts

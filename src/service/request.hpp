@@ -183,8 +183,18 @@ struct ScheduleResponse {
 
   /// Flat JSON summary (status, makespan/speedup/fifo_capacity and sim
   /// fields when ok; shard/depth/limit/backend when rejected; the error
-  /// string otherwise) — the per-scenario record the sweep CLI emits.
+  /// string otherwise) — the per-scenario record the sweep CLI emits, and
+  /// the body of a `POST /v1/schedule` reply.
   [[nodiscard]] std::string to_json() const;
+
+  /// Strict parse of `to_json()`-shaped text — how a RemoteBackend decodes a
+  /// server reply. Throws std::invalid_argument on malformed JSON, an
+  /// unknown status, or missing/mistyped members for that status. The wire
+  /// carries only the flat summary, so an ok response reconstructs a
+  /// summary-only ScheduleResult: scheduler, makespan, speedup,
+  /// fifo_capacity, and the sim summary — never the schedule artifacts
+  /// (streaming/buffers/list), which stay in the serving process.
+  [[nodiscard]] static ScheduleResponse from_json(std::string_view text);
 };
 
 [[nodiscard]] const char* to_string(ScheduleResponse::Status status) noexcept;

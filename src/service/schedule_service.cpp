@@ -1,6 +1,7 @@
 #include "service/schedule_service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -9,6 +10,7 @@
 #include "pipeline/pipeline.hpp"
 #include "pipeline/registry.hpp"
 #include "pipeline/schedule_context.hpp"
+#include "support/text.hpp"
 
 namespace sts {
 
@@ -38,27 +40,16 @@ ScheduleService::ScheduleService(ServiceConfig config)
 
 ScheduleService::~ScheduleService() { shutdown(); }
 
-ScheduleResponse ScheduleService::Admission::wait() {
-  ScheduleResponse response;
-  if (rejected.has_value()) {
-    response.status = ScheduleResponse::Status::kRejected;
-    response.rejected = rejected;
-    return response;
-  }
-  Settled settled = future.settled();
-  if (settled.error.empty()) {
-    response.result = std::move(settled.result);
-    response.status = ScheduleResponse::Status::kOk;
-  } else {
-    response.status = ScheduleResponse::Status::kError;
-    response.error = std::move(settled.error);
-  }
-  return response;
+namespace {
+
+/// Converts a cache-layer Flight (result/error/invalid) into the seam's
+/// Settled value; the in-process service never populates `rejected`.
+[[nodiscard]] Settled settled_from_flight(ScheduleCache::Flight flight) {
+  return Settled{std::move(flight.result), std::move(flight.error), flight.invalid,
+                 std::nullopt};
 }
 
-ScheduleResponse ScheduleService::schedule(ScheduleRequest request) {
-  return submit(std::move(request)).wait();
-}
+}  // namespace
 
 ScheduleService::Admission ScheduleService::submit(ScheduleRequest request) {
   if (stopping_.load(std::memory_order_acquire)) {
@@ -106,7 +97,7 @@ ScheduleService::Admission ScheduleService::submit(ScheduleRequest request) {
         ++counters_.submitted;
         if (delta_simulate) ++counters_.simulated;
       }
-      failed.set_value(ScheduleCache::settle_current_exception());
+      failed.set_value(settled_from_flight(ScheduleCache::settle_current_exception()));
       finish_one(true);
       return admission;
     }
@@ -134,7 +125,7 @@ ScheduleService::Admission ScheduleService::submit(ScheduleRequest request) {
   // Fast path: an already-completed result resolves synchronously without a
   // queue round trip. Admission control never refuses a cached answer.
   if (ResultPtr hit = cache_.try_get(key)) {
-    promise.set_value(Settled{std::move(hit), {}, false});
+    promise.set_value(Settled{std::move(hit), {}, false, std::nullopt});
     {
       const MutexLock lock(stats_mutex_);
       ++counters_.completed;
@@ -264,7 +255,7 @@ void ScheduleService::worker_loop(Shard& shard) {
           job.request.release_key(), [this, &job] { return compute_job(job); },
           job.request.graph.node_count());
     } catch (...) {
-      settled = ScheduleCache::settle_current_exception();
+      settled = settled_from_flight(ScheduleCache::settle_current_exception());
     }
     const bool failed = !settled.error.empty();
     job.promise.set_value(std::move(settled));
@@ -349,20 +340,36 @@ ScheduleService::Stats ScheduleService::stats() const {
   return out;
 }
 
+double ScheduleService::uptime_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time_).count();
+}
+
 std::string ScheduleService::stats_json() const {
   return render_stats_json(stats(), worker_count(), queue_depth_, cache_.size(),
-                           cache_.total_weight(), cache_.capacity());
+                           cache_.total_weight(), cache_.capacity(), uptime_seconds());
+}
+
+ScheduleService::Snapshot ScheduleService::stats_snapshot() const {
+  Snapshot snapshot;
+  snapshot.stats = stats();
+  snapshot.cache_weight = cache_.total_weight();
+  snapshot.json = render_stats_json(snapshot.stats, worker_count(), queue_depth_, cache_.size(),
+                                    snapshot.cache_weight, cache_.capacity(), uptime_seconds());
+  return snapshot;
 }
 
 std::string ScheduleService::render_stats_json(const Stats& s, std::size_t workers,
                                                std::size_t queue_depth_limit,
                                                std::size_t cache_size, std::size_t cache_weight,
-                                               std::size_t cache_capacity) {
+                                               std::size_t cache_capacity, double uptime) {
   const auto field = [](const char* key, std::uint64_t value) {
     return std::string("\"") + key + "\": " + std::to_string(value);
   };
   std::string json = "{";
-  json += field("submitted", s.submitted);
+  json += field("schema_version", kStatsSchemaVersion);
+  json += ", \"uptime_seconds\": ";
+  append_number(json, uptime < 0 ? 0.0 : uptime);
+  json += ", " + field("submitted", s.submitted);
   json += ", " + field("completed", s.completed);
   json += ", " + field("failed", s.failed);
   json += ", " + field("rejected", s.rejected);

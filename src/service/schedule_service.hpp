@@ -18,6 +18,7 @@
 #include "graph/task_graph.hpp"
 #include "pipeline/schedule_cache.hpp"
 #include "pipeline/subgraph_cache.hpp"
+#include "service/backend.hpp"
 #include "service/request.hpp"
 #include "sim/dataflow_sim.hpp"
 #include "support/thread_annotations.hpp"
@@ -102,85 +103,27 @@ struct ServiceConfig {
 /// `shutdown()`) drains every queued job before joining the workers, so no
 /// future is ever abandoned; submitters blocked on backpressure are woken
 /// and throw.
-class ScheduleService {
+class ScheduleService : public ScheduleBackend {
  public:
   using ResultPtr = ScheduleCache::ResultPtr;
   using Rejected = sts::Rejected;
 
-  /// A settled job: exactly one of `result` (success) or `error` (failure
-  /// detail) is populated. Workers settle failures as plain values — never
-  /// as a stored exception — for the reason documented on
-  /// `ScheduleCache::Flight`; the original exception is reconstructed on
-  /// the *consuming* thread by `Future::get()`.
-  using Settled = ScheduleCache::Flight;
+  /// A settled job: at most one of `result` (success) or `error` (failure
+  /// detail) is populated (the in-process service never uses the seam's
+  /// asynchronous `rejected` channel — it refuses synchronously). Workers
+  /// settle failures as plain values — never as a stored exception — for
+  /// the reason documented on `ScheduleCache::Flight`; the original
+  /// exception is reconstructed on the *consuming* thread by
+  /// `Future::get()`.
+  using Settled = sts::Settled;
 
-  /// Future over a `Settled` outcome with the classic throwing contract:
-  /// `get()` returns the result or throws `std::invalid_argument` /
-  /// `std::runtime_error` built from the transported error detail — thrown
-  /// locally on the calling thread, so no exception object ever crosses
-  /// threads.
-  class Future {
-   public:
-    Future() = default;
-    explicit Future(std::future<Settled> settled) : settled_(std::move(settled)) {}
-
-    [[nodiscard]] bool valid() const noexcept { return settled_.valid(); }
-    template <typename Rep, typename Period>
-    [[nodiscard]] std::future_status wait_for(
-        const std::chrono::duration<Rep, Period>& timeout) const {
-      return settled_.wait_for(timeout);
-    }
-
-    /// Blocks; returns the result or throws on a failed job. Consumes the
-    /// future; call once.
-    [[nodiscard]] ResultPtr get() {
-      Settled settled = settled_.get();
-      if (settled.error.empty()) return std::move(settled.result);
-      if (settled.invalid) throw std::invalid_argument(settled.error);
-      throw std::runtime_error(settled.error);
-    }
-
-    /// Blocks; the raw settled outcome, never throwing. Consumes the
-    /// future; call once.
-    [[nodiscard]] Settled settled() { return settled_.get(); }
-
-   private:
-    std::future<Settled> settled_;
-  };
-
-  /// Outcome of `submit`: exactly one of `future` (valid iff accepted)
-  /// or `rejected` is populated.
-  struct Admission {
-    Future future;
-    std::optional<Rejected> rejected;
-
-    [[nodiscard]] bool accepted() const noexcept { return !rejected.has_value(); }
-
-    /// Resolves this admission into the unified response envelope: blocks on
-    /// the future when accepted, folding a failed computation into
-    /// `ScheduleResponse::error` instead of an exception. Consumes the
-    /// future; call once.
-    [[nodiscard]] ScheduleResponse wait();
-  };
-
-  struct Stats {
-    std::uint64_t submitted = 0;  ///< all submission attempts, rejections included
-    std::uint64_t completed = 0;  ///< finished jobs, failures included
-    std::uint64_t failed = 0;     ///< jobs whose future holds an exception
-    std::uint64_t rejected = 0;   ///< kReject refusals on a full shard
-    std::uint64_t simulated = 0;  ///< accepted submissions requesting simulation
-    std::uint64_t fast_path_hits = 0;  ///< completed synchronously in submit()
-    std::vector<std::size_t> shard_max_depth;  ///< per-shard queue high-water mark
-    ScheduleCache::Stats cache;
-    SubgraphCache::Stats subgraph;  ///< zeros when subgraph memoization is off
-    /// Canonicalization-memo counters of the subgraph cache (zeros when
-    /// subgraph memoization is off): partitions whose structural refinement
-    /// was skipped vs. refined from scratch.
-    PartitionCanonMemo::Stats canon;
-  };
+  /// The seam's future/admission types under their historical names.
+  using Future = ServiceFuture;
+  using Admission = ServiceAdmission;
+  using Stats = ServiceStats;
 
   explicit ScheduleService(ServiceConfig config = {});
-  ~ScheduleService();
+  ~ScheduleService() override;
 
   ScheduleService(const ScheduleService&) = delete;
   ScheduleService& operator=(const ScheduleService&) = delete;
@@ -191,15 +134,11 @@ class ScheduleService {
   /// a worker drains an entry — so `.future` can be used directly; with
   /// `kReject` a full shard yields `rejected` instead of waiting. Throws
   /// std::runtime_error after shutdown().
-  [[nodiscard]] Admission submit(ScheduleRequest request)
-      EXCLUDES(stats_mutex_, bases_mutex_);
-
-  /// Synchronous convenience: `submit(request).wait()`.
-  [[nodiscard]] ScheduleResponse schedule(ScheduleRequest request)
+  [[nodiscard]] Admission submit(ScheduleRequest request) override
       EXCLUDES(stats_mutex_, bases_mutex_);
 
   /// Blocks until every accepted job submitted so far has completed.
-  void wait_idle() EXCLUDES(stats_mutex_);
+  void wait_idle() override EXCLUDES(stats_mutex_);
 
   /// Drains all queued jobs, joins the workers, and rejects further
   /// submissions. Idempotent; called by the destructor.
@@ -207,26 +146,40 @@ class ScheduleService {
 
   [[nodiscard]] Stats stats() const EXCLUDES(stats_mutex_);
 
+  /// One consistent observation: counters, resident cache weight, and the
+  /// rendered stats_json document, all from the same stats() snapshot.
+  [[nodiscard]] Snapshot stats_snapshot() const override;
+
   /// Machine-readable JSON rendering of stats() plus cache size and sizing
   /// knobs: one object of scalar keys in the style of the BENCH_*.json bench
   /// reports, plus a single `shard_max_depth` array (per-shard queue
   /// high-water marks; `max_queue_depth` carries the scalar peak for flat
-  /// consumers). Keys should stay stable across versions.
+  /// consumers). Keys should stay stable across versions; `schema_version`
+  /// counts breaking shape changes and `uptime_seconds` lets scrapes detect
+  /// restarts.
   [[nodiscard]] std::string stats_json() const;
+
+  /// Breaking-shape version of the stats_json() document. Bumped when a key
+  /// is removed or changes meaning — additions don't count.
+  static constexpr std::uint64_t kStatsSchemaVersion = 2;
 
   /// Renders one Stats snapshot plus sizing knobs in the stats_json() shape
   /// — `stats_json()` is `render_stats_json(stats(), ...)`, and ShardRouter
   /// reuses it so per-backend records come from a single stats() snapshot.
+  /// `uptime` is the emitting component's age (seconds since construction).
   [[nodiscard]] static std::string render_stats_json(const Stats& stats, std::size_t workers,
                                                      std::size_t queue_depth_limit,
                                                      std::size_t cache_size,
                                                      std::size_t cache_weight,
-                                                     std::size_t cache_capacity);
+                                                     std::size_t cache_capacity, double uptime);
+
+  /// Seconds since this service was constructed (monotonic clock).
+  [[nodiscard]] double uptime_seconds() const;
 
   [[nodiscard]] ScheduleCache& cache() noexcept { return cache_; }
   /// The fragment cache, or nullptr when subgraph memoization is disabled.
   [[nodiscard]] SubgraphCache* subgraph_cache() noexcept { return subgraph_cache_.get(); }
-  [[nodiscard]] std::size_t worker_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::size_t worker_count() const noexcept override { return shards_.size(); }
   [[nodiscard]] std::size_t queue_depth_limit() const noexcept { return queue_depth_; }
 
  private:
@@ -261,6 +214,7 @@ class ScheduleService {
   std::size_t queue_depth_ = 0;
   std::int64_t intra_threads_ = 1;  ///< ServiceConfig default, see submit()
   std::atomic<bool> stopping_{false};
+  const std::chrono::steady_clock::time_point start_time_ = std::chrono::steady_clock::now();
 
   /// Base-request registry for delta resolution: digest -> materialized graph.
   mutable Mutex bases_mutex_;

@@ -11,29 +11,6 @@ namespace sts {
 
 namespace {
 
-void accumulate(ScheduleService::Stats& into, const ScheduleService::Stats& from) {
-  into.submitted += from.submitted;
-  into.completed += from.completed;
-  into.failed += from.failed;
-  into.rejected += from.rejected;
-  into.simulated += from.simulated;
-  into.fast_path_hits += from.fast_path_hits;
-  into.cache.hits += from.cache.hits;
-  into.cache.misses += from.cache.misses;
-  into.cache.races += from.cache.races;
-  into.cache.evictions += from.cache.evictions;
-  into.cache.evicted_weight += from.cache.evicted_weight;
-  into.cache.expired += from.cache.expired;
-  into.subgraph.partition_hits += from.subgraph.partition_hits;
-  into.subgraph.partition_misses += from.subgraph.partition_misses;
-  into.subgraph.fragments_assembled += from.subgraph.fragments_assembled;
-  into.subgraph.delta_invalidated += from.subgraph.delta_invalidated;
-  into.canon.hits += from.canon.hits;
-  into.canon.misses += from.canon.misses;
-  into.shard_max_depth.insert(into.shard_max_depth.end(), from.shard_max_depth.begin(),
-                              from.shard_max_depth.end());
-}
-
 bool parse_digest(std::string_view digest, std::uint64_t& hash) {
   if (digest.size() != 16) return false;
   std::uint64_t value = 0;
@@ -79,12 +56,21 @@ ShardRouter::ShardRouter(RouterConfig config) : config_(std::move(config)) {
   const ExclusiveLock lock(mutex_);
   backends_.reserve(config_.num_backends);
   for (std::size_t i = 0; i < config_.num_backends; ++i) {
-    backends_.push_back(std::make_shared<ScheduleService>(config_.backend));
+    backends_.push_back(make_backend_locked(i));
   }
   rebuild_ring_locked();
 }
 
-std::vector<std::shared_ptr<ScheduleService>> ShardRouter::snapshot_backends() const {
+std::shared_ptr<ScheduleBackend> ShardRouter::make_backend_locked(std::size_t index) {
+  if (config_.backend_factory) {
+    std::shared_ptr<ScheduleBackend> backend = config_.backend_factory(index);
+    if (!backend) throw std::invalid_argument("ShardRouter: backend_factory returned nullptr");
+    return backend;
+  }
+  return std::make_shared<ScheduleService>(config_.backend);
+}
+
+std::vector<std::shared_ptr<ScheduleBackend>> ShardRouter::snapshot_backends() const {
   const SharedLock lock(mutex_);
   return backends_;
 }
@@ -126,17 +112,17 @@ std::size_t ShardRouter::backend_for(const ScheduleRequest& request) const {
   return backend_for_hash_locked(routing_hash(request));
 }
 
-ScheduleService::Admission ShardRouter::submit(ScheduleRequest request) {
+ServiceAdmission ShardRouter::submit(ScheduleRequest request) {
   // Resolve the route under the shared lock, then release it before the
   // backend call: a submit blocked on backpressure must not pin the router.
-  std::shared_ptr<ScheduleService> backend;
+  std::shared_ptr<ScheduleBackend> backend;
   std::size_t index = 0;
   {
     const SharedLock lock(mutex_);
     index = backend_for_hash_locked(routing_hash(request));
     backend = backends_[index];
   }
-  ScheduleService::Admission admission = backend->submit(std::move(request));
+  ServiceAdmission admission = backend->submit(std::move(request));
   if (admission.rejected.has_value()) admission.rejected->backend = index;
   return admission;
 }
@@ -150,9 +136,19 @@ std::size_t ShardRouter::backend_count() const {
   return backends_.size();
 }
 
-ScheduleService& ShardRouter::backend(std::size_t index) {
+ScheduleBackend& ShardRouter::backend(std::size_t index) {
   const SharedLock lock(mutex_);
   return *backends_.at(index);
+}
+
+ScheduleService& ShardRouter::local_backend(std::size_t index) {
+  const SharedLock lock(mutex_);
+  auto* service = dynamic_cast<ScheduleService*>(backends_.at(index).get());
+  if (service == nullptr) {
+    throw std::invalid_argument("ShardRouter: backend " + std::to_string(index) +
+                                " is not an in-process ScheduleService");
+  }
+  return *service;
 }
 
 void ShardRouter::set_backend_count(std::size_t count) {
@@ -163,20 +159,20 @@ void ShardRouter::set_backend_count(std::size_t count) {
     // its cache. Its ring points disappear with the rebuild below, and the
     // keys it owned fall through to the neighbors that already owned the
     // rest of their arcs.
-    ScheduleService& victim = *backends_.back();
+    ScheduleBackend& victim = *backends_.back();
     victim.wait_idle();
-    accumulate(retired_, victim.stats());
+    accumulate_service_stats(retired_, victim.stats());
     backends_.pop_back();
   }
   while (backends_.size() < count) {
-    backends_.push_back(std::make_shared<ScheduleService>(config_.backend));
+    backends_.push_back(make_backend_locked(backends_.size()));
   }
   config_.num_backends = count;
   rebuild_ring_locked();
 }
 
 void ShardRouter::drain(std::size_t index) {
-  std::shared_ptr<ScheduleService> backend;
+  std::shared_ptr<ScheduleBackend> backend;
   {
     const SharedLock lock(mutex_);
     backend = backends_.at(index);
@@ -188,9 +184,13 @@ void ShardRouter::wait_idle() {
   for (const auto& backend : snapshot_backends()) backend->wait_idle();
 }
 
+double ShardRouter::uptime_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time_).count();
+}
+
 ShardRouter::Stats ShardRouter::stats() const {
   Stats out;
-  std::vector<std::shared_ptr<ScheduleService>> backends;
+  std::vector<std::shared_ptr<ScheduleBackend>> backends;
   {
     const SharedLock lock(mutex_);
     backends = backends_;
@@ -199,17 +199,18 @@ ShardRouter::Stats ShardRouter::stats() const {
   out.backends.reserve(backends.size());
   for (const auto& backend : backends) {
     out.backends.push_back(backend->stats());
-    accumulate(out.total, out.backends.back());
+    accumulate_service_stats(out.total, out.backends.back());
   }
   return out;
 }
 
 std::string ShardRouter::stats_json() const {
-  // One stats() snapshot per backend feeds both the per-backend records and
+  // One stats_snapshot() per backend feeds both the per-backend records and
   // the aggregate, so the emitted totals always equal the sum of the
-  // per_backend objects in the same document.
-  std::vector<std::shared_ptr<ScheduleService>> backends;
-  ScheduleService::Stats total;
+  // per_backend objects in the same document (for a remote backend the
+  // snapshot is a single /stats fetch).
+  std::vector<std::shared_ptr<ScheduleBackend>> backends;
+  ServiceStats total;
   {
     const SharedLock lock(mutex_);
     backends = backends_;
@@ -220,20 +221,20 @@ std::string ShardRouter::stats_json() const {
   per_backend.reserve(live);
   std::size_t cache_weight = 0;  // live backends' resident cache weight
   for (const auto& backend : backends) {
-    const ScheduleService::Stats snapshot = backend->stats();
-    accumulate(total, snapshot);
-    const std::size_t weight = backend->cache().total_weight();
-    cache_weight += weight;
-    per_backend.push_back(ScheduleService::render_stats_json(
-        snapshot, backend->worker_count(), backend->queue_depth_limit(),
-        backend->cache().size(), weight, backend->cache().capacity()));
+    ScheduleBackend::Snapshot snapshot = backend->stats_snapshot();
+    accumulate_service_stats(total, snapshot.stats);
+    cache_weight += snapshot.cache_weight;
+    per_backend.push_back(std::move(snapshot.json));
   }
-  const ScheduleService::Stats& s = total;
+  const ServiceStats& s = total;
   const auto field = [](const char* key, std::uint64_t value) {
     return std::string("\"") + key + "\": " + std::to_string(value);
   };
   std::string json = "{";
-  json += field("backends", live);
+  json += field("schema_version", ScheduleService::kStatsSchemaVersion);
+  json += ", \"uptime_seconds\": ";
+  append_number(json, uptime_seconds());
+  json += ", " + field("backends", live);
   json += ", " + field("submitted", s.submitted);
   json += ", " + field("completed", s.completed);
   json += ", " + field("failed", s.failed);

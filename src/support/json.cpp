@@ -24,9 +24,14 @@ namespace {
 /// Recursive-descent parser over a string_view with offset-annotated errors.
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, const JsonLimits& limits) : text_(text), limits_(limits) {}
 
   JsonValue parse_document() {
+    if (limits_.max_bytes > 0 && text_.size() > limits_.max_bytes) {
+      throw std::invalid_argument("json: input of " + std::to_string(text_.size()) +
+                                  " bytes exceeds the " + std::to_string(limits_.max_bytes) +
+                                  "-byte limit");
+    }
     JsonValue value = parse_value(0);
     skip_ws();
     if (pos_ != text_.size()) fail("trailing garbage after document");
@@ -34,7 +39,6 @@ class Parser {
   }
 
  private:
-  static constexpr int kMaxDepth = 64;
 
   [[noreturn]] void fail(const std::string& what) const {
     throw std::invalid_argument("json: " + what + " at offset " + std::to_string(pos_));
@@ -67,7 +71,7 @@ class Parser {
   }
 
   JsonValue parse_value(int depth) {
-    if (depth > kMaxDepth) fail("nesting too deep");
+    if (depth > limits_.max_depth) fail("nesting too deep");
     skip_ws();
     const char c = peek();
     switch (c) {
@@ -261,6 +265,7 @@ class Parser {
   }
 
   std::string_view text_;
+  JsonLimits limits_;
   std::size_t pos_ = 0;
 };
 
@@ -354,7 +359,11 @@ const JsonValue& JsonValue::at(std::string_view key) const {
   throw std::invalid_argument("json: missing member '" + std::string(key) + "'");
 }
 
-JsonValue parse_json(std::string_view text) { return Parser(text).parse_document(); }
+JsonValue parse_json(std::string_view text) { return Parser(text, JsonLimits{}).parse_document(); }
+
+JsonValue parse_json(std::string_view text, const JsonLimits& limits) {
+  return Parser(text, limits).parse_document();
+}
 
 void reject_unknown_members(const JsonValue& object,
                             std::initializer_list<std::string_view> allowed,

@@ -62,12 +62,32 @@ class JsonValue {
   std::vector<Member> members_;
 };
 
+/// Resource bounds for parsing untrusted input (network bodies). Both
+/// limits fail fast with std::invalid_argument — the same typed parse error
+/// malformed input gets — instead of risking stack exhaustion (depth) or
+/// unbounded allocation (size). The defaults match the classic trusted-path
+/// behavior: depth 64, no size cap.
+struct JsonLimits {
+  /// Maximum container nesting depth; a scalar document has depth 0. The
+  /// recursive-descent parser burns one stack frame per level, so this is
+  /// the stack-exhaustion bound.
+  int max_depth = 64;
+
+  /// Maximum input size in bytes; 0 = unlimited. Checked before the first
+  /// byte is parsed, so an oversized body is rejected in O(1).
+  std::size_t max_bytes = 0;
+};
+
 /// Strict recursive-descent parse of one JSON document. Throws
 /// std::invalid_argument (with the byte offset) on malformed input,
 /// trailing garbage, duplicate object keys, or nesting deeper than 64
 /// levels. Accepts the RFC 8259 grammar; no extensions (comments, NaN,
 /// trailing commas).
 [[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// parse_json with explicit resource bounds — the untrusted-input entry
+/// point (StsServer request bodies, RemoteBackend response bodies).
+[[nodiscard]] JsonValue parse_json(std::string_view text, const JsonLimits& limits);
 
 /// Appends `text` JSON-escaped (quotes, backslash, control characters)
 /// between double quotes.

@@ -1,0 +1,161 @@
+// Untrusted-input hardening of the JSON parser: nesting-depth and input-size
+// limits must yield typed parse errors (std::invalid_argument) instead of
+// stack exhaustion or unbounded allocation, and fuzz-style adversarial
+// documents (deeply nested containers, pathological escapes, truncations)
+// must never crash or parse to the wrong value.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace sts {
+namespace {
+
+std::string nested_arrays(std::size_t depth) {
+  std::string text;
+  text.reserve(2 * depth + 1);
+  text.append(depth, '[');
+  text += '1';
+  text.append(depth, ']');
+  return text;
+}
+
+std::string nested_objects(std::size_t depth) {
+  std::string text;
+  for (std::size_t i = 0; i < depth; ++i) text += "{\"k\":";
+  text += "0";
+  text.append(depth, '}');
+  return text;
+}
+
+TEST(JsonHardening, DefaultDepthLimitIs64) {
+  // Depth 64 parses; 65 is rejected with a typed error, not a crash.
+  EXPECT_NO_THROW((void)parse_json(nested_arrays(64)));
+  EXPECT_THROW((void)parse_json(nested_arrays(65)), std::invalid_argument);
+  EXPECT_NO_THROW((void)parse_json(nested_objects(64)));
+  EXPECT_THROW((void)parse_json(nested_objects(65)), std::invalid_argument);
+}
+
+TEST(JsonHardening, DepthErrorNamesTheProblem) {
+  try {
+    (void)parse_json(nested_arrays(65));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting too deep"), std::string::npos) << e.what();
+  }
+}
+
+TEST(JsonHardening, CustomDepthLimit) {
+  JsonLimits limits;
+  limits.max_depth = 4;
+  EXPECT_NO_THROW((void)parse_json(nested_arrays(4), limits));
+  EXPECT_THROW((void)parse_json(nested_arrays(5), limits), std::invalid_argument);
+  // Scalars sit at depth 0: a tight limit still parses flat documents.
+  limits.max_depth = 0;
+  EXPECT_EQ(parse_json("42", limits).as_int(), 42);
+  EXPECT_THROW((void)parse_json("[1]", limits), std::invalid_argument);
+}
+
+TEST(JsonHardening, AdversarialDepthIsRejectedNotCrashed) {
+  // A ~1M-level bomb must fail fast via the depth check long before the
+  // recursion could touch the guard page. Both container kinds, and the
+  // unterminated variant (all-open, no closers) too.
+  EXPECT_THROW((void)parse_json(nested_arrays(1u << 20)), std::invalid_argument);
+  EXPECT_THROW((void)parse_json(nested_objects(1u << 18)), std::invalid_argument);
+  EXPECT_THROW((void)parse_json(std::string(1u << 20, '[')), std::invalid_argument);
+}
+
+TEST(JsonHardening, SizeLimitRejectsOversizedInput) {
+  JsonLimits limits;
+  limits.max_bytes = 16;
+  EXPECT_EQ(parse_json("{\"k\": 1}", limits).at("k").as_int(), 1);
+  const std::string big = "\"" + std::string(64, 'x') + "\"";
+  try {
+    (void)parse_json(big, limits);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos) << e.what();
+  }
+  // 0 = unlimited (the default): the same document parses.
+  limits.max_bytes = 0;
+  EXPECT_EQ(parse_json(big, limits).as_string(), std::string(64, 'x'));
+}
+
+TEST(JsonHardening, SizeLimitIsExactAtTheBoundary) {
+  JsonLimits limits;
+  limits.max_bytes = 4;
+  EXPECT_EQ(parse_json("1234", limits).as_int(), 1234);
+  EXPECT_THROW((void)parse_json("12345", limits), std::invalid_argument);
+}
+
+TEST(JsonHardening, FuzzStyleMalformedInputsThrowTyped) {
+  // A grab bag of adversarial fragments: every one must throw
+  // std::invalid_argument — never crash, hang, or silently parse.
+  const char* cases[] = {
+      "",
+      "[",
+      "]",
+      "{",
+      "{\"k\"",
+      "{\"k\":}",
+      "[1,]",
+      "{\"k\":1,}",
+      "\"unterminated",
+      "\"bad escape \\q\"",
+      "\"truncated escape \\",
+      "\"\\u12",
+      "\"\\ud800\"",          // lone high surrogate
+      "\"\\udc00\"",          // lone low surrogate
+      "\"\\ud800\\u0041\"",   // high surrogate + non-surrogate
+      "01",
+      "-",
+      "1.",
+      ".5",
+      "1e",
+      "nul",
+      "tru",
+      "falsee",
+      "1 2",
+      "[1] []",
+      "{\"a\":1,\"a\":2}",    // duplicate key
+      "\x01",
+      "\"ctrl \x1f\"",
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW((void)parse_json(text), std::invalid_argument) << "input: " << text;
+  }
+}
+
+TEST(JsonHardening, DeepButLegalDocumentsRoundTripUnderTheLimit) {
+  // Mixed nesting right at a custom bound, with real payloads on the way
+  // down — the limit must count container levels, not bytes or members.
+  JsonLimits limits;
+  limits.max_depth = 8;
+  const std::string doc =
+      "{\"a\": [{\"b\": [{\"c\": [{\"d\": [7]}]}]}]}";  // depth 8
+  const JsonValue v = parse_json(doc, limits);
+  EXPECT_EQ(v.at("a").items()[0].at("b").items()[0].at("c").items()[0].at("d").items()[0]
+                .as_int(),
+            7);
+  limits.max_depth = 7;
+  EXPECT_THROW((void)parse_json(doc, limits), std::invalid_argument);
+}
+
+TEST(JsonHardening, WideDocumentsAreNotDepth) {
+  // 10k siblings at depth 1: breadth must not trip the depth limit.
+  std::string wide = "[";
+  for (int i = 0; i < 10000; ++i) {
+    if (i > 0) wide += ',';
+    wide += std::to_string(i);
+  }
+  wide += ']';
+  JsonLimits limits;
+  limits.max_depth = 1;
+  EXPECT_EQ(parse_json(wide, limits).items().size(), 10000u);
+}
+
+}  // namespace
+}  // namespace sts

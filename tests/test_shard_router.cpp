@@ -81,7 +81,7 @@ TEST(ShardRouter, SubmitLandsOnTheRoutedBackend) {
     const auto result = router.submit(std::move(request)).future.get();
     EXPECT_GT(result->makespan, 0);
     router.wait_idle();
-    EXPECT_TRUE(router.backend(expected).cache().contains(key))
+    EXPECT_TRUE(router.local_backend(expected).cache().contains(key))
         << "seed " << seed << ": result cached on a different backend than routed";
   }
 }

@@ -20,6 +20,14 @@ violation. Enforced rules:
  4. Every bench/bench_*.cpp emits its BENCH_<name>.json report (CI archives
     these; perf gates read them), via BenchReport("<name>") or a literal
     "BENCH_<name>.json" write.
+
+ 5. The stats wire format round-trips: every cumulative counter key that
+    ScheduleService::render_stats_json() emits must be parsed back by
+    service_stats_from_json() (RemoteBackend scrapes /stats through it, and a
+    key the parser ignores silently zeroes that counter in every router
+    aggregate), and the parser must not read keys the renderer never writes.
+    Gauges (workers, cache_weight, ...) are point-in-time values read through
+    other paths and are allowlisted.
 """
 
 from __future__ import annotations
@@ -163,12 +171,60 @@ def check_bench_reports(errors: list[str]) -> None:
             )
 
 
+# Point-in-time gauges in the /stats document: not cumulative ServiceStats
+# counters, so service_stats_from_json() intentionally skips them (workers and
+# cache_weight are read through dedicated paths by RemoteBackend).
+STATS_GAUGE_KEYS = {
+    "schema_version",
+    "uptime_seconds",
+    "workers",
+    "queue_depth_limit",
+    "max_queue_depth",
+    "cache_size",
+    "cache_weight",
+    "cache_capacity",
+}
+
+
+def check_stats_wire_round_trip(errors: list[str]) -> None:
+    renderer_path = SRC / "service" / "schedule_service.cpp"
+    parser_path = SRC / "service" / "backend.cpp"
+    rendered: set[str] = set()
+    for name, body in function_bodies(renderer_path.read_text(), ("render_stats_json",)):
+        rendered.update(re.findall(r'field\("(\w+)"', body))
+        rendered.update(re.findall(r'\\"(\w+)\\"', body))
+    parsed: set[str] = set()
+    for name, body in function_bodies(parser_path.read_text(), ("service_stats_from_json",)):
+        parsed.update(re.findall(r'counter\("(\w+)"\)', body))
+        parsed.update(re.findall(r'find\("(\w+)"\)', body))
+    if not rendered:
+        fail(errors, f"{renderer_path.relative_to(REPO)}: render_stats_json() not found")
+        return
+    if not parsed:
+        fail(errors, f"{parser_path.relative_to(REPO)}: service_stats_from_json() not found")
+        return
+    for key in sorted(rendered - parsed - STATS_GAUGE_KEYS):
+        fail(
+            errors,
+            f"{renderer_path.relative_to(REPO)}: stats key `{key}` is rendered but "
+            "never parsed by service_stats_from_json() — remote scrapes drop it "
+            "(parse it, or allowlist it in STATS_GAUGE_KEYS if it is a gauge)",
+        )
+    for key in sorted(parsed - rendered):
+        fail(
+            errors,
+            f"{parser_path.relative_to(REPO)}: service_stats_from_json() reads "
+            f"`{key}`, which render_stats_json() never writes",
+        )
+
+
 def main() -> int:
     errors: list[str] = []
     check_intra_threads_out_of_keys(errors)
     check_stats_surfaced(errors)
     check_sim_internal_private(errors)
     check_bench_reports(errors)
+    check_stats_wire_round_trip(errors)
     if errors:
         print(f"lint_sts: {len(errors)} violation(s)", file=sys.stderr)
         for message in errors:
